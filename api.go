@@ -1,0 +1,197 @@
+package fecperf
+
+import (
+	"fmt"
+
+	"fecperf/internal/channel"
+	"fecperf/internal/core"
+	"fecperf/internal/experiments"
+	"fecperf/internal/ldpc"
+	"fecperf/internal/recommend"
+	"fecperf/internal/rse"
+	"fecperf/internal/sched"
+	"fecperf/internal/sim"
+)
+
+// Core abstractions, aliased so facade users interoperate with every
+// subsystem without conversion.
+type (
+	// Code is an FEC code instance: a layout plus a receiver factory.
+	Code = core.Code
+	// Receiver is an incremental decoder fed packets in arrival order.
+	Receiver = core.Receiver
+	// Scheduler produces a transmission order for one trial.
+	Scheduler = core.Scheduler
+	// Channel decides, per transmission, whether a packet is erased.
+	Channel = core.Channel
+	// Layout describes the packet-ID structure of an encoded object.
+	Layout = core.Layout
+	// TrialResult is the outcome of a single simulated reception.
+	TrialResult = core.TrialResult
+	// Aggregate summarises the repeated trials of one measurement point.
+	Aggregate = sim.Aggregate
+	// Grid is a (p, q) sweep result.
+	Grid = sim.Grid
+	// Report is a rendered experiment outcome.
+	Report = experiments.Report
+	// ExperimentOptions scales an experiment run.
+	ExperimentOptions = experiments.Options
+	// Tuple is a (code, transmission model, expansion ratio) candidate.
+	Tuple = recommend.Tuple
+)
+
+// CodeNames lists the identifiers accepted by NewCode: "rse", "ldgm",
+// "ldgm-staircase", "ldgm-triangle".
+var CodeNames = experiments.CodeNames
+
+// NewCode builds an FEC code by family name for k source packets and the
+// given FEC expansion ratio n/k. The seed fixes the pseudo-random LDGM
+// construction (it is ignored by RSE).
+func NewCode(name string, k int, ratio float64, seed int64) (Code, error) {
+	return experiments.MakeCode(name, k, ratio, seed)
+}
+
+// NewRSE builds the Reed-Solomon erasure code with FLUTE-style blocking.
+func NewRSE(k int, ratio float64) (*rse.Code, error) {
+	return rse.New(rse.Params{K: k, Ratio: ratio})
+}
+
+// NewLDGM builds one of the large-block codes with full parameter control.
+func NewLDGM(p ldpc.Params) (*ldpc.Code, error) { return ldpc.New(p) }
+
+// LDGM variants, re-exported for NewLDGM.
+const (
+	LDGMPlain     = ldpc.Plain
+	LDGMStaircase = ldpc.Staircase
+	LDGMTriangle  = ldpc.Triangle
+)
+
+// The six transmission models of the paper, plus the reception model.
+
+// TxModel1 sends source sequentially, then parity sequentially.
+func TxModel1() Scheduler { return sched.TxModel1{} }
+
+// TxModel2 sends source sequentially, then parity randomly.
+func TxModel2() Scheduler { return sched.TxModel2{} }
+
+// TxModel3 sends parity sequentially, then source randomly.
+func TxModel3() Scheduler { return sched.TxModel3{} }
+
+// TxModel4 sends everything in a fully random order.
+func TxModel4() Scheduler { return sched.TxModel4{} }
+
+// TxModel5 interleaves blocks (RSE) or source/parity streams (LDGM).
+func TxModel5() Scheduler { return sched.TxModel5{} }
+
+// TxModel6 sends a random 20% of source packets plus all parity, shuffled.
+func TxModel6() Scheduler { return sched.TxModel6{} }
+
+// SchedulerByName resolves "tx1".."tx6".
+func SchedulerByName(name string) (Scheduler, error) { return sched.ByName(name) }
+
+// Measurement describes one measurement point for Measure: a code and a
+// scheduler facing a Gilbert(p, q) channel.
+type Measurement struct {
+	Code      Code
+	Scheduler Scheduler
+	// P and Q are the Gilbert transition probabilities.
+	P, Q float64
+	// Trials is the number of receptions (0 = 100, the paper's count).
+	Trials int
+	// Seed fixes all randomness.
+	Seed int64
+	// NSent optionally truncates transmissions (Section 6 optimisation).
+	NSent int
+}
+
+// Measure runs repeated reception trials at one channel point and returns
+// the paper's aggregate (mean inefficiency ratio, failure count,
+// n_received/k).
+func Measure(m Measurement) (Aggregate, error) {
+	if m.Code == nil || m.Scheduler == nil {
+		return Aggregate{}, fmt.Errorf("fecperf: Measurement requires Code and Scheduler")
+	}
+	if err := channel.ValidateGilbert(m.P, m.Q); err != nil {
+		return Aggregate{}, err
+	}
+	return sim.Run(sim.Config{
+		Code:      m.Code,
+		Scheduler: m.Scheduler,
+		Channel:   channel.GilbertFactory{P: m.P, Q: m.Q},
+		Trials:    m.Trials,
+		Seed:      m.Seed,
+		NSent:     m.NSent,
+	}), nil
+}
+
+// SweepGrid sweeps a (code, scheduler) pair over a (p, q) grid; nil axes
+// mean the paper's 14-value axis. See sim.SweepConfig for the semantics.
+func SweepGrid(code Code, s Scheduler, p, q []float64, trials int, seed int64) *Grid {
+	return sim.Sweep(sim.SweepConfig{Code: code, Scheduler: s, P: p, Q: q, Trials: trials, Seed: seed})
+}
+
+// RunExperiment executes one of the paper's figures or tables by ID
+// (e.g. "fig11-tx4", "table2-tx2-sc-2.5") at the scale given by opts.
+func RunExperiment(id string, opts ExperimentOptions) (*Report, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opts)
+}
+
+// ExperimentIDs lists every registered figure/table experiment.
+func ExperimentIDs() []string {
+	var ids []string
+	for _, e := range experiments.List() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// BestTuple ranks all (code, tx model, ratio) candidates at the Gilbert
+// point (p, q) and returns the winner — Section 6.2.1's procedure.
+func BestTuple(p, q float64, k, trials int, seed int64) (Tuple, float64, error) {
+	r, err := recommend.Best(p, q, recommend.Config{K: k, Trials: trials, Seed: seed})
+	if err != nil {
+		return Tuple{}, 0, err
+	}
+	return r.Tuple, r.Ineff, nil
+}
+
+// UniversalTuples returns the paper's recommended schemes for unknown
+// channels: (LDGM Triangle; Tx_model_4) and (LDGM Staircase; Tx_model_6).
+func UniversalTuples() []Tuple { return recommend.Universal() }
+
+// OptimalNSent sizes the transmission per Section 6's Equation 3.
+func OptimalNSent(k int, inefficiency, globalLoss float64, margin, n int) (int, error) {
+	return recommend.OptimalNSent(k, inefficiency, globalLoss, margin, n)
+}
+
+// GlobalLoss returns the stationary Gilbert loss rate p/(p+q).
+func GlobalLoss(p, q float64) float64 { return channel.GlobalLoss(p, q) }
+
+// EstimateGilbert fits (p, q) to a recorded loss trace (true = lost).
+func EstimateGilbert(trace []bool) (p, q float64, err error) {
+	return channel.EstimateGilbert(trace)
+}
+
+// RunTrial simulates one reception of the given schedule through a channel.
+func RunTrial(schedule []int, ch Channel, rx Receiver, nsent int) TrialResult {
+	return core.RunTrial(schedule, ch, rx, nsent)
+}
+
+// NewGilbertChannel returns a stateful Gilbert channel seeded by seed.
+func NewGilbertChannel(p, q float64, seed int64) (Channel, error) {
+	if err := channel.ValidateGilbert(p, q); err != nil {
+		return nil, err
+	}
+	return channel.GilbertFactory{P: p, Q: q}.New(newRand(seed)), nil
+}
+
+// PaperGrid is the 14-value (p, q) axis used by the paper's sweeps.
+func PaperGrid() []float64 {
+	out := make([]float64, len(sim.PaperGrid))
+	copy(out, sim.PaperGrid)
+	return out
+}

@@ -1,0 +1,175 @@
+package fecperf
+
+import (
+	"strings"
+	"testing"
+
+	"fecperf/internal/ldpc"
+)
+
+func TestNewCodeAllFamilies(t *testing.T) {
+	for _, name := range CodeNames {
+		c, err := NewCode(name, 100, 2.5, 1)
+		if err != nil {
+			t.Fatalf("NewCode(%q): %v", name, err)
+		}
+		if c.Layout().K != 100 {
+			t.Fatalf("%s: wrong k", name)
+		}
+	}
+	if _, err := NewCode("bogus", 100, 2.5, 1); err == nil {
+		t.Fatal("NewCode accepted bogus family")
+	}
+}
+
+func TestNewRSEAndLDGMDirect(t *testing.T) {
+	r, err := NewRSE(300, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumBlocks() < 2 {
+		t.Fatal("expected segmentation at k=300")
+	}
+	l, err := NewLDGM(ldpc.Params{K: 100, N: 250, Variant: LDGMTriangle, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name() != "ldgm-triangle" {
+		t.Fatalf("Name = %q", l.Name())
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	if _, err := Measure(Measurement{}); err == nil {
+		t.Fatal("Measure accepted empty measurement")
+	}
+	c, _ := NewCode("ldgm-staircase", 100, 2.5, 1)
+	if _, err := Measure(Measurement{Code: c, Scheduler: TxModel2(), P: 2, Q: 0}); err == nil {
+		t.Fatal("Measure accepted p=2")
+	}
+}
+
+func TestMeasurePerfectChannel(t *testing.T) {
+	c, _ := NewCode("ldgm-staircase", 200, 2.5, 1)
+	agg, err := Measure(Measurement{Code: c, Scheduler: TxModel2(), P: 0, Q: 1, Trials: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Failed() || agg.MeanIneff() != 1.0 {
+		t.Fatalf("perfect channel aggregate: %+v", agg)
+	}
+}
+
+func TestSchedulerByNameAndConstructors(t *testing.T) {
+	names := []string{"tx1", "tx2", "tx3", "tx4", "tx5", "tx6"}
+	ctors := []Scheduler{TxModel1(), TxModel2(), TxModel3(), TxModel4(), TxModel5(), TxModel6()}
+	for i, n := range names {
+		s, err := SchedulerByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != ctors[i].Name() {
+			t.Fatalf("constructor/name mismatch for %s", n)
+		}
+	}
+}
+
+func TestSweepGridSmoke(t *testing.T) {
+	c, _ := NewCode("ldgm-triangle", 100, 2.5, 1)
+	g := SweepGrid(c, TxModel4(), []float64{0, 0.1}, []float64{0.5, 1}, 3, 5)
+	if len(g.Cells) != 2 || len(g.Cells[0]) != 2 {
+		t.Fatal("wrong grid shape")
+	}
+	if g.At(0, 0).Failed() {
+		t.Fatal("p=0 cell failed")
+	}
+}
+
+func TestRunExperimentByID(t *testing.T) {
+	rep, err := RunExperiment("fig5-global-loss", ExperimentOptions{K: 50, Trials: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Format(), "p\\q") {
+		t.Fatal("unexpected fig5 output")
+	}
+	if _, err := RunExperiment("nope", ExperimentOptions{}); err == nil {
+		t.Fatal("RunExperiment accepted unknown id")
+	}
+}
+
+func TestExperimentIDsNonEmpty(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 20 {
+		t.Fatalf("only %d experiment ids", len(ids))
+	}
+}
+
+func TestBestTupleAndUniversal(t *testing.T) {
+	tuple, ineff, err := BestTuple(0.01, 0.9, 120, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuple.Code == "" || ineff < 1 {
+		t.Fatalf("BestTuple = %v / %g", tuple, ineff)
+	}
+	u := UniversalTuples()
+	if len(u) != 2 {
+		t.Fatal("universal tuples wrong")
+	}
+}
+
+func TestOptimalNSentFacade(t *testing.T) {
+	n, err := OptimalNSent(100, 1.1, 0.5, 0, 0)
+	if err != nil || n != 220 {
+		t.Fatalf("OptimalNSent = %d, %v", n, err)
+	}
+}
+
+func TestGlobalLossAndEstimate(t *testing.T) {
+	if GlobalLoss(0.5, 0.5) != 0.5 {
+		t.Fatal("GlobalLoss wrong")
+	}
+	ch, err := NewGilbertChannel(0.3, 0.7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := make([]bool, 100000)
+	for i := range trace {
+		trace[i] = ch.Lost()
+	}
+	p, q, err := EstimateGilbert(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.25 || p > 0.35 || q < 0.6 || q > 0.8 {
+		t.Fatalf("estimate (%g, %g) far from (0.3, 0.7)", p, q)
+	}
+}
+
+func TestNewGilbertChannelValidation(t *testing.T) {
+	if _, err := NewGilbertChannel(-0.1, 0.5, 1); err == nil {
+		t.Fatal("accepted p=-0.1")
+	}
+}
+
+func TestRunTrialFacade(t *testing.T) {
+	c, _ := NewCode("ldgm-staircase", 50, 2.5, 1)
+	sched := TxModel1().Schedule(c.Layout(), newRand(1))
+	ch, _ := NewGilbertChannel(0, 1, 1)
+	res := RunTrial(sched, ch, c.NewReceiver(), 0)
+	if !res.Decoded || res.NNecessary != 50 {
+		t.Fatalf("RunTrial result %+v", res)
+	}
+}
+
+func TestPaperGridIsCopy(t *testing.T) {
+	g := PaperGrid()
+	g[0] = 99
+	if PaperGrid()[0] == 99 {
+		t.Fatal("PaperGrid leaks internal state")
+	}
+	if len(g) != 14 {
+		t.Fatalf("PaperGrid has %d values", len(g))
+	}
+}

@@ -1,0 +1,73 @@
+// Command fecfigures regenerates the data behind the paper's figures
+// (Figures 5-15). Output is plain text: grids for the 3-D surfaces,
+// two-column series for the curves — suitable for gnuplot.
+//
+// Usage:
+//
+//	fecfigures -list
+//	fecfigures -fig fig11-tx4
+//	fecfigures -fig fig14-rx1 -k 20000 -trials 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fecperf/internal/experiments"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "figure experiment id (see -list)")
+		list   = flag.Bool("list", false, "list available experiments")
+		all    = flag.Bool("all", false, "run every figure experiment")
+		k      = flag.Int("k", 1000, "object size in source packets (paper: 20000)")
+		trials = flag.Int("trials", 20, "trials per measurement point (paper: 100)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		asCSV  = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.List() {
+			fmt.Printf("%-22s %-10s %s\n", e.ID, e.PaperRef, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{K: *k, Trials: *trials, Seed: *seed}
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range experiments.List() {
+			ids = append(ids, e.ID)
+		}
+	case *fig != "":
+		ids = []string{*fig}
+	default:
+		fatal(fmt.Errorf("specify -fig <id>, -all, or -list"))
+	}
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := e.Run(opts)
+		if err != nil {
+			fatal(err)
+		}
+		if *asCSV {
+			if err := rep.WriteCSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		fmt.Println(rep.Format())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fecfigures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command fecsim runs a single (code × transmission model × ratio) sweep
+// over a (p, q) grid of Gilbert channel parameters and prints the mean
+// inefficiency table, the way the paper's appendix reports them.
+//
+// Usage:
+//
+//	fecsim -code ldgm-staircase -tx tx2 -ratio 2.5 -k 20000 -trials 100
+//
+// A reduced grid keeps exploratory runs fast:
+//
+//	fecsim -code rse -tx tx5 -ratio 1.5 -k 1000 -trials 20 -grid 0,0.05,0.2,0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fecperf/internal/experiments"
+	"fecperf/internal/sched"
+	"fecperf/internal/sim"
+)
+
+func main() {
+	var (
+		codeName = flag.String("code", "ldgm-staircase", "FEC code: rse, ldgm, ldgm-staircase, ldgm-triangle")
+		txName   = flag.String("tx", "tx2", "transmission model: tx1..tx6")
+		ratio    = flag.Float64("ratio", 2.5, "FEC expansion ratio n/k")
+		k        = flag.Int("k", 1000, "object size in source packets (paper: 20000)")
+		trials   = flag.Int("trials", 20, "trials per grid cell (paper: 100)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		nsent    = flag.Int("nsent", 0, "truncate transmissions after this many packets (0 = send all)")
+		gridSpec = flag.String("grid", "", "comma-separated probabilities for both axes (default: paper's 14-value axis)")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	grid, err := parseGrid(*gridSpec)
+	if err != nil {
+		fatal(err)
+	}
+	code, err := experiments.MakeCode(*codeName, *k, *ratio, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	scheduler, err := sched.ByName(*txName)
+	if err != nil {
+		fatal(err)
+	}
+
+	g := sim.Sweep(sim.SweepConfig{
+		Code:      code,
+		Scheduler: scheduler,
+		P:         grid,
+		Q:         grid,
+		Trials:    *trials,
+		Seed:      *seed,
+		NSent:     *nsent,
+		Workers:   *workers,
+	})
+
+	fmt.Printf("# %s, %s, FEC expansion ratio %.2f, k=%d, trials=%d\n",
+		*codeName, *txName, *ratio, *k, *trials)
+	fmt.Printf("# cell = mean inefficiency ratio; \"-\" = at least one trial failed\n")
+	printGrid(g)
+}
+
+func parseGrid(spec string) ([]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad grid value %q: %v", f, err)
+		}
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("grid value %g outside [0,1]", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func printGrid(g *sim.Grid) {
+	fmt.Printf("%8s", "p\\q")
+	for _, q := range g.Q {
+		fmt.Printf("%8s", fmt.Sprintf("%g", q*100))
+	}
+	fmt.Println()
+	for i, p := range g.P {
+		fmt.Printf("%8s", fmt.Sprintf("%g", p*100))
+		for j := range g.Q {
+			fmt.Printf("%8s", g.At(i, j).String())
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fecsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// Command fectables regenerates the paper's appendix tables (Tables 1-9).
+//
+// Usage:
+//
+//	fectables                       # all nine tables at default scale
+//	fectables -table 2              # Table 2 only
+//	fectables -k 20000 -trials 100  # full paper scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fecperf/internal/experiments"
+)
+
+var tableIDs = []string{
+	"table1-tx2-tri-2.5", "table2-tx2-sc-2.5", "table3-tx2-tri-1.5",
+	"table4-tx2-sc-1.5", "table5-tx4-tri-2.5", "table6-tx4-tri-1.5",
+	"table7-tx5-rse-2.5", "table8-tx5-rse-1.5", "table9-tx6-sc-2.5",
+}
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "table number 1-9 (0 = all)")
+		k      = flag.Int("k", 1000, "object size in source packets (paper: 20000)")
+		trials = flag.Int("trials", 20, "trials per grid cell (paper: 100)")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	ids := tableIDs
+	if *table != 0 {
+		if *table < 1 || *table > len(tableIDs) {
+			fatal(fmt.Errorf("table %d outside 1..%d", *table, len(tableIDs)))
+		}
+		ids = tableIDs[*table-1 : *table]
+	}
+	opts := experiments.Options{K: *k, Trials: *trials, Seed: *seed}
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := e.Run(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep.Format())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fectables:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"testing"
+
+	"fecperf/internal/experiments"
+)
+
+func TestTableIDsAllRegistered(t *testing.T) {
+	if len(tableIDs) != 9 {
+		t.Fatalf("%d table ids, want 9", len(tableIDs))
+	}
+	for _, id := range tableIDs {
+		if _, err := experiments.ByID(id); err != nil {
+			t.Errorf("table id %q not registered: %v", id, err)
+		}
+	}
+}

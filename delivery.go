@@ -1,0 +1,46 @@
+package fecperf
+
+// Facade over the FLUTE-like delivery session (internal/session and
+// internal/wire): self-describing datagrams carrying FEC Object
+// Transmission Information, so receivers can join a broadcast at any
+// time with no prior coordination.
+
+import (
+	"fecperf/internal/session"
+	"fecperf/internal/wire"
+)
+
+// Delivery-session types, re-exported.
+type (
+	// DeliveryConfig configures EncodeForDelivery.
+	DeliveryConfig = session.SenderConfig
+	// DeliveryObject is an encoded object ready for transmission.
+	DeliveryObject = session.Object
+	// DeliveryReceiver reconstructs objects from datagrams.
+	DeliveryReceiver = session.Receiver
+	// WirePacket is the parsed datagram format.
+	WirePacket = wire.Packet
+	// WireCodeFamily identifies the FEC code on the wire.
+	WireCodeFamily = wire.CodeFamily
+)
+
+// Wire code family values.
+const (
+	WireRSE           = wire.CodeRSE
+	WireLDGM          = wire.CodeLDGM
+	WireLDGMStaircase = wire.CodeLDGMStaircase
+	WireLDGMTriangle  = wire.CodeLDGMTriangle
+)
+
+// EncodeForDelivery FEC-encodes a byte object for datagram transmission.
+func EncodeForDelivery(data []byte, cfg DeliveryConfig) (*DeliveryObject, error) {
+	return session.EncodeObject(data, cfg)
+}
+
+// NewDeliveryReceiver returns a receiver that reconstructs objects from
+// datagrams in any order.
+func NewDeliveryReceiver() *DeliveryReceiver { return session.NewReceiver() }
+
+// DecodeWirePacket parses one datagram without feeding a receiver (useful
+// for inspection and filtering).
+func DecodeWirePacket(datagram []byte) (*WirePacket, error) { return wire.Decode(datagram) }

@@ -1,0 +1,38 @@
+// Package fecperf reproduces "Impacts of Packet Scheduling and Packet Loss
+// Distribution on FEC Performances: Observations and Recommendations"
+// (Neumann, Roca, Francillon, Furodet — INRIA RR-5578, 2005) as a reusable
+// Go library.
+//
+// The library bundles, from scratch and with no dependencies beyond the
+// standard library:
+//
+//   - three application-layer FEC codes for packet erasure channels:
+//     Reed-Solomon over GF(2^8) (small blocks, MDS) and the large-block
+//     LDGM Staircase / LDGM Triangle codes with an incremental iterative
+//     decoder;
+//   - the paper's six packet transmission models (Tx_model_1..6), its
+//     reception model, and the no-FEC repetition baseline;
+//   - the two-state Gilbert loss channel with its analytic companions
+//     (global loss probability, decoding-impossibility limits, parameter
+//     estimation from traces);
+//   - the measurement harness that sweeps (code × schedule × channel)
+//     over (p, q) grids and reports the paper's inefficiency-ratio metric;
+//   - every figure and table of the paper as a runnable experiment, and
+//     the Section-6 recommender (best tuple for a known channel, universal
+//     schemes for unknown channels, optimal n_sent sizing).
+//
+// # Quick start
+//
+//	code, _ := fecperf.NewCode("ldgm-staircase", 1000, 2.5, 1)
+//	agg := fecperf.Measure(fecperf.Measurement{
+//	    Code:      code,
+//	    Scheduler: fecperf.TxModel2(),
+//	    P:         0.01, Q: 0.79,
+//	    Trials:    100,
+//	})
+//	fmt.Printf("mean inefficiency: %.3f\n", agg.MeanIneff())
+//
+// See the examples/ directory for complete programs: encoding and decoding
+// real payloads, multi-receiver broadcast, channel-driven tuning, and the
+// interleaving-vs-burst demonstration.
+package fecperf

@@ -1,0 +1,72 @@
+package fecperf_test
+
+import (
+	"fmt"
+
+	"fecperf"
+)
+
+// Measure one (code, schedule, channel) point: the paper's basic
+// experiment unit.
+func ExampleMeasure() {
+	code, err := fecperf.NewCode("ldgm-staircase", 1000, 2.5, 1)
+	if err != nil {
+		panic(err)
+	}
+	agg, err := fecperf.Measure(fecperf.Measurement{
+		Code:      code,
+		Scheduler: fecperf.TxModel2(),
+		P:         0, Q: 1, // perfect channel
+		Trials: 10,
+		Seed:   7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("failures: %d, inefficiency: %.3f\n", agg.Failures, agg.MeanIneff())
+	// Output:
+	// failures: 0, inefficiency: 1.000
+}
+
+// The Section-6 n_sent sizing: how many packets to actually transmit.
+func ExampleOptimalNSent() {
+	// 1000-packet object, measured inefficiency 1.05, 10% global loss,
+	// 20 packets of safety margin, 2500 packets available.
+	nsent, err := fecperf.OptimalNSent(1000, 1.05, 0.10, 20, 2500)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(nsent)
+	// Output:
+	// 1187
+}
+
+// The analytic channel results of Section 3.2.
+func ExampleGlobalLoss() {
+	fmt.Printf("%.4f\n", fecperf.GlobalLoss(0.0109, 0.7915))
+	// Output:
+	// 0.0136
+}
+
+// The paper's universal recommendations for unknown channels.
+func ExampleUniversalTuples() {
+	for _, t := range fecperf.UniversalTuples() {
+		fmt.Println(t)
+	}
+	// Output:
+	// (ldgm-triangle; tx4; ratio 2.5)
+	// (ldgm-staircase; tx6; ratio 2.5)
+}
+
+// Running one of the paper's figures programmatically.
+func ExampleRunExperiment() {
+	rep, err := fecperf.RunExperiment("fig6-loss-limits", fecperf.ExperimentOptions{
+		K: 100, Trials: 1, Seed: 1, Grid: []float64{0, 0.4},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.Tables[0].Name)
+	// Output:
+	// boundary q(p) with inef_ratio=1
+}

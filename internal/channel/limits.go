@@ -1,0 +1,67 @@
+package channel
+
+// This file implements the analytic feasibility results of Section 3.2
+// ("When is Decoding Impossible?"): given a FEC expansion ratio, an
+// inefficiency ratio, and the number of packets actually sent, the Gilbert
+// parameters determine how many packets a receiver gets on average, and
+// decoding is impossible (for *any* code) when that falls below
+// inef_ratio * k. Figure 6 plots the resulting boundary in the (p, q)
+// plane for ratios 1.5 and 2.5 with inef_ratio = 1.
+
+// ExpectedReceived returns n_received = n_sent * (1 - p_global), the
+// paper's Equation 1.
+func ExpectedReceived(nsent int, p, q float64) float64 {
+	return float64(nsent) * (1 - GlobalLoss(p, q))
+}
+
+// DecodingFeasible reports whether, on average, a receiver behind a
+// Gilbert(p, q) channel obtains at least inefRatio*k packets out of nsent
+// transmissions — the necessary condition of Section 3.2 for any FEC code
+// with that inefficiency.
+func DecodingFeasible(k, nsent int, p, q, inefRatio float64) bool {
+	return ExpectedReceived(nsent, p, q) >= inefRatio*float64(k)
+}
+
+// LimitQ returns, for a given p, the smallest q that still allows decoding
+// when nsent = n = ratio*k packets are sent and the code needs
+// inefRatio*k packets: the boundary curve of Figure 6,
+//
+//	q = p * inefRatio / (nsent/k - inefRatio).
+//
+// The second return value is false when no q in [0,1] suffices (the whole
+// column of the grid is infeasible) — which happens when the expansion
+// ratio itself is below the inefficiency.
+func LimitQ(p, ratio, inefRatio float64) (float64, bool) {
+	den := ratio - inefRatio
+	if den <= 0 {
+		return 0, false
+	}
+	q := p * inefRatio / den
+	if q > 1 {
+		return 0, false
+	}
+	return q, true
+}
+
+// FeasibleFraction returns the fraction of a uniform gridSize×gridSize
+// (p, q) grid on [0,1]² where decoding is feasible for the given expansion
+// ratio (with inefRatio 1). It quantifies Figure 6's visual claim that the
+// ratio-2.5 code covers a larger area than the ratio-1.5 one.
+func FeasibleFraction(ratio float64, gridSize int) float64 {
+	if gridSize < 2 {
+		return 0
+	}
+	feasible, total := 0, 0
+	for i := 0; i < gridSize; i++ {
+		p := float64(i) / float64(gridSize-1)
+		for j := 0; j < gridSize; j++ {
+			q := float64(j) / float64(gridSize-1)
+			total++
+			// k cancels: feasible iff ratio*(1-p_global) >= 1.
+			if ratio*(1-GlobalLoss(p, q)) >= 1 {
+				feasible++
+			}
+		}
+	}
+	return float64(feasible) / float64(total)
+}

@@ -1,0 +1,169 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func threeState() MarkovSpec {
+	// good → degraded → outage chain with increasing loss.
+	return MarkovSpec{
+		Transition: [][]float64{
+			{0.95, 0.04, 0.01},
+			{0.30, 0.60, 0.10},
+			{0.10, 0.30, 0.60},
+		},
+		LossProb: []float64{0, 0.1, 0.9},
+		Start:    0,
+	}
+}
+
+func TestMarkovSpecValidate(t *testing.T) {
+	if err := threeState().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []MarkovSpec{
+		{},
+		{Transition: [][]float64{{1}}, LossProb: []float64{0, 1}},
+		{Transition: [][]float64{{0.5, 0.4}, {0.5, 0.5}}, LossProb: []float64{0, 1}},
+		{Transition: [][]float64{{1, 0}, {0.5, 0.5}}, LossProb: []float64{0, 2}},
+		{Transition: [][]float64{{1, 0}, {0.5, 0.5}}, LossProb: []float64{0, 1}, Start: 5},
+		{Transition: [][]float64{{1}, {1}}, LossProb: []float64{0, 1}},
+		{Transition: [][]float64{{-0.1, 1.1}, {0.5, 0.5}}, LossProb: []float64{0, 1}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestNewMarkovRejectsBadSpec(t *testing.T) {
+	if _, err := NewMarkov(MarkovSpec{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("NewMarkov accepted empty spec")
+	}
+}
+
+func TestMarkovGilbertEquivalence(t *testing.T) {
+	// The 2-state spec must reproduce the Gilbert chain's loss rate.
+	p, q := 0.08, 0.45
+	spec := GilbertSpec(p, q)
+	m, err := NewMarkov(spec, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := 0
+	const n = 300000
+	for i := 0; i < n; i++ {
+		if m.Lost() {
+			lost++
+		}
+	}
+	got := float64(lost) / n
+	want := GlobalLoss(p, q)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("markov gilbert loss %g, want %g", got, want)
+	}
+}
+
+func TestMarkovStationaryLossMatchesEmpirical(t *testing.T) {
+	spec := threeState()
+	want, err := spec.StationaryLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMarkov(spec, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := 0
+	const n = 500000
+	for i := 0; i < n; i++ {
+		if m.Lost() {
+			lost++
+		}
+	}
+	got := float64(lost) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("empirical loss %g, stationary %g", got, want)
+	}
+}
+
+func TestStationaryLossGilbertClosedForm(t *testing.T) {
+	for _, c := range [][2]float64{{0.1, 0.9}, {0.3, 0.3}, {0.02, 0.5}} {
+		s := GilbertSpec(c[0], c[1])
+		got, err := s.StationaryLoss()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := GlobalLoss(c[0], c[1]); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("stationary loss %g, want %g for (p,q)=%v", got, want, c)
+		}
+	}
+}
+
+func TestStationaryLossInvalidSpec(t *testing.T) {
+	if _, err := (MarkovSpec{}).StationaryLoss(); err == nil {
+		t.Fatal("StationaryLoss accepted empty spec")
+	}
+}
+
+func TestMarkovStateProgression(t *testing.T) {
+	// Deterministic chain 0→1→0→1...
+	spec := MarkovSpec{
+		Transition: [][]float64{{0, 1}, {1, 0}},
+		LossProb:   []float64{0, 1},
+	}
+	m, err := NewMarkov(spec, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		want := i%2 == 0 // first transition enters state 1 (loss)
+		if got := m.Lost(); got != want {
+			t.Fatalf("step %d: lost=%v, want %v (state %d)", i, got, want, m.State())
+		}
+	}
+}
+
+func TestMarkovFactory(t *testing.T) {
+	f := MarkovFactory{Spec: threeState()}
+	if f.Name() != "markov(3 states)" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	ch := f.New(rand.New(rand.NewSource(1)))
+	lost := 0
+	for i := 0; i < 50000; i++ {
+		if ch.Lost() {
+			lost++
+		}
+	}
+	if lost == 0 || lost == 50000 {
+		t.Fatalf("degenerate factory channel: %d/50000", lost)
+	}
+	// Invalid spec falls back to no-loss rather than panicking mid-sweep.
+	bad := MarkovFactory{}
+	if bad.New(rand.New(rand.NewSource(1))).Lost() {
+		t.Fatal("invalid spec fallback lost a packet")
+	}
+}
+
+func TestMarkovFractionalLossProbability(t *testing.T) {
+	// Single state with 30% loss = Bernoulli.
+	spec := MarkovSpec{Transition: [][]float64{{1}}, LossProb: []float64{0.3}}
+	m, err := NewMarkov(spec, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if m.Lost() {
+			lost++
+		}
+	}
+	if got := float64(lost) / n; math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("loss %g, want 0.3", got)
+	}
+}

@@ -1,0 +1,192 @@
+// Package core defines the abstractions the whole study is phrased in:
+// packet-level FEC codes, their transmission layouts, incremental receivers,
+// loss channels, packet schedulers, and the per-trial simulation engine that
+// ties them together.
+//
+// The reproduced paper measures one quantity, the inefficiency ratio
+// inef = n_necessary_for_decoding / k, as a function of the transmission
+// schedule and of the channel loss process. This package implements exactly
+// that measurement loop (RunTrial); everything else in the repository is
+// either a concrete implementation of one of these interfaces or machinery
+// that sweeps RunTrial over parameter grids.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Layout describes the packet-level structure of an FEC-encoded object:
+// k source packets, n total packets, and the block decomposition.
+//
+// Packet IDs are global and dense: IDs 0..K-1 are source packets in object
+// order, IDs K..N-1 are parity packets. Large-block codes (LDGM-*) have a
+// single block spanning the whole object; small-block codes (Reed-Solomon)
+// are segmented into several blocks, and the per-block ID ranges drive the
+// paper's Tx_model_5 interleaver.
+type Layout struct {
+	K      int     // number of source packets
+	N      int     // total number of packets (source + parity)
+	Blocks []Block // at least one; blocks partition [0,N)
+}
+
+// Block is one FEC block: the global IDs of its source and parity packets.
+type Block struct {
+	Source []int
+	Parity []int
+}
+
+// Validate checks the structural invariants of the layout: ID ranges,
+// density, and that blocks partition the ID space with sources below K.
+func (l Layout) Validate() error {
+	if l.K <= 0 || l.N < l.K {
+		return fmt.Errorf("core: invalid layout k=%d n=%d", l.K, l.N)
+	}
+	if len(l.Blocks) == 0 {
+		return fmt.Errorf("core: layout has no blocks")
+	}
+	seen := make([]bool, l.N)
+	nsrc, npar := 0, 0
+	for bi, b := range l.Blocks {
+		if len(b.Source) == 0 {
+			return fmt.Errorf("core: block %d has no source packets", bi)
+		}
+		for _, id := range b.Source {
+			if id < 0 || id >= l.K {
+				return fmt.Errorf("core: block %d source id %d outside [0,%d)", bi, id, l.K)
+			}
+			if seen[id] {
+				return fmt.Errorf("core: packet id %d appears twice", id)
+			}
+			seen[id] = true
+			nsrc++
+		}
+		for _, id := range b.Parity {
+			if id < l.K || id >= l.N {
+				return fmt.Errorf("core: block %d parity id %d outside [%d,%d)", bi, id, l.K, l.N)
+			}
+			if seen[id] {
+				return fmt.Errorf("core: packet id %d appears twice", id)
+			}
+			seen[id] = true
+			npar++
+		}
+	}
+	if nsrc != l.K || nsrc+npar != l.N {
+		return fmt.Errorf("core: blocks cover %d source / %d total packets, want %d / %d",
+			nsrc, nsrc+npar, l.K, l.N)
+	}
+	return nil
+}
+
+// IsSource reports whether the given packet ID is a source packet.
+func (l Layout) IsSource(id int) bool { return id < l.K }
+
+// ExpansionRatio returns n/k, the paper's "FEC expansion ratio".
+func (l Layout) ExpansionRatio() float64 { return float64(l.N) / float64(l.K) }
+
+// Code is an FEC code instance for a fixed (k, n): it exposes its layout and
+// mints fresh per-trial receivers. Implementations must be safe for
+// concurrent use by multiple receivers (the sweep engine shares one Code
+// across worker goroutines).
+type Code interface {
+	// Name identifies the code family, e.g. "ldgm-staircase".
+	Name() string
+	// Layout returns the packet layout. It must not change over time.
+	Layout() Layout
+	// NewReceiver returns a fresh incremental decoder state.
+	NewReceiver() Receiver
+}
+
+// Receiver is the receiving half of a code: packets are delivered one at a
+// time in arrival order, exactly as the paper's receivers experience them.
+type Receiver interface {
+	// Receive processes the arrival of packet id and returns true once the
+	// full object is decoded (all k source packets recovered). Delivering
+	// duplicates or packets after completion is allowed and must be a no-op.
+	Receive(id int) bool
+	// Done reports whether the object has been fully decoded.
+	Done() bool
+	// SourceRecovered returns how many of the k source packets are
+	// currently known (received or rebuilt).
+	SourceRecovered() int
+}
+
+// MemoryReporter is an optional Receiver capability implementing the
+// metric the paper's conclusion defers to future work: the maximum memory
+// a receiver needs. BufferedSymbols reports how many symbols the decoder
+// currently has to hold (received but not yet released as decoded
+// output); RunTrial tracks the running maximum when available.
+type MemoryReporter interface {
+	BufferedSymbols() int
+}
+
+// Channel decides, transmission by transmission, whether a packet is lost.
+// A Channel is stateful (the Gilbert model has memory); one fresh instance
+// is used per trial.
+type Channel interface {
+	// Lost returns whether the next transmitted packet is erased.
+	Lost() bool
+}
+
+// Scheduler produces the transmission order of packet IDs for one trial.
+// Randomised schedulers draw from rng so trials are reproducible.
+type Scheduler interface {
+	// Name identifies the transmission model, e.g. "tx2".
+	Name() string
+	// Schedule returns the sequence of packet IDs to transmit. It is
+	// usually a permutation of [0,N) but may be shorter (Tx_model_6 sends
+	// only a subset) or longer (repetition schemes send duplicates).
+	Schedule(l Layout, rng *rand.Rand) []int
+}
+
+// TrialResult is the outcome of a single simulated reception.
+type TrialResult struct {
+	// Decoded reports whether the receiver rebuilt the whole object.
+	Decoded bool
+	// NNecessary is the number of packets received at the moment decoding
+	// completed (the paper's n_necessary_for_decoding). Zero if !Decoded.
+	NNecessary int
+	// NReceived is the total number of packets received over the whole
+	// schedule, including those arriving after decoding completed.
+	NReceived int
+	// NSent is the number of packets actually transmitted.
+	NSent int
+	// MaxBuffered is the peak number of symbols the receiver had to hold
+	// at once. Zero when the receiver does not implement MemoryReporter.
+	MaxBuffered int
+}
+
+// Inefficiency returns n_necessary/k, the paper's central metric.
+func (r TrialResult) Inefficiency(k int) float64 {
+	return float64(r.NNecessary) / float64(k)
+}
+
+// RunTrial simulates one reception: it walks the schedule, asks the channel
+// which transmissions are erased, and feeds survivors to the receiver in
+// arrival order. nsent truncates the schedule when positive (the paper's
+// Section 6 transmission-stopping optimisation); pass 0 to send everything.
+func RunTrial(schedule []int, ch Channel, rx Receiver, nsent int) TrialResult {
+	if nsent <= 0 || nsent > len(schedule) {
+		nsent = len(schedule)
+	}
+	var res TrialResult
+	res.NSent = nsent
+	mem, _ := rx.(MemoryReporter)
+	for _, id := range schedule[:nsent] {
+		if ch.Lost() {
+			continue
+		}
+		res.NReceived++
+		if !res.Decoded && rx.Receive(id) {
+			res.Decoded = true
+			res.NNecessary = res.NReceived
+		}
+		if mem != nil {
+			if b := mem.BufferedSymbols(); b > res.MaxBuffered {
+				res.MaxBuffered = b
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,79 @@
+package experiments
+
+// CSV rendering of experiment results, for spreadsheet and gnuplot
+// consumption. Grid cells that failed (the "-" cells) are emitted as
+// empty fields so plotting tools skip them, matching the paper's
+// plot-no-point convention.
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV renders a table as CSV: a header row of column labels
+// (prefixed by the row-header label), then one row per row label.
+func (t Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{t.RowHeader}, t.ColLabels...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, row := range t.Cells {
+		rec := make([]string, 0, len(row)+1)
+		rec = append(rec, t.RowLabels[i])
+		for _, c := range row {
+			if c == "-" {
+				c = ""
+			}
+			rec = append(rec, c)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV renders a series as two CSV columns.
+func (s Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{s.XLabel, s.YLabel}); err != nil {
+		return err
+	}
+	for i := range s.X {
+		y := fmt.Sprintf("%.6f", s.Y[i])
+		if s.Failed != nil && s.Failed[i] {
+			y = ""
+		}
+		if err := cw.Write([]string{fmt.Sprintf("%g", s.X[i]), y}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV renders every table and series of the report, separated by a
+// comment line naming each section (gnuplot and most CSV readers ignore
+// or tolerate the leading '#').
+func (r Report) WriteCSV(w io.Writer) error {
+	for _, t := range r.Tables {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Name); err != nil {
+			return err
+		}
+		if err := t.WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.Series {
+		if _, err := fmt.Fprintf(w, "# %s\n", s.Name); err != nil {
+			return err
+		}
+		if err := s.WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func demoTable() Table {
+	return Table{
+		Name:      "demo",
+		RowHeader: "p\\q",
+		ColLabels: []string{"0", "50"},
+		RowLabels: []string{"0", "50"},
+		Cells:     [][]string{{"1.000", "1.100"}, {"-", "1.150"}},
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := demoTable().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0][0] != "p\\q" || recs[0][2] != "50" {
+		t.Fatalf("bad header %v", recs[0])
+	}
+	if recs[2][1] != "" {
+		t.Fatalf("failed cell rendered %q, want empty", recs[2][1])
+	}
+	if recs[2][2] != "1.150" {
+		t.Fatalf("value cell %q", recs[2][2])
+	}
+}
+
+func TestSeriesWriteCSV(t *testing.T) {
+	s := Series{
+		Name: "curve", XLabel: "x", YLabel: "y",
+		X: []float64{1, 10}, Y: []float64{1.5, 0}, Failed: []bool{false, true},
+	}
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[1][1] != "1.500000" || recs[2][1] != "" {
+		t.Fatalf("unexpected records %v", recs)
+	}
+}
+
+func TestReportWriteCSV(t *testing.T) {
+	r := Report{
+		ID: "x", Title: "x",
+		Tables: []Table{demoTable()},
+		Series: []Series{{Name: "s", XLabel: "a", YLabel: "b", X: []float64{1}, Y: []float64{2}}},
+	}
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# demo") || !strings.Contains(out, "# s") {
+		t.Fatalf("missing section comments:\n%s", out)
+	}
+}
+
+func TestExperimentReportToCSVEndToEnd(t *testing.T) {
+	e, _ := ByID("fig6-loss-limits")
+	rep, err := e.Run(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := rep.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "q_limit") {
+		t.Fatalf("CSV missing expected header:\n%s", b.String())
+	}
+}

@@ -1,0 +1,313 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if Add(0x53, 0xCA) != 0x53^0xCA {
+		t.Fatalf("Add(0x53,0xCA) = %#x, want %#x", Add(0x53, 0xCA), 0x53^0xCA)
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	cases := []struct{ a, b, want byte }{
+		{0, 0, 0},
+		{0, 7, 0},
+		{1, 7, 7},
+		{2, 2, 4},
+		{0x80, 2, 0x1d}, // wraps through the generator polynomial
+		{0xff, 1, 0xff},
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%#x, %#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// mulSlow is an independent carry-less multiply used to validate the tables.
+func mulSlow(a, b byte) byte {
+	var r int
+	ai, bi := int(a), int(b)
+	for bi > 0 {
+		if bi&1 != 0 {
+			r ^= ai
+		}
+		ai <<= 1
+		if ai&0x100 != 0 {
+			ai ^= Poly
+		}
+		bi >>= 1
+	}
+	return byte(r)
+}
+
+func TestMulMatchesBitwiseReference(t *testing.T) {
+	for a := 0; a < Size; a++ {
+		for b := 0; b < Size; b++ {
+			if got, want := Mul(byte(a), byte(b)), mulSlow(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	f := func(a, b, c byte) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributivity(t *testing.T) {
+	f := func(a, b, c byte) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	f := func(a byte) bool { return Mul(a, 1) == a && Mul(1, a) == a }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	for a := 1; a < Size; a++ {
+		if got := Mul(byte(a), Inv(byte(a))); got != 1 {
+			t.Fatalf("a * a^-1 != 1 for a=%d (got %d)", a, got)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div(x, 0) did not panic")
+		}
+	}()
+	Div(3, 0)
+}
+
+func TestDivIsMulInverse(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Div(a, b) == Mul(a, Inv(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivRoundTrip(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for a := 1; a < Size; a++ {
+		if got := Exp(Log(byte(a))); got != byte(a) {
+			t.Fatalf("Exp(Log(%d)) = %d", a, got)
+		}
+	}
+}
+
+func TestExpPeriod255(t *testing.T) {
+	for n := 0; n < 255; n++ {
+		if Exp(n) != Exp(n+255) {
+			t.Fatalf("Exp not periodic at n=%d", n)
+		}
+	}
+}
+
+func TestExpGeneratesWholeField(t *testing.T) {
+	seen := make(map[byte]bool)
+	for n := 0; n < 255; n++ {
+		seen[Exp(n)] = true
+	}
+	if len(seen) != 255 {
+		t.Fatalf("generator produced %d distinct non-zero elements, want 255", len(seen))
+	}
+	if seen[0] {
+		t.Fatal("generator produced zero")
+	}
+}
+
+func TestPow(t *testing.T) {
+	f := func(a byte, nRaw uint8) bool {
+		n := int(nRaw % 16)
+		want := byte(1)
+		for i := 0; i < n; i++ {
+			want = Mul(want, a)
+		}
+		return Pow(a, n) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowZeroConventions(t *testing.T) {
+	if Pow(0, 0) != 1 {
+		t.Error("Pow(0,0) != 1")
+	}
+	if Pow(0, 5) != 0 {
+		t.Error("Pow(0,5) != 0")
+	}
+	if Pow(7, 0) != 1 {
+		t.Error("Pow(7,0) != 1")
+	}
+}
+
+func TestXorSlices(t *testing.T) {
+	a := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	b := []byte{11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	want := make([]byte, len(a))
+	for i := range a {
+		want[i] = a[i] ^ b[i]
+	}
+	got := append([]byte(nil), a...)
+	Xor(got, b)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Xor mismatch at %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestXorSelfIsZero(t *testing.T) {
+	a := []byte{5, 4, 3, 2, 1, 9, 9, 9, 123}
+	b := append([]byte(nil), a...)
+	Xor(b, a)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("a^a != 0 at index %d", i)
+		}
+	}
+}
+
+func TestXorLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Xor with mismatched lengths did not panic")
+		}
+	}()
+	Xor(make([]byte, 3), make([]byte, 4))
+}
+
+func TestAddMul(t *testing.T) {
+	f := func(c byte, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		dst := make([]byte, len(data))
+		for i := range dst {
+			dst[i] = byte(i * 37)
+		}
+		want := make([]byte, len(data))
+		for i := range want {
+			want[i] = dst[i] ^ Mul(c, data[i])
+		}
+		AddMul(dst, data, c)
+		for i := range want {
+			if dst[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddMulZeroCoefficientIsNoop(t *testing.T) {
+	dst := []byte{9, 8, 7}
+	src := []byte{1, 2, 3}
+	AddMul(dst, src, 0)
+	if dst[0] != 9 || dst[1] != 8 || dst[2] != 7 {
+		t.Fatal("AddMul with c=0 modified dst")
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	f := func(c byte, data []byte) bool {
+		dst := make([]byte, len(data))
+		MulSlice(dst, data, c)
+		for i := range data {
+			if dst[i] != Mul(c, data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulSliceAliasing(t *testing.T) {
+	data := []byte{1, 2, 3, 200, 150}
+	want := make([]byte, len(data))
+	MulSlice(want, data, 0x1d)
+	MulSlice(data, data, 0x1d)
+	for i := range want {
+		if data[i] != want[i] {
+			t.Fatalf("aliased MulSlice mismatch at %d", i)
+		}
+	}
+}
+
+func BenchmarkAddMul1K(b *testing.B) {
+	dst := make([]byte, 1024)
+	src := make([]byte, 1024)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddMul(dst, src, 0x53)
+	}
+}
+
+func BenchmarkXor1K(b *testing.B) {
+	dst := make([]byte, 1024)
+	src := make([]byte, 1024)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Xor(dst, src)
+	}
+}

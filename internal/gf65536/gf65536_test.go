@@ -1,0 +1,163 @@
+package gf65536
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldAxioms(t *testing.T) {
+	comm := func(a, b uint16) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(comm, nil); err != nil {
+		t.Fatal("commutativity:", err)
+	}
+	assoc := func(a, b, c uint16) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Fatal("associativity:", err)
+	}
+	dist := func(a, b, c uint16) bool { return Mul(a, b^c) == Mul(a, b)^Mul(a, c) }
+	if err := quick.Check(dist, nil); err != nil {
+		t.Fatal("distributivity:", err)
+	}
+	ident := func(a uint16) bool { return Mul(a, 1) == a }
+	if err := quick.Check(ident, nil); err != nil {
+		t.Fatal("identity:", err)
+	}
+}
+
+// mulSlow is an independent carry-less reference multiplier.
+func mulSlow(a, b uint16) uint16 {
+	var r int
+	ai, bi := int(a), int(b)
+	for bi > 0 {
+		if bi&1 != 0 {
+			r ^= ai
+		}
+		ai <<= 1
+		if ai&0x10000 != 0 {
+			ai ^= Poly
+		}
+		bi >>= 1
+	}
+	return uint16(r)
+}
+
+func TestMulMatchesBitwiseReference(t *testing.T) {
+	f := func(a, b uint16) bool { return Mul(a, b) == mulSlow(a, b) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	f := func(a uint16) bool {
+		if a == 0 {
+			return true
+		}
+		return Mul(a, Inv(a)) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivRoundTrip(t *testing.T) {
+	f := func(a, b uint16) bool {
+		if b == 0 {
+			return true
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Inv(0)":    func() { Inv(0) },
+		"Div(1, 0)": func() { Div(1, 0) },
+		"Exp(-1)":   func() { Exp(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGeneratorOrder(t *testing.T) {
+	// alpha has full order 2^16-1: Exp must not repeat early.
+	if Exp(0) != 1 || Exp(Size-1) != 1 {
+		t.Fatal("generator period wrong")
+	}
+	if Exp(1) == 1 || Exp((Size-1)/3) == 1 || Exp((Size-1)/5) == 1 || Exp((Size-1)/17) == 1 || Exp((Size-1)/257) == 1 {
+		t.Fatal("generator has small order; polynomial not primitive")
+	}
+}
+
+func TestPowConventions(t *testing.T) {
+	if Pow(0, 0) != 1 || Pow(0, 3) != 0 || Pow(9, 0) != 1 {
+		t.Fatal("Pow conventions broken")
+	}
+	f := func(a uint16) bool { return Pow(a, 2) == Mul(a, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddMulAndMulSlice(t *testing.T) {
+	f := func(c uint16, raw []uint16) bool {
+		src := raw
+		dst := make([]uint16, len(src))
+		for i := range dst {
+			dst[i] = uint16(i * 31)
+		}
+		want := make([]uint16, len(src))
+		for i := range want {
+			want[i] = dst[i] ^ Mul(c, src[i])
+		}
+		AddMul(dst, src, c)
+		for i := range want {
+			if dst[i] != want[i] {
+				return false
+			}
+		}
+		out := make([]uint16, len(src))
+		MulSlice(out, src, c)
+		for i := range out {
+			if out[i] != Mul(c, src[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	AddMul(make([]uint16, 2), make([]uint16, 3), 5)
+}
+
+func BenchmarkAddMul1K(b *testing.B) {
+	dst := make([]uint16, 512) // 1 KiB of symbol data
+	src := make([]uint16, 512)
+	for i := range src {
+		src[i] = uint16(i + 1)
+	}
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddMul(dst, src, 0x1234)
+	}
+}

@@ -1,0 +1,68 @@
+package ldpc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchCode(b *testing.B, v Variant, k int) *Code {
+	b.Helper()
+	c, err := New(Params{K: k, N: k * 5 / 2, Variant: v, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkConstructionStaircase20k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(Params{K: 20000, N: 50000, Variant: Staircase, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConstructionTriangle20k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(Params{K: 20000, N: 50000, Variant: Triangle, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkStructuralDecode(b *testing.B, v Variant) {
+	c := benchCode(b, v, 20000)
+	order := rand.New(rand.NewSource(2)).Perm(50000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rx := c.NewReceiver()
+		for _, id := range order {
+			if rx.Receive(id) {
+				break
+			}
+		}
+		if !rx.Done() {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+func BenchmarkStructuralDecodeStaircase20k(b *testing.B) { benchmarkStructuralDecode(b, Staircase) }
+func BenchmarkStructuralDecodeTriangle20k(b *testing.B)  { benchmarkStructuralDecode(b, Triangle) }
+
+func BenchmarkGaussDecodable(b *testing.B) {
+	c := benchCode(b, Staircase, 400)
+	rng := rand.New(rand.NewSource(3))
+	received := make([]bool, 1000)
+	for _, id := range rng.Perm(1000)[:450] {
+		received[id] = true
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.GaussDecodable(received)
+	}
+}

@@ -1,0 +1,188 @@
+package ldpc
+
+// This file implements the hybrid decoding step the paper's future-work
+// section gestures at (and that later LDPC codecs adopted): when the
+// iterative peeling decoder stalls, finish the job with Gaussian
+// elimination over the *residual* system — the equations that still have
+// unknowns, restricted to the unknown variables. Peeling does the bulk of
+// the work in O(edges); elimination only pays its cubic cost on the small
+// stopping set that remains, and it recovers every erasure pattern of
+// maximum-likelihood decoding.
+
+import "fmt"
+
+// SolveGauss attempts to complete a stalled decode by Gaussian elimination
+// on the residual system. It works in both structural and payload modes;
+// in payload mode the recovered symbol values become available through
+// Source as usual. It returns Done() afterwards.
+//
+// Calling it when decoding already completed is a no-op returning true.
+// The decoder remains usable either way: if elimination cannot determine
+// every needed symbol it solves what it can and further packets may be
+// delivered afterwards.
+func (d *Decoder) SolveGauss() bool {
+	if d.Done() {
+		return true
+	}
+	c := d.code
+
+	// Collect the unknown variables that appear in live equations.
+	colOf := make(map[int32]int)
+	var cols []int32
+	liveEqs := make([]int32, 0, 64)
+	for eq := 0; eq < c.m; eq++ {
+		if d.unknown[eq] == 0 {
+			continue
+		}
+		liveEqs = append(liveEqs, int32(eq))
+		for _, v := range c.rows[eq] {
+			if !d.known[v] {
+				if _, ok := colOf[v]; !ok {
+					colOf[v] = len(cols)
+					cols = append(cols, v)
+				}
+			}
+		}
+	}
+	if len(cols) == 0 {
+		return d.Done()
+	}
+
+	// Build the residual system: one bit row per live equation over the
+	// unknown columns, plus the payload RHS (XOR of known terms) when in
+	// payload mode.
+	nUnk := len(cols)
+	words := (nUnk + 63) / 64
+	rows := make([][]uint64, len(liveEqs))
+	rhs := make([][]byte, len(liveEqs))
+	for i, eq := range liveEqs {
+		row := make([]uint64, words)
+		for _, v := range c.rows[eq] {
+			if j, ok := colOf[v]; ok && !d.known[v] {
+				row[j/64] ^= 1 << (j % 64)
+			}
+		}
+		rows[i] = row
+		if d.symLen > 0 {
+			r := make([]byte, d.symLen)
+			if d.acc[eq] != nil {
+				copy(r, d.acc[eq])
+			}
+			rhs[i] = r
+		}
+	}
+
+	// Gauss-Jordan elimination.
+	rank := 0
+	pivotCol := make([]int, 0, nUnk)
+	for col := 0; col < nUnk && rank < len(rows); col++ {
+		w, b := col/64, uint(col%64)
+		pivot := -1
+		for r := rank; r < len(rows); r++ {
+			if rows[r][w]>>b&1 == 1 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		if d.symLen > 0 {
+			rhs[rank], rhs[pivot] = rhs[pivot], rhs[rank]
+		}
+		for r := 0; r < len(rows); r++ {
+			if r != rank && rows[r][w]>>b&1 == 1 {
+				for t := 0; t < words; t++ {
+					rows[r][t] ^= rows[rank][t]
+				}
+				if d.symLen > 0 {
+					xorBytes(rhs[r], rhs[rank])
+				}
+			}
+		}
+		pivotCol = append(pivotCol, col)
+		rank++
+	}
+
+	// A pivot row with no other set column determines its variable.
+	isPivot := make([]bool, nUnk)
+	for _, pc := range pivotCol {
+		isPivot[pc] = true
+	}
+	for r, pc := range pivotCol {
+		determined := true
+		for col := 0; col < nUnk; col++ {
+			if col == pc {
+				continue
+			}
+			if rows[r][col/64]>>(uint(col%64))&1 == 1 {
+				determined = false
+				break
+			}
+		}
+		if !determined {
+			continue
+		}
+		v := cols[pc]
+		if d.known[v] {
+			continue
+		}
+		var payload []byte
+		if d.symLen > 0 {
+			payload = rhs[r]
+		}
+		d.markKnown(v, payload)
+	}
+	// Feed the newly solved variables back through peeling: they may
+	// unlock equations the elimination left alone (rows dropped by rank).
+	d.propagate()
+	return d.Done()
+}
+
+// MLReceiver wraps the peeling decoder with the Gaussian fallback so it
+// can stand in as a core.Receiver in simulations: it decodes exactly the
+// patterns maximum-likelihood decoding can. To keep the per-packet cost
+// sane it only attempts elimination once at least k packets have arrived,
+// and then at every arrival (each attempt either finishes decoding or
+// solves nothing, and the residual system shrinks as peeling consumes the
+// newly delivered packets).
+type MLReceiver struct {
+	dec      *Decoder
+	received int
+}
+
+// NewMLReceiver returns a structural maximum-likelihood receiver.
+func (c *Code) NewMLReceiver() *MLReceiver {
+	return &MLReceiver{dec: c.newDecoder(0)}
+}
+
+// Receive implements core.Receiver.
+func (m *MLReceiver) Receive(id int) bool {
+	if m.dec.Done() {
+		return true
+	}
+	m.received++
+	if m.dec.Receive(id) {
+		return true
+	}
+	if m.received >= m.dec.code.k {
+		return m.dec.SolveGauss()
+	}
+	return false
+}
+
+// Done implements core.Receiver.
+func (m *MLReceiver) Done() bool { return m.dec.Done() }
+
+// SourceRecovered implements core.Receiver.
+func (m *MLReceiver) SourceRecovered() int { return m.dec.SourceRecovered() }
+
+func xorBytes(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("ldpc: xor length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}

@@ -1,0 +1,204 @@
+// Package matrix implements dense matrices over GF(2^8).
+//
+// It provides exactly what a Vandermonde-based Reed-Solomon erasure codec
+// needs: matrix construction, multiplication against vectors of symbol
+// slices, and Gauss-Jordan inversion. Matrices are small (at most 256×256,
+// the field-imposed Reed-Solomon limit), so a dense row-major layout is both
+// the simplest and the fastest representation.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+
+	"fecperf/internal/gf256"
+)
+
+// ErrSingular is returned when attempting to invert a singular matrix.
+var ErrSingular = errors.New("matrix: singular")
+
+// Matrix is a dense rows×cols matrix over GF(2^8), stored row-major.
+type Matrix struct {
+	rows, cols int
+	data       []byte
+}
+
+// New returns a zero rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Vandermonde returns the rows×cols matrix V with V[i][j] = alpha_i^j where
+// alpha_i is the i-th distinct non-zero field element (alpha^i). Any `cols`
+// rows of such a matrix are linearly independent as long as rows <= 255,
+// which is what makes the derived Reed-Solomon code MDS.
+func Vandermonde(rows, cols int) *Matrix {
+	if rows > gf256.Size-1 {
+		panic(fmt.Sprintf("matrix: Vandermonde rows %d exceeds field limit %d", rows, gf256.Size-1))
+	}
+	m := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		x := gf256.Exp(i)
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, gf256.Pow(x, j))
+		}
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) byte { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v byte) { m.data[i*m.cols+j] = v }
+
+// Row returns a view of row i (not a copy).
+func (m *Matrix) Row(i int) []byte { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// SubMatrix returns a copy of the rows of m selected by rowIdx, in order.
+func (m *Matrix) SubMatrix(rowIdx []int) *Matrix {
+	s := New(len(rowIdx), m.cols)
+	for i, r := range rowIdx {
+		copy(s.Row(i), m.Row(r))
+	}
+	return s
+}
+
+// Mul returns m × other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.cols != other.rows {
+		panic(fmt.Sprintf("matrix: Mul dimension mismatch %dx%d × %dx%d", m.rows, m.cols, other.rows, other.cols))
+	}
+	out := New(m.rows, other.cols)
+	for i := 0; i < m.rows; i++ {
+		ri := m.Row(i)
+		ro := out.Row(i)
+		for t := 0; t < m.cols; t++ {
+			if c := ri[t]; c != 0 {
+				gf256.AddMul(ro, other.Row(t), c)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec computes dst = m × src where src is a vector of symbol slices
+// (one per matrix column) and dst one per matrix row. Every slice must have
+// the same length. dst slices are overwritten.
+func (m *Matrix) MulVec(dst, src [][]byte) {
+	if len(src) != m.cols || len(dst) != m.rows {
+		panic("matrix: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		d := dst[i]
+		for t := range d {
+			d[t] = 0
+		}
+		for j, c := range row {
+			if c != 0 {
+				gf256.AddMul(d, src[j], c)
+			}
+		}
+	}
+}
+
+// Inverse returns m^-1 computed by Gauss-Jordan elimination with partial
+// pivoting (any non-zero pivot works in a field). It returns ErrSingular if
+// m is not invertible and panics if m is not square.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.rows != m.cols {
+		panic("matrix: Inverse of non-square matrix")
+	}
+	n := m.rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Find a pivot at or below the diagonal.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			a.swapRows(pivot, col)
+			inv.swapRows(pivot, col)
+		}
+		// Scale the pivot row so the pivot becomes 1.
+		if p := a.At(col, col); p != 1 {
+			ip := gf256.Inv(p)
+			gf256.MulSlice(a.Row(col), a.Row(col), ip)
+			gf256.MulSlice(inv.Row(col), inv.Row(col), ip)
+		}
+		// Eliminate the column everywhere else.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			if c := a.At(r, col); c != 0 {
+				gf256.AddMul(a.Row(r), a.Row(col), c)
+				gf256.AddMul(inv.Row(r), inv.Row(col), c)
+			}
+		}
+	}
+	return inv, nil
+}
+
+func (m *Matrix) swapRows(i, j int) {
+	ri, rj := m.Row(i), m.Row(j)
+	for t := range ri {
+		ri[t], rj[t] = rj[t], ri[t]
+	}
+}
+
+// Equal reports whether m and other have identical shape and contents.
+func (m *Matrix) Equal(other *Matrix) bool {
+	if m.rows != other.rows || m.cols != other.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if v != other.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("matrix %dx%d\n", m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		s += fmt.Sprintf("%v\n", m.Row(i))
+	}
+	return s
+}

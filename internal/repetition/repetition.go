@@ -1,0 +1,66 @@
+// Package repetition implements the trivial "send every packet x times"
+// scheme the paper uses in Section 4.2 to motivate FEC: there is no
+// encoding at all, so the receiver needs every one of the k source packets
+// to survive at least once. Combined with sched.Repeat it reproduces
+// Figure 7, which shows that repetition only works on a loss-free channel
+// and even then wastes half the transmission.
+package repetition
+
+import (
+	"fmt"
+
+	"fecperf/internal/core"
+)
+
+// Code is the degenerate no-FEC "code": k source packets, no parity.
+type Code struct {
+	layout core.Layout
+}
+
+// New returns a replication code over k source packets.
+func New(k int) (*Code, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("repetition: k must be positive, got %d", k)
+	}
+	src := make([]int, k)
+	for i := range src {
+		src[i] = i
+	}
+	l := core.Layout{K: k, N: k, Blocks: []core.Block{{Source: src}}}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return &Code{layout: l}, nil
+}
+
+// Name implements core.Code.
+func (c *Code) Name() string { return "no-fec" }
+
+// Layout implements core.Code.
+func (c *Code) Layout() core.Layout { return c.layout }
+
+// NewReceiver implements core.Code: done once all k distinct source
+// packets have arrived.
+func (c *Code) NewReceiver() core.Receiver {
+	return &receiver{got: make([]bool, c.layout.K)}
+}
+
+type receiver struct {
+	got  []bool
+	seen int
+}
+
+func (r *receiver) Receive(id int) bool {
+	if id < 0 || id >= len(r.got) {
+		panic(fmt.Sprintf("repetition: packet id %d outside [0,%d)", id, len(r.got)))
+	}
+	if !r.got[id] {
+		r.got[id] = true
+		r.seen++
+	}
+	return r.Done()
+}
+
+func (r *receiver) Done() bool { return r.seen == len(r.got) }
+
+func (r *receiver) SourceRecovered() int { return r.seen }

@@ -1,0 +1,92 @@
+package repetition
+
+import (
+	"math/rand"
+	"testing"
+
+	"fecperf/internal/core"
+	"fecperf/internal/sched"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("New(0) accepted")
+	}
+	if _, err := New(-3); err == nil {
+		t.Fatal("New(-3) accepted")
+	}
+}
+
+func TestLayout(t *testing.T) {
+	c, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := c.Layout()
+	if l.K != 10 || l.N != 10 {
+		t.Fatalf("layout k=%d n=%d, want 10/10", l.K, l.N)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "no-fec" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestReceiverNeedsAllDistinct(t *testing.T) {
+	c, _ := New(5)
+	rx := c.NewReceiver()
+	for id := 0; id < 4; id++ {
+		if rx.Receive(id) {
+			t.Fatal("done before all packets")
+		}
+	}
+	if rx.SourceRecovered() != 4 {
+		t.Fatalf("SourceRecovered = %d", rx.SourceRecovered())
+	}
+	// Duplicates don't help.
+	if rx.Receive(0) || rx.Receive(1) {
+		t.Fatal("duplicates completed decoding")
+	}
+	if !rx.Receive(4) {
+		t.Fatal("not done after all distinct packets")
+	}
+}
+
+func TestReceiverPanicsOutOfRange(t *testing.T) {
+	c, _ := New(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.NewReceiver().Receive(5)
+}
+
+func TestFigure7Semantics(t *testing.T) {
+	// With ×2 repetition and no loss, the receiver typically needs almost
+	// the whole transmission (inefficiency near 2), the coupon-collector
+	// effect of Figure 7.
+	c, _ := New(500)
+	s := sched.Repeat{}
+	rng := rand.New(rand.NewSource(1))
+	total := 0.0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		schedule := s.Schedule(c.Layout(), rng)
+		res := core.RunTrial(schedule, noLoss{}, c.NewReceiver(), 0)
+		if !res.Decoded {
+			t.Fatal("no-loss repetition trial failed")
+		}
+		total += res.Inefficiency(500)
+	}
+	avg := total / trials
+	if avg < 1.8 || avg > 2.0 {
+		t.Fatalf("average inefficiency %g, want ≈2 (Figure 7)", avg)
+	}
+}
+
+type noLoss struct{}
+
+func (noLoss) Lost() bool { return false }

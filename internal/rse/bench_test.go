@@ -1,0 +1,77 @@
+package rse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkStructuralReceiver20k(b *testing.B) {
+	c, err := New(Params{K: 20000, Ratio: 2.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	order := rand.New(rand.NewSource(1)).Perm(c.Layout().N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rx := c.NewReceiver()
+		for _, id := range order {
+			if rx.Receive(id) {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkEncodeBlock(b *testing.B) {
+	c, err := New(Params{K: 100, Ratio: 2.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	src := make([][]byte, 100)
+	for i := range src {
+		src[i] = make([]byte, 1024)
+		rng.Read(src[i])
+	}
+	b.SetBytes(100 * 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EncodeBlock(0, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeBlockWorstCase(b *testing.B) {
+	// All source symbols lost: decode from parity alone (full inversion).
+	c, err := New(Params{K: 100, Ratio: 2.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	src := make([][]byte, 100)
+	for i := range src {
+		src[i] = make([]byte, 1024)
+		rng.Read(src[i])
+	}
+	parity, err := c.EncodeBlock(0, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	esis := make([]int, 100)
+	payloads := make([][]byte, 100)
+	for i := range esis {
+		esis[i] = 100 + i
+		payloads[i] = parity[i]
+	}
+	b.SetBytes(100 * 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.DecodeBlock(0, esis, payloads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,424 @@
+// Package rse implements the Reed-Solomon erasure code (RSE) used as the
+// small-block reference code in the reproduced paper.
+//
+// The construction follows Rizzo's classic erasure codec: a systematic code
+// derived from a Vandermonde matrix over GF(2^8). Because the field bounds
+// the block length at n <= 255 encoding symbols, large objects are segmented
+// into blocks (the partitioner below follows the FLUTE/ALC blocking
+// algorithm). Segmentation is what costs RSE its global efficiency in the
+// paper: a parity packet can only repair losses inside its own block, so a
+// receiver effectively plays a coupon-collector game across blocks.
+//
+// The code is MDS: a block with k_b source symbols decodes from any k_b of
+// its n_b symbols. The structural receiver used by the simulations exploits
+// exactly that property; the payload codec performs real encode/decode with
+// matrix inversion for applications that carry data.
+package rse
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fecperf/internal/core"
+	"fecperf/internal/gf256"
+	"fecperf/internal/matrix"
+)
+
+// MaxBlock is the maximum number of encoding symbols per block permitted by
+// GF(2^8) with Rizzo's construction (one row per non-zero field element).
+const MaxBlock = 255
+
+// Params configures a Code.
+type Params struct {
+	// K is the total number of source packets in the object.
+	K int
+	// Ratio is the FEC expansion ratio n/k (e.g. 1.5 or 2.5).
+	Ratio float64
+	// MaxBlock caps n_b per block; defaults to MaxBlock (255) when zero.
+	// Lowering it is useful for ablation studies.
+	MaxBlock int
+}
+
+// Code is a Reed-Solomon erasure code over a segmented object.
+// It is immutable after construction and safe for concurrent receivers.
+type Code struct {
+	params Params
+	layout core.Layout
+	blocks []blockDef
+
+	// Generator matrices are built lazily per distinct (k_b, n_b) pair:
+	// simulations never need them, payload encoders do.
+	genMu  sync.Mutex
+	genFor map[[2]int]*matrix.Matrix
+}
+
+// blockDef records per-block geometry in global-ID space.
+type blockDef struct {
+	kb, nb     int
+	srcOff     int // first global source ID
+	parOff     int // first global parity ID
+	blockIndex int
+}
+
+// New constructs the segmented code. It returns an error when the geometry
+// is unsatisfiable (k <= 0, ratio < 1, or a block too small to honour the
+// ratio within MaxBlock).
+func New(p Params) (*Code, error) {
+	if p.K <= 0 {
+		return nil, fmt.Errorf("rse: k must be positive, got %d", p.K)
+	}
+	if p.Ratio < 1 {
+		return nil, fmt.Errorf("rse: expansion ratio must be >= 1, got %g", p.Ratio)
+	}
+	if p.MaxBlock == 0 {
+		p.MaxBlock = MaxBlock
+	}
+	if p.MaxBlock < 2 || p.MaxBlock > MaxBlock {
+		return nil, fmt.Errorf("rse: MaxBlock %d outside [2,%d]", p.MaxBlock, MaxBlock)
+	}
+	kmax := int(float64(p.MaxBlock) / p.Ratio)
+	if kmax < 1 {
+		return nil, fmt.Errorf("rse: ratio %g leaves no room for source symbols in blocks of %d", p.Ratio, p.MaxBlock)
+	}
+
+	// FLUTE-style blocking: B blocks, the first iLarge of size aLarge,
+	// the rest aSmall, so block sizes differ by at most one.
+	b := (p.K + kmax - 1) / kmax
+	aLarge := (p.K + b - 1) / b
+	aSmall := p.K / b
+	iLarge := p.K - aSmall*b
+
+	c := &Code{params: p, genFor: make(map[[2]int]*matrix.Matrix)}
+	srcOff, parCount := 0, 0
+	for bi := 0; bi < b; bi++ {
+		kb := aSmall
+		if bi < iLarge {
+			kb = aLarge
+		}
+		nb := int(float64(kb)*p.Ratio + 0.5)
+		if nb > p.MaxBlock {
+			nb = p.MaxBlock
+		}
+		if nb < kb {
+			nb = kb
+		}
+		c.blocks = append(c.blocks, blockDef{kb: kb, nb: nb, srcOff: srcOff, blockIndex: bi})
+		srcOff += kb
+		parCount += nb - kb
+	}
+	// Assign parity IDs after all source IDs.
+	n := p.K + parCount
+	parOff := p.K
+	for i := range c.blocks {
+		c.blocks[i].parOff = parOff
+		parOff += c.blocks[i].nb - c.blocks[i].kb
+	}
+
+	c.layout = core.Layout{K: p.K, N: n}
+	for _, bd := range c.blocks {
+		blk := core.Block{}
+		for i := 0; i < bd.kb; i++ {
+			blk.Source = append(blk.Source, bd.srcOff+i)
+		}
+		for i := 0; i < bd.nb-bd.kb; i++ {
+			blk.Parity = append(blk.Parity, bd.parOff+i)
+		}
+		c.layout.Blocks = append(c.layout.Blocks, blk)
+	}
+	if err := c.layout.Validate(); err != nil {
+		return nil, fmt.Errorf("rse: internal layout error: %w", err)
+	}
+	return c, nil
+}
+
+// Name implements core.Code.
+func (c *Code) Name() string { return "rse" }
+
+// Layout implements core.Code.
+func (c *Code) Layout() core.Layout { return c.layout }
+
+// NumBlocks returns the number of blocks the object was segmented into.
+func (c *Code) NumBlocks() int { return len(c.blocks) }
+
+// blockOf maps a global packet ID to its block and in-block index
+// (0..nb-1, with source symbols first).
+func (c *Code) blockOf(id int) (bi, esi int) {
+	if id < c.layout.K {
+		// Source IDs are contiguous per block: binary search on srcOff.
+		bi = sort.Search(len(c.blocks), func(i int) bool {
+			return c.blocks[i].srcOff+c.blocks[i].kb > id
+		})
+		return bi, id - c.blocks[bi].srcOff
+	}
+	bi = sort.Search(len(c.blocks), func(i int) bool {
+		bd := c.blocks[i]
+		return bd.parOff+(bd.nb-bd.kb) > id
+	})
+	return bi, c.blocks[bi].kb + (id - c.blocks[bi].parOff)
+}
+
+// NewReceiver implements core.Code with the MDS counting rule: a block is
+// decodable as soon as it has k_b distinct symbols.
+func (c *Code) NewReceiver() core.Receiver {
+	r := &receiver{code: c}
+	r.got = make([][]bool, len(c.blocks))
+	r.count = make([]int, len(c.blocks))
+	for i, bd := range c.blocks {
+		r.got[i] = make([]bool, bd.nb)
+	}
+	r.pending = len(c.blocks)
+	return r
+}
+
+type receiver struct {
+	code    *Code
+	got     [][]bool
+	count   []int
+	pending int // blocks not yet decodable
+}
+
+func (r *receiver) Receive(id int) bool {
+	if id < 0 || id >= r.code.layout.N {
+		panic(fmt.Sprintf("rse: packet id %d outside [0,%d)", id, r.code.layout.N))
+	}
+	bi, esi := r.code.blockOf(id)
+	if r.got[bi][esi] {
+		return r.Done()
+	}
+	r.got[bi][esi] = true
+	r.count[bi]++
+	if r.count[bi] == r.code.blocks[bi].kb {
+		r.pending--
+	}
+	return r.Done()
+}
+
+func (r *receiver) Done() bool { return r.pending == 0 }
+
+// BufferedSymbols implements core.MemoryReporter: symbols of undecoded
+// blocks must be buffered; a decoded block's sources stream out to the
+// application and its parity is dropped.
+func (r *receiver) BufferedSymbols() int {
+	total := 0
+	for bi, bd := range r.code.blocks {
+		if r.count[bi] < bd.kb {
+			total += r.count[bi]
+		}
+	}
+	return total
+}
+
+func (r *receiver) SourceRecovered() int {
+	total := 0
+	for bi, bd := range r.code.blocks {
+		if r.count[bi] >= bd.kb {
+			total += bd.kb
+			continue
+		}
+		for esi := 0; esi < bd.kb; esi++ {
+			if r.got[bi][esi] {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// generator returns the (nb-kb)×kb parity generator for a block geometry:
+// the bottom rows of V·V_top^-1 where V is Vandermonde(nb, kb). The top kb
+// rows of that product are the identity, which makes the code systematic.
+func (c *Code) generator(kb, nb int) *matrix.Matrix {
+	key := [2]int{kb, nb}
+	c.genMu.Lock()
+	defer c.genMu.Unlock()
+	if g, ok := c.genFor[key]; ok {
+		return g
+	}
+	v := matrix.Vandermonde(nb, kb)
+	topIdx := make([]int, kb)
+	for i := range topIdx {
+		topIdx[i] = i
+	}
+	topInv, err := v.SubMatrix(topIdx).Inverse()
+	if err != nil {
+		// Vandermonde top-square is always invertible; reaching this is a bug.
+		panic(fmt.Sprintf("rse: vandermonde top block singular for kb=%d: %v", kb, err))
+	}
+	sys := v.Mul(topInv)
+	botIdx := make([]int, nb-kb)
+	for i := range botIdx {
+		botIdx[i] = kb + i
+	}
+	g := sys.SubMatrix(botIdx)
+	c.genFor[key] = g
+	return g
+}
+
+// EncodeBlock computes the parity payloads of block bi from its source
+// payloads. src must hold exactly k_b equal-length slices; the returned
+// slice holds n_b-k_b parity payloads.
+func (c *Code) EncodeBlock(bi int, src [][]byte) ([][]byte, error) {
+	if bi < 0 || bi >= len(c.blocks) {
+		return nil, fmt.Errorf("rse: block %d outside [0,%d)", bi, len(c.blocks))
+	}
+	bd := c.blocks[bi]
+	if len(src) != bd.kb {
+		return nil, fmt.Errorf("rse: block %d expects %d source symbols, got %d", bi, bd.kb, len(src))
+	}
+	symLen, err := uniformLen(src)
+	if err != nil {
+		return nil, err
+	}
+	g := c.generator(bd.kb, bd.nb)
+	parity := make([][]byte, bd.nb-bd.kb)
+	for i := range parity {
+		parity[i] = make([]byte, symLen)
+	}
+	g.MulVec(parity, src)
+	return parity, nil
+}
+
+// Encode FEC-encodes the whole object. src holds the K source payloads in
+// global-ID order; the result holds the N-K parity payloads in global parity
+// ID order (parity ID K+i is result[i]).
+func (c *Code) Encode(src [][]byte) ([][]byte, error) {
+	if len(src) != c.layout.K {
+		return nil, fmt.Errorf("rse: expected %d source payloads, got %d", c.layout.K, len(src))
+	}
+	if _, err := uniformLen(src); err != nil {
+		return nil, err
+	}
+	parity := make([][]byte, 0, c.layout.N-c.layout.K)
+	for bi, bd := range c.blocks {
+		p, err := c.EncodeBlock(bi, src[bd.srcOff:bd.srcOff+bd.kb])
+		if err != nil {
+			return nil, err
+		}
+		parity = append(parity, p...)
+	}
+	return parity, nil
+}
+
+// DecodeBlock rebuilds the k_b source payloads of block bi from any k_b (or
+// more) received symbols. esis are in-block symbol indices (source symbols
+// are 0..kb-1, parity kb..nb-1) aligned with payloads.
+func (c *Code) DecodeBlock(bi int, esis []int, payloads [][]byte) ([][]byte, error) {
+	if bi < 0 || bi >= len(c.blocks) {
+		return nil, fmt.Errorf("rse: block %d outside [0,%d)", bi, len(c.blocks))
+	}
+	bd := c.blocks[bi]
+	if len(esis) != len(payloads) {
+		return nil, fmt.Errorf("rse: %d indices but %d payloads", len(esis), len(payloads))
+	}
+	symLen, err := uniformLen(payloads)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([][]byte, bd.kb)
+	// Fast path: take received source symbols as-is; note missing ones.
+	received := make(map[int]int, len(esis)) // esi -> payload index
+	for i, esi := range esis {
+		if esi < 0 || esi >= bd.nb {
+			return nil, fmt.Errorf("rse: symbol index %d outside [0,%d)", esi, bd.nb)
+		}
+		if _, dup := received[esi]; dup {
+			continue
+		}
+		received[esi] = i
+		if esi < bd.kb {
+			out[esi] = append([]byte(nil), payloads[i]...)
+		}
+	}
+	missing := 0
+	for i := 0; i < bd.kb; i++ {
+		if out[i] == nil {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return out, nil
+	}
+	if len(received) < bd.kb {
+		return nil, fmt.Errorf("rse: block %d undecodable: %d distinct symbols < k_b=%d", bi, len(received), bd.kb)
+	}
+
+	// General path: pick kb received rows of the systematic matrix (identity
+	// rows for source symbols, generator rows for parity), invert, multiply.
+	g := c.generator(bd.kb, bd.nb)
+	rows := matrix.New(bd.kb, bd.kb)
+	rhs := make([][]byte, 0, bd.kb)
+	used := 0
+	for esi := 0; esi < bd.nb && used < bd.kb; esi++ {
+		pi, ok := received[esi]
+		if !ok {
+			continue
+		}
+		if esi < bd.kb {
+			rows.Set(used, esi, 1)
+		} else {
+			copy(rows.Row(used), g.Row(esi-bd.kb))
+		}
+		rhs = append(rhs, payloads[pi])
+		used++
+	}
+	inv, err := rows.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("rse: decode matrix singular (should be impossible for MDS): %w", err)
+	}
+	dec := make([][]byte, bd.kb)
+	for i := range dec {
+		dec[i] = make([]byte, symLen)
+	}
+	inv.MulVec(dec, rhs)
+	for i := 0; i < bd.kb; i++ {
+		if out[i] == nil {
+			out[i] = dec[i]
+		}
+	}
+	return out, nil
+}
+
+// Decode rebuilds the whole object from received (global ID, payload) pairs.
+// It returns an error naming the first undecodable block.
+func (c *Code) Decode(ids []int, payloads [][]byte) ([][]byte, error) {
+	if len(ids) != len(payloads) {
+		return nil, fmt.Errorf("rse: %d ids but %d payloads", len(ids), len(payloads))
+	}
+	perBlockESI := make([][]int, len(c.blocks))
+	perBlockPay := make([][][]byte, len(c.blocks))
+	for i, id := range ids {
+		if id < 0 || id >= c.layout.N {
+			return nil, fmt.Errorf("rse: packet id %d outside [0,%d)", id, c.layout.N)
+		}
+		bi, esi := c.blockOf(id)
+		perBlockESI[bi] = append(perBlockESI[bi], esi)
+		perBlockPay[bi] = append(perBlockPay[bi], payloads[i])
+	}
+	out := make([][]byte, c.layout.K)
+	for bi, bd := range c.blocks {
+		dec, err := c.DecodeBlock(bi, perBlockESI[bi], perBlockPay[bi])
+		if err != nil {
+			return nil, fmt.Errorf("rse: block %d: %w", bi, err)
+		}
+		copy(out[bd.srcOff:bd.srcOff+bd.kb], dec)
+	}
+	return out, nil
+}
+
+func uniformLen(symbols [][]byte) (int, error) {
+	if len(symbols) == 0 {
+		return 0, fmt.Errorf("rse: no symbols")
+	}
+	l := len(symbols[0])
+	for i, s := range symbols {
+		if len(s) != l {
+			return 0, fmt.Errorf("rse: symbol %d has length %d, want %d", i, len(s), l)
+		}
+	}
+	return l, nil
+}
+
+// xorPayload is kept for symmetry with the LDGM package and used in tests.
+func xorPayload(dst, src []byte) { gf256.Xor(dst, src) }

@@ -1,0 +1,410 @@
+package rse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, p Params) *Code {
+	t.Helper()
+	c, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	cases := []Params{
+		{K: 0, Ratio: 2},
+		{K: -5, Ratio: 2},
+		{K: 10, Ratio: 0.5},
+		{K: 10, Ratio: 2, MaxBlock: 1},
+		{K: 10, Ratio: 2, MaxBlock: 1000},
+		{K: 10, Ratio: 300, MaxBlock: 255},
+	}
+	for _, p := range cases {
+		if _, err := New(p); err == nil {
+			t.Errorf("New(%+v) accepted invalid params", p)
+		}
+	}
+}
+
+func TestSingleBlockGeometry(t *testing.T) {
+	c := mustNew(t, Params{K: 100, Ratio: 2.5})
+	if c.NumBlocks() != 1 {
+		t.Fatalf("NumBlocks = %d, want 1", c.NumBlocks())
+	}
+	l := c.Layout()
+	if l.K != 100 || l.N != 250 {
+		t.Fatalf("layout k=%d n=%d, want 100/250", l.K, l.N)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiBlockGeometry(t *testing.T) {
+	// k=20000, ratio 2.5 as in the paper: kmax = floor(255/2.5) = 102,
+	// so roughly 197 blocks.
+	c := mustNew(t, Params{K: 20000, Ratio: 2.5})
+	if c.NumBlocks() < 190 || c.NumBlocks() > 210 {
+		t.Fatalf("NumBlocks = %d, want ~197", c.NumBlocks())
+	}
+	l := c.Layout()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The realised global ratio should be close to the requested one.
+	if r := l.ExpansionRatio(); r < 2.4 || r > 2.6 {
+		t.Fatalf("global expansion ratio %g, want ≈2.5", r)
+	}
+	// No block may exceed the field limit.
+	for _, b := range l.Blocks {
+		if nb := len(b.Source) + len(b.Parity); nb > MaxBlock {
+			t.Fatalf("block with %d symbols exceeds %d", nb, MaxBlock)
+		}
+	}
+}
+
+func TestBlockSizesDifferByAtMostOne(t *testing.T) {
+	c := mustNew(t, Params{K: 1000, Ratio: 1.5})
+	minK, maxK := 1<<30, 0
+	for _, b := range c.Layout().Blocks {
+		if len(b.Source) < minK {
+			minK = len(b.Source)
+		}
+		if len(b.Source) > maxK {
+			maxK = len(b.Source)
+		}
+	}
+	if maxK-minK > 1 {
+		t.Fatalf("block source sizes range [%d,%d]", minK, maxK)
+	}
+}
+
+func TestBlockOfRoundTrip(t *testing.T) {
+	c := mustNew(t, Params{K: 500, Ratio: 2.5})
+	l := c.Layout()
+	for bi, b := range l.Blocks {
+		for i, id := range b.Source {
+			gotB, gotE := c.blockOf(id)
+			if gotB != bi || gotE != i {
+				t.Fatalf("blockOf(source %d) = (%d,%d), want (%d,%d)", id, gotB, gotE, bi, i)
+			}
+		}
+		for i, id := range b.Parity {
+			gotB, gotE := c.blockOf(id)
+			if gotB != bi || gotE != len(b.Source)+i {
+				t.Fatalf("blockOf(parity %d) = (%d,%d), want (%d,%d)", id, gotB, gotE, bi, len(b.Source)+i)
+			}
+		}
+	}
+}
+
+func TestReceiverMDSPerBlock(t *testing.T) {
+	c := mustNew(t, Params{K: 10, Ratio: 2.0, MaxBlock: 10})
+	// kmax = 5 → two blocks of 5 source + 5 parity each.
+	if c.NumBlocks() != 2 {
+		t.Fatalf("NumBlocks = %d, want 2", c.NumBlocks())
+	}
+	rx := c.NewReceiver()
+	l := c.Layout()
+	// Deliver k_b symbols of block 0 only: not done.
+	for _, id := range l.Blocks[0].Source {
+		if rx.Receive(id) {
+			t.Fatal("decoded with only one block")
+		}
+	}
+	if rx.SourceRecovered() != 5 {
+		t.Fatalf("SourceRecovered = %d, want 5", rx.SourceRecovered())
+	}
+	// Deliver 5 parity symbols of block 1: decodes block 1 via MDS rule.
+	for i, id := range l.Blocks[1].Parity {
+		done := rx.Receive(id)
+		if i < 4 && done {
+			t.Fatal("decoded too early")
+		}
+		if i == 4 && !done {
+			t.Fatal("not decoded after k_b symbols of final block")
+		}
+	}
+	if got := rx.SourceRecovered(); got != 10 {
+		t.Fatalf("SourceRecovered = %d, want 10", got)
+	}
+}
+
+func TestReceiverDuplicatesIgnored(t *testing.T) {
+	c := mustNew(t, Params{K: 4, Ratio: 2.0})
+	rx := c.NewReceiver()
+	for i := 0; i < 3; i++ {
+		if rx.Receive(0) {
+			t.Fatal("decoded from duplicates")
+		}
+	}
+	if rx.SourceRecovered() != 1 {
+		t.Fatalf("SourceRecovered = %d, want 1", rx.SourceRecovered())
+	}
+}
+
+func TestReceiverOutOfRangePanics(t *testing.T) {
+	c := mustNew(t, Params{K: 4, Ratio: 2.0})
+	rx := c.NewReceiver()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Receive(out of range) did not panic")
+		}
+	}()
+	rx.Receive(999)
+}
+
+func randPayloads(rng *rand.Rand, n, symLen int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, symLen)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func TestEncodeDecodeRoundTripNoLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := mustNew(t, Params{K: 20, Ratio: 2.0, MaxBlock: 20})
+	src := randPayloads(rng, 20, 16)
+	parity, err := c.Encode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parity) != c.Layout().N-c.Layout().K {
+		t.Fatalf("parity count %d, want %d", len(parity), c.Layout().N-c.Layout().K)
+	}
+	ids := make([]int, 20)
+	for i := range ids {
+		ids[i] = i
+	}
+	dec, err := c.Decode(ids, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPayloadsEqual(t, src, dec)
+}
+
+func TestDecodeFromParityOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := mustNew(t, Params{K: 10, Ratio: 2.0, MaxBlock: 20})
+	src := randPayloads(rng, 10, 32)
+	parity, err := c.Encode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, 10)
+	for i := range ids {
+		ids[i] = 10 + i // all parity
+	}
+	dec, err := c.Decode(ids, parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPayloadsEqual(t, src, dec)
+}
+
+func TestDecodeAnyKOfN(t *testing.T) {
+	// The MDS property on real payloads: any k of the n symbols decode.
+	rng := rand.New(rand.NewSource(3))
+	c := mustNew(t, Params{K: 8, Ratio: 2.5, MaxBlock: 20})
+	l := c.Layout()
+	src := randPayloads(rng, l.K, 24)
+	parity, err := c.Encode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([][]byte{}, src...), parity...)
+	for trial := 0; trial < 40; trial++ {
+		ids := rng.Perm(l.N)[:l.K]
+		payloads := make([][]byte, len(ids))
+		for i, id := range ids {
+			payloads[i] = all[id]
+		}
+		dec, err := c.Decode(ids, payloads)
+		if err != nil {
+			t.Fatalf("trial %d ids %v: %v", trial, ids, err)
+		}
+		assertPayloadsEqual(t, src, dec)
+	}
+}
+
+func TestDecodeMultiBlockWithLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := mustNew(t, Params{K: 30, Ratio: 2.0, MaxBlock: 20})
+	if c.NumBlocks() < 2 {
+		t.Fatal("want multi-block geometry")
+	}
+	l := c.Layout()
+	src := randPayloads(rng, l.K, 8)
+	parity, err := c.Encode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([][]byte{}, src...), parity...)
+	// Lose 40% of packets at random but keep >= k_b per block by retrying.
+	for trial := 0; trial < 20; trial++ {
+		var ids []int
+		var payloads [][]byte
+		perBlock := make(map[int]int)
+		for id := 0; id < l.N; id++ {
+			if rng.Float64() < 0.4 {
+				continue
+			}
+			bi, _ := c.blockOf(id)
+			perBlock[bi]++
+			ids = append(ids, id)
+			payloads = append(payloads, all[id])
+		}
+		ok := true
+		for bi := 0; bi < c.NumBlocks(); bi++ {
+			if perBlock[bi] < c.blocks[bi].kb {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		dec, err := c.Decode(ids, payloads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertPayloadsEqual(t, src, dec)
+	}
+}
+
+func TestDecodeUndecodableBlockErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := mustNew(t, Params{K: 10, Ratio: 2.0, MaxBlock: 20})
+	src := randPayloads(rng, 10, 8)
+	// Only 9 distinct symbols for a k_b=10 block.
+	ids := []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	if _, err := c.Decode(ids, src[:9]); err == nil {
+		t.Fatal("Decode succeeded with too few symbols")
+	}
+}
+
+func TestDecodeDuplicateSymbolsDoNotHelp(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := mustNew(t, Params{K: 5, Ratio: 2.0, MaxBlock: 10})
+	src := randPayloads(rng, 5, 8)
+	ids := []int{0, 0, 0, 1, 2}
+	payloads := [][]byte{src[0], src[0], src[0], src[1], src[2]}
+	if _, err := c.Decode(ids, payloads); err == nil {
+		t.Fatal("Decode succeeded with duplicates standing in for distinct symbols")
+	}
+}
+
+func TestEncodeLengthMismatch(t *testing.T) {
+	c := mustNew(t, Params{K: 4, Ratio: 2.0})
+	bad := [][]byte{{1, 2}, {1, 2}, {1, 2, 3}, {1, 2}}
+	if _, err := c.Encode(bad); err == nil {
+		t.Fatal("Encode accepted ragged payloads")
+	}
+	if _, err := c.Encode(bad[:2]); err == nil {
+		t.Fatal("Encode accepted wrong payload count")
+	}
+}
+
+func TestDecodeIDPayloadMismatch(t *testing.T) {
+	c := mustNew(t, Params{K: 4, Ratio: 2.0})
+	if _, err := c.Decode([]int{0, 1}, [][]byte{{1}}); err == nil {
+		t.Fatal("Decode accepted mismatched ids/payloads")
+	}
+	if _, err := c.Decode([]int{-1}, [][]byte{{1}}); err == nil {
+		t.Fatal("Decode accepted negative id")
+	}
+}
+
+func TestPropertyAnyKSubsetDecodes(t *testing.T) {
+	f := func(seed int64, kRaw, ratioChoice uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + int(kRaw%10)
+		ratio := 1.5
+		if ratioChoice%2 == 1 {
+			ratio = 2.5
+		}
+		c, err := New(Params{K: k, Ratio: ratio, MaxBlock: 100})
+		if err != nil {
+			return false
+		}
+		l := c.Layout()
+		src := randPayloads(rng, k, 4)
+		parity, err := c.Encode(src)
+		if err != nil {
+			return false
+		}
+		all := append(append([][]byte{}, src...), parity...)
+		ids := rng.Perm(l.N)[:k]
+		payloads := make([][]byte, k)
+		for i, id := range ids {
+			payloads[i] = all[id]
+		}
+		dec, err := c.Decode(ids, payloads)
+		if err != nil {
+			return false
+		}
+		for i := range src {
+			for j := range src[i] {
+				if dec[i][j] != src[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXorPayloadHelper(t *testing.T) {
+	a := []byte{1, 2, 3}
+	xorPayload(a, []byte{1, 2, 3})
+	if a[0] != 0 || a[1] != 0 || a[2] != 0 {
+		t.Fatal("xorPayload broken")
+	}
+}
+
+func assertPayloadsEqual(t *testing.T, want, got [][]byte) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("payload count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(want[i]) != len(got[i]) {
+			t.Fatalf("payload %d length %d, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if want[i][j] != got[i][j] {
+				t.Fatalf("payload %d differs at byte %d", i, j)
+			}
+		}
+	}
+}
+
+func TestBufferedSymbols(t *testing.T) {
+	c := mustNew(t, Params{K: 10, Ratio: 2.0, MaxBlock: 10})
+	rx := c.NewReceiver().(*receiver)
+	if rx.BufferedSymbols() != 0 {
+		t.Fatal("fresh receiver buffers symbols")
+	}
+	l := c.Layout()
+	// Fill block 0 short of decodable: 4 of 5 needed.
+	for _, id := range l.Blocks[0].Source[:4] {
+		rx.Receive(id)
+	}
+	if got := rx.BufferedSymbols(); got != 4 {
+		t.Fatalf("BufferedSymbols = %d, want 4", got)
+	}
+	// Complete block 0: its symbols stream out.
+	rx.Receive(l.Blocks[0].Source[4])
+	if got := rx.BufferedSymbols(); got != 0 {
+		t.Fatalf("BufferedSymbols = %d after block decode, want 0", got)
+	}
+}

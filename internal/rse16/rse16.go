@@ -1,0 +1,326 @@
+// Package rse16 implements a Reed-Solomon erasure code over GF(2^16): the
+// "large block RSE" alternative the paper's Section 2.2 dismisses on
+// speed grounds. With n <= 65535 a whole 20000-packet object fits one
+// block, so the code is MDS over the entire object — the coupon-collector
+// penalty of the segmented GF(2^8) codec disappears entirely and a
+// receiver decodes from exactly k packets, whatever the schedule.
+//
+// What it costs is arithmetic: multiplications go through log/exp tables
+// instead of a flat 64 KiB product table, and decode inversion is cubic
+// in the number of erased source symbols of the (single, huge) block. The
+// package exists to quantify the paper's claim; see the speed benchmarks
+// and the ablation experiment.
+//
+// Payloads are interpreted as sequences of big-endian 16-bit symbols;
+// PayloadSize must therefore be even.
+package rse16
+
+import (
+	"fmt"
+
+	"fecperf/internal/core"
+	"fecperf/internal/gf65536"
+)
+
+// MaxBlock is the field-imposed limit on encoding symbols per block.
+const MaxBlock = 65535
+
+// Params configures a Code.
+type Params struct {
+	// K is the number of source packets, N the total; N <= 65535.
+	K, N int
+}
+
+// Code is a single-block systematic Reed-Solomon code over GF(2^16),
+// derived from a Vandermonde matrix exactly like the GF(2^8) codec.
+type Code struct {
+	k, n   int
+	layout core.Layout
+	// gen is the (n-k)×k parity generator (systematic form), built
+	// lazily: simulations never need it.
+	gen [][]uint16
+}
+
+// New builds the code.
+func New(p Params) (*Code, error) {
+	if p.K <= 0 {
+		return nil, fmt.Errorf("rse16: k must be positive, got %d", p.K)
+	}
+	if p.N <= p.K {
+		return nil, fmt.Errorf("rse16: need n > k, got k=%d n=%d", p.K, p.N)
+	}
+	if p.N > MaxBlock {
+		return nil, fmt.Errorf("rse16: n=%d exceeds field limit %d", p.N, MaxBlock)
+	}
+	src := make([]int, p.K)
+	for i := range src {
+		src[i] = i
+	}
+	par := make([]int, p.N-p.K)
+	for i := range par {
+		par[i] = p.K + i
+	}
+	c := &Code{
+		k: p.K, n: p.N,
+		layout: core.Layout{K: p.K, N: p.N, Blocks: []core.Block{{Source: src, Parity: par}}},
+	}
+	return c, nil
+}
+
+// Name implements core.Code.
+func (c *Code) Name() string { return "rse16" }
+
+// Layout implements core.Code.
+func (c *Code) Layout() core.Layout { return c.layout }
+
+// NewReceiver implements core.Code: pure MDS counting — done at exactly k
+// distinct packets.
+func (c *Code) NewReceiver() core.Receiver {
+	return &receiver{code: c, got: make([]bool, c.n)}
+}
+
+type receiver struct {
+	code *Code
+	got  []bool
+	seen int
+}
+
+func (r *receiver) Receive(id int) bool {
+	if id < 0 || id >= r.code.n {
+		panic(fmt.Sprintf("rse16: packet id %d outside [0,%d)", id, r.code.n))
+	}
+	if !r.got[id] {
+		r.got[id] = true
+		r.seen++
+	}
+	return r.Done()
+}
+
+func (r *receiver) Done() bool { return r.seen >= r.code.k }
+
+func (r *receiver) SourceRecovered() int {
+	if r.Done() {
+		return r.code.k
+	}
+	n := 0
+	for id := 0; id < r.code.k; id++ {
+		if r.got[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// generator lazily builds the systematic parity generator: the bottom
+// n-k rows of V·V_top^-1 for V = Vandermonde(n, k) over GF(2^16).
+func (c *Code) generator() [][]uint16 {
+	if c.gen != nil {
+		return c.gen
+	}
+	// Build V (n×k) with rows alpha^i.
+	v := make([][]uint16, c.n)
+	for i := 0; i < c.n; i++ {
+		row := make([]uint16, c.k)
+		x := gf65536.Exp(i)
+		for j := 0; j < c.k; j++ {
+			row[j] = gf65536.Pow(x, j)
+		}
+		v[i] = row
+	}
+	topInv := invert(copyRows(v[:c.k]))
+	gen := make([][]uint16, c.n-c.k)
+	for i := range gen {
+		gen[i] = matVecRow(v[c.k+i], topInv)
+	}
+	c.gen = gen
+	return gen
+}
+
+// copyRows deep-copies a square matrix.
+func copyRows(rows [][]uint16) [][]uint16 {
+	out := make([][]uint16, len(rows))
+	for i, r := range rows {
+		out[i] = append([]uint16(nil), r...)
+	}
+	return out
+}
+
+// invert performs Gauss-Jordan inversion in place on a; it panics on a
+// singular matrix (impossible for a Vandermonde top square).
+func invert(a [][]uint16) [][]uint16 {
+	n := len(a)
+	inv := make([][]uint16, n)
+	for i := range inv {
+		inv[i] = make([]uint16, n)
+		inv[i][i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			panic("rse16: singular matrix")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		if p := a[col][col]; p != 1 {
+			ip := gf65536.Inv(p)
+			gf65536.MulSlice(a[col], a[col], ip)
+			gf65536.MulSlice(inv[col], inv[col], ip)
+		}
+		for r := 0; r < n; r++ {
+			if r != col && a[r][col] != 0 {
+				cc := a[r][col]
+				gf65536.AddMul(a[r], a[col], cc)
+				gf65536.AddMul(inv[r], inv[col], cc)
+			}
+		}
+	}
+	return inv
+}
+
+// matVecRow computes row · m for a 1×n row and n×n matrix.
+func matVecRow(row []uint16, m [][]uint16) []uint16 {
+	out := make([]uint16, len(m[0]))
+	for t, c := range row {
+		if c != 0 {
+			gf65536.AddMul(out, m[t], c)
+		}
+	}
+	return out
+}
+
+// toSymbols reinterprets a byte payload as big-endian 16-bit symbols.
+func toSymbols(p []byte) ([]uint16, error) {
+	if len(p)%2 != 0 {
+		return nil, fmt.Errorf("rse16: payload length %d is odd", len(p))
+	}
+	out := make([]uint16, len(p)/2)
+	for i := range out {
+		out[i] = uint16(p[2*i])<<8 | uint16(p[2*i+1])
+	}
+	return out, nil
+}
+
+func toBytes(s []uint16) []byte {
+	out := make([]byte, 2*len(s))
+	for i, v := range s {
+		out[2*i] = byte(v >> 8)
+		out[2*i+1] = byte(v)
+	}
+	return out
+}
+
+// Encode computes the n-k parity payloads from the k source payloads.
+// All payloads must share one even length.
+func (c *Code) Encode(src [][]byte) ([][]byte, error) {
+	if len(src) != c.k {
+		return nil, fmt.Errorf("rse16: expected %d source payloads, got %d", c.k, len(src))
+	}
+	symSrc := make([][]uint16, c.k)
+	symLen := -1
+	for i, p := range src {
+		if symLen == -1 {
+			symLen = len(p)
+		} else if len(p) != symLen {
+			return nil, fmt.Errorf("rse16: payload %d has length %d, want %d", i, len(p), symLen)
+		}
+		s, err := toSymbols(p)
+		if err != nil {
+			return nil, err
+		}
+		symSrc[i] = s
+	}
+	gen := c.generator()
+	parity := make([][]byte, c.n-c.k)
+	for i, row := range gen {
+		acc := make([]uint16, symLen/2)
+		for j, coef := range row {
+			if coef != 0 {
+				gf65536.AddMul(acc, symSrc[j], coef)
+			}
+		}
+		parity[i] = toBytes(acc)
+	}
+	return parity, nil
+}
+
+// Decode rebuilds the k source payloads from any k received (id, payload)
+// pairs. IDs below k are source symbols (identity rows).
+func (c *Code) Decode(ids []int, payloads [][]byte) ([][]byte, error) {
+	if len(ids) != len(payloads) {
+		return nil, fmt.Errorf("rse16: %d ids but %d payloads", len(ids), len(payloads))
+	}
+	out := make([][]byte, c.k)
+	received := make(map[int]int, len(ids))
+	symLen := -1
+	for i, id := range ids {
+		if id < 0 || id >= c.n {
+			return nil, fmt.Errorf("rse16: packet id %d outside [0,%d)", id, c.n)
+		}
+		if symLen == -1 {
+			symLen = len(payloads[i])
+		} else if len(payloads[i]) != symLen {
+			return nil, fmt.Errorf("rse16: ragged payloads")
+		}
+		if _, dup := received[id]; dup {
+			continue
+		}
+		received[id] = i
+		if id < c.k {
+			out[id] = append([]byte(nil), payloads[i]...)
+		}
+	}
+	missing := 0
+	for i := 0; i < c.k; i++ {
+		if out[i] == nil {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return out, nil
+	}
+	if len(received) < c.k {
+		return nil, fmt.Errorf("rse16: undecodable: %d distinct symbols < k=%d", len(received), c.k)
+	}
+
+	gen := c.generator()
+	rows := make([][]uint16, 0, c.k)
+	rhs := make([][]uint16, 0, c.k)
+	for id := 0; id < c.n && len(rows) < c.k; id++ {
+		pi, ok := received[id]
+		if !ok {
+			continue
+		}
+		row := make([]uint16, c.k)
+		if id < c.k {
+			row[id] = 1
+		} else {
+			copy(row, gen[id-c.k])
+		}
+		s, err := toSymbols(payloads[pi])
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		rhs = append(rhs, s)
+	}
+	inv := invert(rows)
+	for i := 0; i < c.k; i++ {
+		if out[i] != nil {
+			continue
+		}
+		acc := make([]uint16, symLen/2)
+		for t, coef := range inv[i] {
+			if coef != 0 {
+				gf65536.AddMul(acc, rhs[t], coef)
+			}
+		}
+		out[i] = toBytes(acc)
+	}
+	return out, nil
+}

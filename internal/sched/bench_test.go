@@ -1,0 +1,37 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"fecperf/internal/core"
+)
+
+func benchLayout() core.Layout {
+	return ldgmLayout(20000, 50000)
+}
+
+func benchSchedule(b *testing.B, s core.Scheduler) {
+	l := benchLayout()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(l, rng)
+	}
+}
+
+func BenchmarkScheduleTx1(b *testing.B) { benchSchedule(b, TxModel1{}) }
+func BenchmarkScheduleTx2(b *testing.B) { benchSchedule(b, TxModel2{}) }
+func BenchmarkScheduleTx4(b *testing.B) { benchSchedule(b, TxModel4{}) }
+func BenchmarkScheduleTx6(b *testing.B) { benchSchedule(b, TxModel6{}) }
+
+func BenchmarkScheduleTx5MultiBlock(b *testing.B) {
+	l := rseLayout(196, 102, 153)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TxModel5{}.Schedule(l, rng)
+	}
+}

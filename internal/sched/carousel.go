@@ -1,0 +1,59 @@
+package sched
+
+// This file implements the data-carousel extension the paper's conclusion
+// points at ("transmission reliability is achieved through the massive use
+// of FEC and complementary techniques, e.g. cyclic transmissions within a
+// carousel"): the object's packets are transmitted in rounds, so receivers
+// that join late or sit behind channels worse than the FEC expansion
+// ratio can tolerate still complete eventually.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fecperf/internal/core"
+)
+
+// Carousel repeats an inner transmission model for a number of rounds.
+// Each round draws a fresh schedule from the inner model, so randomised
+// models re-randomise between rounds (matching ALC session behaviour,
+// where each pass over the object may reorder packets).
+type Carousel struct {
+	// Inner is the per-round transmission model (nil = TxModel4).
+	Inner core.Scheduler
+	// Rounds is the number of passes (0 = 2).
+	Rounds int
+}
+
+// Name implements core.Scheduler.
+func (c Carousel) Name() string {
+	return fmt.Sprintf("carousel(%s×%d)", c.inner().Name(), c.rounds())
+}
+
+func (c Carousel) inner() core.Scheduler {
+	if c.Inner == nil {
+		return TxModel4{}
+	}
+	return c.Inner
+}
+
+func (c Carousel) rounds() int {
+	if c.Rounds == 0 {
+		return 2
+	}
+	return c.Rounds
+}
+
+// Schedule implements core.Scheduler.
+func (c Carousel) Schedule(l core.Layout, rng *rand.Rand) []int {
+	r := c.rounds()
+	if r < 1 {
+		panic(fmt.Sprintf("sched: carousel rounds %d < 1", r))
+	}
+	inner := c.inner()
+	var out []int
+	for i := 0; i < r; i++ {
+		out = append(out, inner.Schedule(l, rng)...)
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+// Package sched implements the packet transmission models of the
+// reproduced paper (Section 4) and the reception model of Section 5:
+//
+//	Tx_model_1 — source packets sequentially, then parity sequentially
+//	Tx_model_2 — source packets sequentially, then parity randomly
+//	Tx_model_3 — parity packets sequentially, then source randomly
+//	Tx_model_4 — everything in one fully random order
+//	Tx_model_5 — interleaving (round-robin across blocks for small-block
+//	             codes; proportional source/parity mixing for LDGM)
+//	Tx_model_6 — a random subset of source packets plus all parity
+//	             packets, in random order
+//	Rx_model_1 — a fixed number of source packets first, then parity
+//	             packets in random order
+//
+// plus the no-FEC ×R repetition scheme used by the paper's Figure 7
+// motivation experiment. Schedulers are pure: they derive a transmission
+// order from a layout and a per-trial random source, so every trial can
+// re-randomise independently and reproducibly.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fecperf/internal/core"
+)
+
+// sequentialSource returns 0..K-1.
+func sequentialSource(l core.Layout) []int {
+	out := make([]int, l.K)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// sequentialParity returns K..N-1.
+func sequentialParity(l core.Layout) []int {
+	out := make([]int, l.N-l.K)
+	for i := range out {
+		out[i] = l.K + i
+	}
+	return out
+}
+
+func shuffled(ids []int, rng *rand.Rand) []int {
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	return ids
+}
+
+// TxModel1 sends all source packets sequentially, then all parity packets
+// sequentially. The paper's verdict: "definitively bad".
+type TxModel1 struct{}
+
+// Name implements core.Scheduler.
+func (TxModel1) Name() string { return "tx1" }
+
+// Schedule implements core.Scheduler.
+func (TxModel1) Schedule(l core.Layout, _ *rand.Rand) []int {
+	return append(sequentialSource(l), sequentialParity(l)...)
+}
+
+// TxModel2 sends source packets sequentially, then parity packets in a
+// random order. The paper's preferred scheme for LDGM codes at low loss.
+type TxModel2 struct{}
+
+// Name implements core.Scheduler.
+func (TxModel2) Name() string { return "tx2" }
+
+// Schedule implements core.Scheduler.
+func (TxModel2) Schedule(l core.Layout, rng *rand.Rand) []int {
+	return append(sequentialSource(l), shuffled(sequentialParity(l), rng)...)
+}
+
+// TxModel3 sends all parity packets sequentially, then the source packets
+// in a random order (the dual of TxModel2; Section 4.5 keeps only the
+// random-source variant).
+type TxModel3 struct{}
+
+// Name implements core.Scheduler.
+func (TxModel3) Name() string { return "tx3" }
+
+// Schedule implements core.Scheduler.
+func (TxModel3) Schedule(l core.Layout, rng *rand.Rand) []int {
+	return append(sequentialParity(l), shuffled(sequentialSource(l), rng)...)
+}
+
+// TxModel4 sends every packet in one fully random order — the paper's
+// recommended scheme when the channel is unknown (with LDGM Triangle).
+type TxModel4 struct{}
+
+// Name implements core.Scheduler.
+func (TxModel4) Name() string { return "tx4" }
+
+// Schedule implements core.Scheduler.
+func (TxModel4) Schedule(l core.Layout, rng *rand.Rand) []int {
+	out := make([]int, l.N)
+	for i := range out {
+		out[i] = i
+	}
+	return shuffled(out, rng)
+}
+
+// TxModel5 is packet interleaving (Section 4.7). For multi-block codes
+// (RSE) it maximises the distance between two packets of the same block by
+// sending in-block symbol 0 of every block, then symbol 1 of every block,
+// and so on. For single-block codes (LDGM-*) the paper's adaptation mixes
+// one source packet with n/k - 1 parity packets; we realise that with an
+// exact proportional merge of the sequential source and parity streams.
+type TxModel5 struct{}
+
+// Name implements core.Scheduler.
+func (TxModel5) Name() string { return "tx5" }
+
+// Schedule implements core.Scheduler.
+func (TxModel5) Schedule(l core.Layout, _ *rand.Rand) []int {
+	if len(l.Blocks) > 1 {
+		return interleaveBlocks(l)
+	}
+	return proportionalMerge(sequentialSource(l), sequentialParity(l))
+}
+
+// interleaveBlocks emits one symbol per block per round: all the first
+// symbols, then all the second symbols, etc. Within a block, source
+// symbols come before parity symbols, matching the ESI order of the codec.
+func interleaveBlocks(l core.Layout) []int {
+	maxLen := 0
+	for _, b := range l.Blocks {
+		if n := len(b.Source) + len(b.Parity); n > maxLen {
+			maxLen = n
+		}
+	}
+	out := make([]int, 0, l.N)
+	for round := 0; round < maxLen; round++ {
+		for _, b := range l.Blocks {
+			switch {
+			case round < len(b.Source):
+				out = append(out, b.Source[round])
+			case round < len(b.Source)+len(b.Parity):
+				out = append(out, b.Parity[round-len(b.Source)])
+			}
+		}
+	}
+	return out
+}
+
+// proportionalMerge interleaves two streams so that after every prefix the
+// emitted counts match the global s:p proportion as closely as possible
+// (largest-remainder walk, a Bresenham line between the two stream counts).
+func proportionalMerge(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	ia, ib := 0, 0
+	na, nb := len(a), len(b)
+	// errAcc tracks na*ib - nb*ia; emit from the stream lagging its quota.
+	for ia < na || ib < nb {
+		switch {
+		case ia == na:
+			out = append(out, b[ib])
+			ib++
+		case ib == nb:
+			out = append(out, a[ia])
+			ia++
+		case (ia+1)*nb <= (ib+1)*na:
+			out = append(out, a[ia])
+			ia++
+		default:
+			out = append(out, b[ib])
+			ib++
+		}
+	}
+	return out
+}
+
+// TxModel6 sends a random fraction of the source packets plus all parity
+// packets, everything shuffled together (Section 4.8; the paper uses 20%
+// and requires a high expansion ratio so that enough packets remain).
+type TxModel6 struct {
+	// SourceFraction is the fraction of source packets transmitted.
+	// Zero means the paper's 0.20.
+	SourceFraction float64
+}
+
+// Name implements core.Scheduler.
+func (t TxModel6) Name() string { return "tx6" }
+
+// Schedule implements core.Scheduler.
+func (t TxModel6) Schedule(l core.Layout, rng *rand.Rand) []int {
+	frac := t.SourceFraction
+	if frac == 0 {
+		frac = 0.20
+	}
+	if frac < 0 || frac > 1 {
+		panic(fmt.Sprintf("sched: tx6 source fraction %g outside [0,1]", frac))
+	}
+	nSrc := int(frac*float64(l.K) + 0.5)
+	src := shuffled(sequentialSource(l), rng)[:nSrc]
+	out := append(src, sequentialParity(l)...)
+	return shuffled(out, rng)
+}
+
+// RxModel1 is the reception model of Section 5.1: the receiver first
+// obtains SourceCount randomly chosen source packets (guaranteed, in any
+// order), then the parity packets in random order. Pair it with a no-loss
+// channel: the model already *is* the reception behaviour.
+type RxModel1 struct {
+	// SourceCount is the number of source packets delivered up front.
+	SourceCount int
+}
+
+// Name implements core.Scheduler.
+func (r RxModel1) Name() string { return fmt.Sprintf("rx1(src=%d)", r.SourceCount) }
+
+// Schedule implements core.Scheduler.
+func (r RxModel1) Schedule(l core.Layout, rng *rand.Rand) []int {
+	if r.SourceCount < 0 || r.SourceCount > l.K {
+		panic(fmt.Sprintf("sched: rx1 source count %d outside [0,%d]", r.SourceCount, l.K))
+	}
+	src := shuffled(sequentialSource(l), rng)[:r.SourceCount]
+	return append(src, shuffled(sequentialParity(l), rng)...)
+}
+
+// Repeat is the no-FEC scheme of Section 4.2 (Figure 7): every source
+// packet is sent Times times and the whole sequence is shuffled. Pair it
+// with a replication "code" whose receiver simply collects the k distinct
+// source packets.
+type Repeat struct {
+	// Times is the repetition factor; zero means the paper's 2.
+	Times int
+}
+
+// Name implements core.Scheduler.
+func (r Repeat) Name() string { return fmt.Sprintf("repeat×%d", r.times()) }
+
+func (r Repeat) times() int {
+	if r.Times == 0 {
+		return 2
+	}
+	return r.Times
+}
+
+// Schedule implements core.Scheduler.
+func (r Repeat) Schedule(l core.Layout, rng *rand.Rand) []int {
+	t := r.times()
+	if t < 1 {
+		panic(fmt.Sprintf("sched: repetition factor %d < 1", t))
+	}
+	out := make([]int, 0, l.K*t)
+	for rep := 0; rep < t; rep++ {
+		out = append(out, sequentialSource(l)...)
+	}
+	return shuffled(out, rng)
+}
+
+// ByName returns the transmission model with the given short name
+// ("tx1".."tx6"), as used by the CLI tools.
+func ByName(name string) (core.Scheduler, error) {
+	switch name {
+	case "tx1":
+		return TxModel1{}, nil
+	case "tx2":
+		return TxModel2{}, nil
+	case "tx3":
+		return TxModel3{}, nil
+	case "tx4":
+		return TxModel4{}, nil
+	case "tx5":
+		return TxModel5{}, nil
+	case "tx6":
+		return TxModel6{}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown transmission model %q", name)
+	}
+}
+
+// All returns the six transmission models in paper order.
+func All() []core.Scheduler {
+	return []core.Scheduler{TxModel1{}, TxModel2{}, TxModel3{}, TxModel4{}, TxModel5{}, TxModel6{}}
+}

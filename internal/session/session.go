@@ -1,0 +1,333 @@
+// Package session implements a minimal FLUTE-like unidirectional object
+// delivery session on top of the wire format: a sender FEC-encodes a byte
+// object, schedules its packets with one of the paper's transmission
+// models and emits self-describing datagrams; a receiver reconstructs
+// objects from whatever subset of datagrams arrives, in any order, with
+// no feedback channel.
+//
+// This is the deployment context the paper optimises (Section 1:
+// FLUTE/ALC content broadcasting), reduced to its essence: every datagram
+// carries the FEC Object Transmission Information needed to bootstrap a
+// decoder, so receivers may join at any time.
+package session
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"fecperf/internal/core"
+	"fecperf/internal/ldpc"
+	"fecperf/internal/rse"
+	"fecperf/internal/sched"
+	"fecperf/internal/wire"
+)
+
+// lengthPrefix is prepended to the object so the receiver can strip the
+// padding added to fill the last symbol.
+const lengthPrefix = 8
+
+// SenderConfig configures EncodeObject / Send.
+type SenderConfig struct {
+	// ObjectID tags every datagram of this object.
+	ObjectID uint32
+	// Family selects the FEC code.
+	Family wire.CodeFamily
+	// Ratio is the FEC expansion ratio n/k (e.g. 1.5).
+	Ratio float64
+	// PayloadSize is the symbol size in bytes (e.g. 1024).
+	PayloadSize int
+	// Seed fixes the LDGM construction; it travels in every datagram.
+	Seed int64
+	// Scheduler orders the transmission (nil = Tx_model_4, the paper's
+	// recommendation for unknown channels).
+	Scheduler core.Scheduler
+	// NSent truncates the transmission (0 = send everything).
+	NSent int
+}
+
+// Object is an encoded object ready for transmission.
+type Object struct {
+	cfg     SenderConfig
+	code    core.Code
+	symbols [][]byte // k source + n-k parity payloads, indexed by packet ID
+}
+
+// EncodeObject splits data into symbols, FEC-encodes it and returns the
+// transmissible object. The object length is embedded so the receiver can
+// strip end-of-object padding.
+func EncodeObject(data []byte, cfg SenderConfig) (*Object, error) {
+	if cfg.PayloadSize <= 0 {
+		return nil, fmt.Errorf("session: payload size must be positive, got %d", cfg.PayloadSize)
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("session: empty object")
+	}
+	buf := make([]byte, lengthPrefix+len(data))
+	binary.BigEndian.PutUint64(buf, uint64(len(data)))
+	copy(buf[lengthPrefix:], data)
+
+	k := (len(buf) + cfg.PayloadSize - 1) / cfg.PayloadSize
+	src := make([][]byte, k)
+	for i := range src {
+		src[i] = make([]byte, cfg.PayloadSize)
+		lo := i * cfg.PayloadSize
+		hi := lo + cfg.PayloadSize
+		if hi > len(buf) {
+			hi = len(buf)
+		}
+		copy(src[i], buf[lo:hi])
+	}
+
+	code, parity, err := encodeWith(cfg.Family, k, cfg.Ratio, cfg.Seed, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Object{cfg: cfg, code: code, symbols: append(src, parity...)}, nil
+}
+
+func encodeWith(f wire.CodeFamily, k int, ratio float64, seed int64, src [][]byte) (core.Code, [][]byte, error) {
+	switch f {
+	case wire.CodeRSE:
+		c, err := rse.New(rse.Params{K: k, Ratio: ratio})
+		if err != nil {
+			return nil, nil, err
+		}
+		parity, err := c.Encode(src)
+		return c, parity, err
+	case wire.CodeLDGM, wire.CodeLDGMStaircase, wire.CodeLDGMTriangle:
+		v := ldpc.Plain
+		switch f {
+		case wire.CodeLDGMStaircase:
+			v = ldpc.Staircase
+		case wire.CodeLDGMTriangle:
+			v = ldpc.Triangle
+		}
+		n := int(float64(k)*ratio + 0.5)
+		c, err := ldpc.New(ldpc.Params{K: k, N: n, Variant: v, Seed: seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		parity, err := c.Encode(src)
+		return c, parity, err
+	default:
+		return nil, nil, fmt.Errorf("session: unsupported code family %v", f)
+	}
+}
+
+// K returns the number of source symbols.
+func (o *Object) K() int { return o.code.Layout().K }
+
+// N returns the total number of symbols.
+func (o *Object) N() int { return o.code.Layout().N }
+
+// Datagram serialises the datagram for packet id.
+func (o *Object) Datagram(id int) ([]byte, error) {
+	l := o.code.Layout()
+	if id < 0 || id >= l.N {
+		return nil, fmt.Errorf("session: packet id %d outside [0,%d)", id, l.N)
+	}
+	p := wire.Packet{
+		Family:   o.cfg.Family,
+		ObjectID: o.cfg.ObjectID,
+		PacketID: uint32(id),
+		K:        uint32(l.K),
+		N:        uint32(l.N),
+		Seed:     o.cfg.Seed,
+		Payload:  o.symbols[id],
+	}
+	return p.Encode()
+}
+
+// Send schedules the object's packets and hands each datagram to emit, in
+// transmission order. emit returning an error aborts the transmission.
+func (o *Object) Send(rng *rand.Rand, emit func([]byte) error) error {
+	s := o.cfg.Scheduler
+	if s == nil {
+		s = sched.TxModel4{}
+	}
+	schedule := s.Schedule(o.code.Layout(), rng)
+	nsent := o.cfg.NSent
+	if nsent <= 0 || nsent > len(schedule) {
+		nsent = len(schedule)
+	}
+	for _, id := range schedule[:nsent] {
+		d, err := o.Datagram(id)
+		if err != nil {
+			return err
+		}
+		if err := emit(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Receiver reconstructs objects from datagrams. One receiver can track
+// any number of interleaved objects (an ALC session may multiplex them).
+type Receiver struct {
+	objects map[uint32]*objectState
+	done    map[uint32][]byte
+}
+
+type objectState struct {
+	family  wire.CodeFamily
+	k, n    int
+	seed    int64
+	symLen  int
+	ldgmDec *ldpc.Decoder
+	rseCode *rse.Code
+	rseRx   core.Receiver
+	rseIDs  []int
+	rsePay  [][]byte
+	packets int
+}
+
+// NewReceiver returns an empty receiver.
+func NewReceiver() *Receiver {
+	return &Receiver{objects: make(map[uint32]*objectState), done: make(map[uint32][]byte)}
+}
+
+// Ingest processes one datagram. It returns (objectID, true, data) when
+// this datagram completed an object. Datagrams for already-completed
+// objects are ignored. Malformed datagrams return an error and are
+// otherwise harmless.
+func (r *Receiver) Ingest(datagram []byte) (objectID uint32, complete bool, data []byte, err error) {
+	p, err := wire.Decode(datagram)
+	if err != nil {
+		return 0, false, nil, err
+	}
+	if _, ok := r.done[p.ObjectID]; ok {
+		return p.ObjectID, false, nil, nil
+	}
+	st, ok := r.objects[p.ObjectID]
+	if !ok {
+		st, err = newObjectState(p)
+		if err != nil {
+			return p.ObjectID, false, nil, err
+		}
+		r.objects[p.ObjectID] = st
+	}
+	if err := st.consistent(p); err != nil {
+		return p.ObjectID, false, nil, err
+	}
+	finished, err := st.add(p)
+	if err != nil || !finished {
+		return p.ObjectID, false, nil, err
+	}
+	raw, err := st.assemble()
+	if err != nil {
+		return p.ObjectID, false, nil, err
+	}
+	delete(r.objects, p.ObjectID)
+	r.done[p.ObjectID] = raw
+	return p.ObjectID, true, raw, nil
+}
+
+// Object returns a completed object's data.
+func (r *Receiver) Object(id uint32) ([]byte, bool) {
+	d, ok := r.done[id]
+	return d, ok
+}
+
+// PacketsIngested reports how many valid datagrams an in-flight object
+// has consumed (0 for unknown or completed objects).
+func (r *Receiver) PacketsIngested(id uint32) int {
+	if st, ok := r.objects[id]; ok {
+		return st.packets
+	}
+	return 0
+}
+
+func newObjectState(p *wire.Packet) (*objectState, error) {
+	st := &objectState{
+		family: p.Family,
+		k:      int(p.K),
+		n:      int(p.N),
+		seed:   p.Seed,
+		symLen: len(p.Payload),
+	}
+	if st.symLen == 0 {
+		return nil, fmt.Errorf("session: zero-length symbol")
+	}
+	switch p.Family {
+	case wire.CodeRSE:
+		c, err := rse.New(rse.Params{K: st.k, Ratio: float64(st.n) / float64(st.k)})
+		if err != nil {
+			return nil, err
+		}
+		if c.Layout().N != st.n {
+			return nil, fmt.Errorf("session: RSE geometry mismatch: rebuilt n=%d, wire n=%d", c.Layout().N, st.n)
+		}
+		st.rseCode = c
+		st.rseRx = c.NewReceiver()
+	case wire.CodeLDGM, wire.CodeLDGMStaircase, wire.CodeLDGMTriangle:
+		v := ldpc.Plain
+		switch p.Family {
+		case wire.CodeLDGMStaircase:
+			v = ldpc.Staircase
+		case wire.CodeLDGMTriangle:
+			v = ldpc.Triangle
+		}
+		c, err := ldpc.New(ldpc.Params{K: st.k, N: st.n, Variant: v, Seed: st.seed})
+		if err != nil {
+			return nil, err
+		}
+		st.ldgmDec = c.NewPayloadDecoder(st.symLen)
+	default:
+		return nil, fmt.Errorf("session: unsupported code family %v", p.Family)
+	}
+	return st, nil
+}
+
+func (st *objectState) consistent(p *wire.Packet) error {
+	if int(p.K) != st.k || int(p.N) != st.n || p.Seed != st.seed ||
+		p.Family != st.family || len(p.Payload) != st.symLen {
+		return fmt.Errorf("session: datagram inconsistent with object %d's OTI", p.ObjectID)
+	}
+	return nil
+}
+
+func (st *objectState) add(p *wire.Packet) (bool, error) {
+	st.packets++
+	id := int(p.PacketID)
+	if st.ldgmDec != nil {
+		payload := append([]byte(nil), p.Payload...)
+		return st.ldgmDec.ReceivePayload(id, payload), nil
+	}
+	// RSE: buffer payloads, decode per the MDS counting receiver.
+	st.rseIDs = append(st.rseIDs, id)
+	st.rsePay = append(st.rsePay, append([]byte(nil), p.Payload...))
+	return st.rseRx.Receive(id), nil
+}
+
+func (st *objectState) assemble() ([]byte, error) {
+	var symbols [][]byte
+	if st.ldgmDec != nil {
+		symbols = make([][]byte, st.k)
+		for i := 0; i < st.k; i++ {
+			symbols[i] = st.ldgmDec.Source(i)
+			if symbols[i] == nil {
+				return nil, fmt.Errorf("session: decoder claims done but source %d missing", i)
+			}
+		}
+	} else {
+		dec, err := st.rseCode.Decode(st.rseIDs, st.rsePay)
+		if err != nil {
+			return nil, err
+		}
+		symbols = dec
+	}
+	buf := make([]byte, 0, st.k*st.symLen)
+	for _, s := range symbols {
+		buf = append(buf, s...)
+	}
+	if len(buf) < lengthPrefix {
+		return nil, fmt.Errorf("session: object too short for length prefix")
+	}
+	objLen := binary.BigEndian.Uint64(buf)
+	if objLen > uint64(len(buf)-lengthPrefix) {
+		return nil, fmt.Errorf("session: corrupt length prefix %d > %d available", objLen, len(buf)-lengthPrefix)
+	}
+	return buf[lengthPrefix : lengthPrefix+int(objLen)], nil
+}

@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"testing"
+
+	"fecperf/internal/channel"
+	"fecperf/internal/ldpc"
+	"fecperf/internal/sched"
+)
+
+func BenchmarkRunSingleCell(b *testing.B) {
+	code, err := ldpc.New(ldpc.Params{K: 2000, N: 5000, Variant: ldpc.Staircase, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		Code:      code,
+		Scheduler: sched.TxModel4{},
+		Channel:   channel.GilbertFactory{P: 0.05, Q: 0.5},
+		Trials:    10,
+		Seed:      1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(cfg)
+	}
+}
+
+func BenchmarkSweep4x4(b *testing.B) {
+	code, err := ldpc.New(ldpc.Params{K: 500, N: 1250, Variant: ldpc.Triangle, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	axis := []float64{0, 0.05, 0.2, 0.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sweep(SweepConfig{Code: code, Scheduler: sched.TxModel4{}, P: axis, Q: axis, Trials: 5, Seed: 1})
+	}
+}

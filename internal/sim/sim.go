@@ -1,0 +1,179 @@
+// Package sim is the measurement harness of the study: it runs repeated
+// reception trials (Section 4.1's methodology) and sweeps them over (p, q)
+// grids of Gilbert channel parameters, producing the aggregates behind
+// every figure and table of the paper.
+//
+// Methodology reproduced exactly:
+//   - each grid cell runs a configurable number of trials (the paper: 100);
+//   - each trial redraws the schedule and a fresh channel realisation;
+//   - the per-trial metric is inef = n_necessary_for_decoding / k;
+//   - a cell where any trial fails to decode reports Failed() — the paper
+//     plots no point there ("-" in the appendix tables).
+//
+// Sweeps parallelise across grid cells with a bounded worker pool; results
+// are deterministic in Config.Seed regardless of worker scheduling because
+// every cell derives its own seed.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"fecperf/internal/channel"
+	"fecperf/internal/core"
+	"fecperf/internal/stats"
+)
+
+// PaperGrid is the 14-value axis used by the paper's 14×14 (p, q) sweeps,
+// in probability units: {0, 1, 5, 10, 15, 20, 30, ..., 100}%.
+var PaperGrid = []float64{0, 0.01, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 1.00}
+
+// Config describes one measurement point: a code, a transmission model, a
+// channel family and the trial protocol.
+type Config struct {
+	Code      core.Code
+	Scheduler core.Scheduler
+	Channel   channel.Factory
+	// Trials is the number of independent receptions; zero means 100
+	// (the paper's count).
+	Trials int
+	// Seed makes the whole measurement reproducible.
+	Seed int64
+	// NSent optionally truncates every schedule (Section 6's stopping
+	// optimisation); zero sends the full schedule.
+	NSent int
+}
+
+func (c Config) trials() int {
+	if c.Trials == 0 {
+		return 100
+	}
+	return c.Trials
+}
+
+// Aggregate summarises the trials of one measurement point.
+type Aggregate struct {
+	// Trials is the number run; Failures how many did not decode.
+	Trials, Failures int
+	// Ineff aggregates inefficiency over *successful* trials.
+	Ineff stats.Accumulator
+	// ReceivedOverK aggregates n_received/k over all trials: the
+	// companion curve the paper plots alongside the inefficiency.
+	ReceivedOverK stats.Accumulator
+}
+
+// Failed reports whether at least one trial failed — the paper's strict
+// criterion for leaving a grid cell blank.
+func (a Aggregate) Failed() bool { return a.Failures > 0 }
+
+// MeanIneff returns the average inefficiency over successful trials.
+func (a Aggregate) MeanIneff() float64 { return a.Ineff.Mean() }
+
+// String renders the cell the way the appendix tables do: a ratio with
+// three decimals or "-" when any trial failed.
+func (a Aggregate) String() string {
+	if a.Failed() || a.Ineff.N() == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", a.MeanIneff())
+}
+
+// Run executes the trials of one measurement point sequentially.
+func Run(cfg Config) Aggregate {
+	if cfg.Code == nil || cfg.Scheduler == nil || cfg.Channel == nil {
+		panic("sim: Config requires Code, Scheduler and Channel")
+	}
+	layout := cfg.Code.Layout()
+	k := float64(layout.K)
+	var agg Aggregate
+	agg.Trials = cfg.trials()
+	for t := 0; t < agg.Trials; t++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
+		schedule := cfg.Scheduler.Schedule(layout, rng)
+		ch := cfg.Channel.New(rng)
+		res := core.RunTrial(schedule, ch, cfg.Code.NewReceiver(), cfg.NSent)
+		agg.ReceivedOverK.Add(float64(res.NReceived) / k)
+		if res.Decoded {
+			agg.Ineff.Add(res.Inefficiency(layout.K))
+		} else {
+			agg.Failures++
+		}
+	}
+	return agg
+}
+
+// Grid is the result of a (p, q) sweep: Cells[i][j] corresponds to
+// P[i], Q[j].
+type Grid struct {
+	P, Q  []float64
+	Cells [][]Aggregate
+}
+
+// At returns the aggregate for (P[i], Q[j]).
+func (g *Grid) At(i, j int) Aggregate { return g.Cells[i][j] }
+
+// SweepConfig describes a full grid sweep.
+type SweepConfig struct {
+	Code      core.Code
+	Scheduler core.Scheduler
+	// P and Q are the grid axes; nil means PaperGrid.
+	P, Q []float64
+	// Trials per cell (0 = 100) and base Seed.
+	Trials int
+	Seed   int64
+	// NSent truncates schedules as in Config.
+	NSent int
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Sweep measures every (p, q) cell of the grid, in parallel, and returns
+// the filled grid. Results are deterministic in Seed.
+func Sweep(cfg SweepConfig) *Grid {
+	ps, qs := cfg.P, cfg.Q
+	if ps == nil {
+		ps = PaperGrid
+	}
+	if qs == nil {
+		qs = PaperGrid
+	}
+	g := &Grid{P: ps, Q: qs, Cells: make([][]Aggregate, len(ps))}
+	for i := range g.Cells {
+		g.Cells[i] = make([]Aggregate, len(qs))
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct{ i, j int }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				cellSeed := cfg.Seed + int64(jb.i)*1_000_003 + int64(jb.j)*29_989
+				g.Cells[jb.i][jb.j] = Run(Config{
+					Code:      cfg.Code,
+					Scheduler: cfg.Scheduler,
+					Channel:   channel.GilbertFactory{P: ps[jb.i], Q: qs[jb.j]},
+					Trials:    cfg.Trials,
+					Seed:      cellSeed,
+					NSent:     cfg.NSent,
+				})
+			}
+		}()
+	}
+	for i := range ps {
+		for j := range qs {
+			jobs <- job{i, j}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return g
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"fecperf/internal/channel"
+	"fecperf/internal/core"
+	"fecperf/internal/ldpc"
+	"fecperf/internal/rse"
+	"fecperf/internal/sched"
+)
+
+func staircase(t *testing.T, k int, ratio float64) core.Code {
+	t.Helper()
+	c, err := ldpc.New(ldpc.Params{K: k, N: int(float64(k) * ratio), Variant: ldpc.Staircase, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRunNoLossTx1IsPerfect(t *testing.T) {
+	// Figure 8 observation: with p=0 and Tx_model_1 the inefficiency is
+	// exactly 1.0 for every code (all source packets arrive first).
+	codes := []core.Code{staircase(t, 200, 2.5)}
+	if rc, err := rse.New(rse.Params{K: 200, Ratio: 2.5}); err == nil {
+		codes = append(codes, rc)
+	} else {
+		t.Fatal(err)
+	}
+	for _, c := range codes {
+		agg := Run(Config{Code: c, Scheduler: sched.TxModel1{}, Channel: channel.NoLossFactory{}, Trials: 5, Seed: 1})
+		if agg.Failed() {
+			t.Fatalf("%s: trial failed on perfect channel", c.Name())
+		}
+		if got := agg.MeanIneff(); got != 1.0 {
+			t.Fatalf("%s: inefficiency %g, want exactly 1.0", c.Name(), got)
+		}
+	}
+}
+
+func TestRunDeterministicInSeed(t *testing.T) {
+	c := staircase(t, 100, 2.5)
+	cfg := Config{Code: c, Scheduler: sched.TxModel4{}, Channel: channel.GilbertFactory{P: 0.1, Q: 0.5}, Trials: 20, Seed: 99}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.MeanIneff() != b.MeanIneff() || a.Failures != b.Failures {
+		t.Fatalf("same seed produced different aggregates: %v vs %v", a, b)
+	}
+	cfg.Seed = 100
+	cbis := Run(cfg)
+	if cbis.MeanIneff() == a.MeanIneff() {
+		t.Fatal("different seeds produced identical means (suspicious)")
+	}
+}
+
+func TestRunCountsFailures(t *testing.T) {
+	// A brutal channel (p=1, q=0) after the first packet: nothing decodes.
+	c := staircase(t, 50, 1.5)
+	agg := Run(Config{Code: c, Scheduler: sched.TxModel1{}, Channel: channel.GilbertFactory{P: 1, Q: 0}, Trials: 10, Seed: 3})
+	if !agg.Failed() || agg.Failures != 10 {
+		t.Fatalf("failures = %d, want 10", agg.Failures)
+	}
+	if agg.String() != "-" {
+		t.Fatalf("failed cell renders %q, want \"-\"", agg.String())
+	}
+}
+
+func TestRunNSentTruncationCausesFailure(t *testing.T) {
+	// Sending only half the source packets of a no-parity schedule can
+	// never decode.
+	c := staircase(t, 100, 2.5)
+	agg := Run(Config{Code: c, Scheduler: sched.TxModel1{}, Channel: channel.NoLossFactory{}, Trials: 3, Seed: 4, NSent: 50})
+	if !agg.Failed() {
+		t.Fatal("expected failures with truncated transmission")
+	}
+}
+
+func TestReceivedOverKTracksChannel(t *testing.T) {
+	c := staircase(t, 200, 2.0)
+	agg := Run(Config{Code: c, Scheduler: sched.TxModel4{}, Channel: channel.GilbertFactory{P: 0.5, Q: 0.5}, Trials: 50, Seed: 5})
+	// n_received/k should hover near (1 - 0.5) * n/k = 1.0.
+	if got := agg.ReceivedOverK.Mean(); math.Abs(got-1.0) > 0.05 {
+		t.Fatalf("ReceivedOverK mean %g, want ≈1.0", got)
+	}
+}
+
+func TestAggregateStringFormatsRatio(t *testing.T) {
+	c := staircase(t, 100, 2.5)
+	agg := Run(Config{Code: c, Scheduler: sched.TxModel2{}, Channel: channel.NoLossFactory{}, Trials: 2, Seed: 6})
+	if agg.String() != "1.000" {
+		t.Fatalf("String = %q, want 1.000", agg.String())
+	}
+}
+
+func TestSweepShapeAndDeterminism(t *testing.T) {
+	c := staircase(t, 80, 2.5)
+	cfg := SweepConfig{
+		Code:      c,
+		Scheduler: sched.TxModel4{},
+		P:         []float64{0, 0.2},
+		Q:         []float64{0.5, 1},
+		Trials:    10,
+		Seed:      7,
+		Workers:   3,
+	}
+	g1 := Sweep(cfg)
+	g2 := Sweep(cfg)
+	if len(g1.Cells) != 2 || len(g1.Cells[0]) != 2 {
+		t.Fatalf("grid shape %dx%d, want 2x2", len(g1.Cells), len(g1.Cells[0]))
+	}
+	for i := range g1.Cells {
+		for j := range g1.Cells[i] {
+			a, b := g1.At(i, j), g2.At(i, j)
+			if a.MeanIneff() != b.MeanIneff() || a.Failures != b.Failures {
+				t.Fatalf("cell (%d,%d) differs across identical sweeps", i, j)
+			}
+		}
+	}
+	// p=0 row must be perfect for tx4? Not necessarily 1.0 (random order),
+	// but it must decode.
+	if g1.At(0, 0).Failed() {
+		t.Fatal("p=0 cell failed")
+	}
+}
+
+func TestSweepDefaultsToPaperGrid(t *testing.T) {
+	c := staircase(t, 30, 2.5)
+	g := Sweep(SweepConfig{Code: c, Scheduler: sched.TxModel2{}, Trials: 1, Seed: 8})
+	if len(g.P) != 14 || len(g.Q) != 14 {
+		t.Fatalf("default grid %dx%d, want 14x14", len(g.P), len(g.Q))
+	}
+}
+
+func TestRunPanicsOnIncompleteConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run with nil fields did not panic")
+		}
+	}()
+	Run(Config{})
+}
+
+func TestPaperGridValues(t *testing.T) {
+	if PaperGrid[0] != 0 || PaperGrid[len(PaperGrid)-1] != 1 {
+		t.Fatal("PaperGrid endpoints wrong")
+	}
+	for i := 1; i < len(PaperGrid); i++ {
+		if PaperGrid[i] <= PaperGrid[i-1] {
+			t.Fatal("PaperGrid not increasing")
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Package stats provides the small statistical accumulators used by the
+// simulation harness: streaming mean/variance (Welford) and min/max
+// tracking. Kept separate so both the sweep engine and the CLI tools can
+// aggregate without duplicating numerics.
+package stats
+
+import "math"
+
+// Accumulator tracks count, mean, variance, min and max of a stream of
+// float64 samples in O(1) memory. The zero value is ready to use.
+type Accumulator struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add inserts one sample.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of samples.
+func (a Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (a Accumulator) Mean() float64 { return a.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 samples).
+func (a Accumulator) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a Accumulator) StdDev() float64 { return math.Sqrt(a.Var()) }
+
+// Min returns the smallest sample (0 with no samples).
+func (a Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample (0 with no samples).
+func (a Accumulator) Max() float64 { return a.max }

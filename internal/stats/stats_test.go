@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValue(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Var() != 0 || a.StdDev() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Fatal("zero value not all-zero")
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	var a Accumulator
+	a.Add(5)
+	if a.N() != 1 || a.Mean() != 5 || a.Min() != 5 || a.Max() != 5 || a.Var() != 0 {
+		t.Fatalf("got n=%d mean=%g min=%g max=%g var=%g", a.N(), a.Mean(), a.Min(), a.Max(), a.Var())
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.Mean() != 5 {
+		t.Fatalf("mean %g, want 5", a.Mean())
+	}
+	// Unbiased variance of that classic dataset is 32/7.
+	if want := 32.0 / 7.0; math.Abs(a.Var()-want) > 1e-12 {
+		t.Fatalf("var %g, want %g", a.Var(), want)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("min/max %g/%g", a.Min(), a.Max())
+	}
+}
+
+func TestNegativeValues(t *testing.T) {
+	var a Accumulator
+	a.Add(-3)
+	a.Add(3)
+	if a.Mean() != 0 || a.Min() != -3 || a.Max() != 3 {
+		t.Fatalf("mean=%g min=%g max=%g", a.Mean(), a.Min(), a.Max())
+	}
+}
+
+func TestMatchesNaiveComputation(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw%100)
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		var a Accumulator
+		sum := 0.0
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+			a.Add(xs[i])
+			sum += xs[i]
+		}
+		mean := sum / float64(n)
+		var ss float64
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+		naiveVar := ss / float64(n-1)
+		return math.Abs(a.Mean()-mean) < 1e-9 &&
+			math.Abs(a.Var()-naiveVar) < 1e-9 &&
+			a.Min() == mn && a.Max() == mx && a.N() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package wire
+
+import "testing"
+
+func BenchmarkEncode(b *testing.B) {
+	p := sample()
+	p.Payload = make([]byte, 1024)
+	buf := make([]byte, 0, HeaderLen+1024)
+	b.SetBytes(int64(HeaderLen + 1024))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := p.AppendEncode(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = out
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	p := sample()
+	p.Payload = make([]byte, 1024)
+	data, err := p.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package wire
+
+import "hash/crc32"
+
+// checksum computes the header CRC. Split out so tests can recompute it
+// when forging corrupted-but-consistent headers.
+func checksum(b []byte) uint32 { return crc32.ChecksumIEEE(b) }

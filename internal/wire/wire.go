@@ -1,0 +1,180 @@
+// Package wire defines the on-the-wire packet format of the minimal
+// FLUTE/ALC-like delivery session used by the examples and the session
+// package. The paper's systems (FLUTE over ALC) carry, with every packet,
+// enough FEC Object Transmission Information (OTI) for a receiver that
+// joins mid-session to start decoding immediately — this header does the
+// same for our codes.
+//
+// Layout (big endian, 40 bytes fixed header + payload):
+//
+//	offset  size  field
+//	0       4     magic "FECP"
+//	4       1     version (1)
+//	5       1     code family (CodeRSE / CodeLDGMStaircase / ...)
+//	6       2     reserved (zero)
+//	8       4     object ID
+//	12      4     packet ID (0..n-1; IDs < k are source symbols)
+//	16      4     k  (source packets in the object)
+//	20      4     n  (total packets)
+//	24      8     code construction seed (LDGM) or zero
+//	32      4     payload length in bytes
+//	36      4     header checksum (IEEE CRC-32 of bytes 0..35 with this
+//	              field zeroed) — detects corrupted/foreign datagrams
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Magic identifies fecperf datagrams.
+var Magic = [4]byte{'F', 'E', 'C', 'P'}
+
+// Version is the current header version.
+const Version = 1
+
+// HeaderLen is the fixed header size in bytes.
+const HeaderLen = 40
+
+// CodeFamily enumerates the FEC codes a packet may belong to.
+type CodeFamily uint8
+
+// Code family values carried on the wire.
+const (
+	CodeInvalid CodeFamily = iota
+	CodeRSE
+	CodeLDGM
+	CodeLDGMStaircase
+	CodeLDGMTriangle
+)
+
+// String returns the canonical code name.
+func (c CodeFamily) String() string {
+	switch c {
+	case CodeRSE:
+		return "rse"
+	case CodeLDGM:
+		return "ldgm"
+	case CodeLDGMStaircase:
+		return "ldgm-staircase"
+	case CodeLDGMTriangle:
+		return "ldgm-triangle"
+	default:
+		return fmt.Sprintf("CodeFamily(%d)", uint8(c))
+	}
+}
+
+// FamilyByName is the inverse of String for the valid families.
+func FamilyByName(name string) (CodeFamily, error) {
+	switch name {
+	case "rse":
+		return CodeRSE, nil
+	case "ldgm":
+		return CodeLDGM, nil
+	case "ldgm-staircase":
+		return CodeLDGMStaircase, nil
+	case "ldgm-triangle":
+		return CodeLDGMTriangle, nil
+	default:
+		return CodeInvalid, fmt.Errorf("wire: unknown code family %q", name)
+	}
+}
+
+// Packet is one datagram: OTI + symbol payload.
+type Packet struct {
+	Family   CodeFamily
+	ObjectID uint32
+	PacketID uint32
+	K, N     uint32
+	Seed     int64
+	Payload  []byte
+}
+
+// Errors returned by Decode.
+var (
+	ErrTooShort    = errors.New("wire: datagram shorter than header")
+	ErrBadMagic    = errors.New("wire: bad magic")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrBadChecksum = errors.New("wire: header checksum mismatch")
+	ErrTruncated   = errors.New("wire: payload truncated")
+)
+
+// Validate checks the semantic invariants of the packet fields.
+func (p *Packet) Validate() error {
+	switch p.Family {
+	case CodeRSE, CodeLDGM, CodeLDGMStaircase, CodeLDGMTriangle:
+	default:
+		return fmt.Errorf("wire: invalid code family %d", p.Family)
+	}
+	if p.K == 0 || p.N < p.K {
+		return fmt.Errorf("wire: invalid geometry k=%d n=%d", p.K, p.N)
+	}
+	if p.PacketID >= p.N {
+		return fmt.Errorf("wire: packet id %d outside [0,%d)", p.PacketID, p.N)
+	}
+	return nil
+}
+
+// IsSource reports whether the packet carries a source symbol.
+func (p *Packet) IsSource() bool { return p.PacketID < p.K }
+
+// AppendEncode appends the encoded datagram to dst and returns it.
+func (p *Packet) AppendEncode(dst []byte) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, HeaderLen)...)
+	h := dst[off:]
+	copy(h[0:4], Magic[:])
+	h[4] = Version
+	h[5] = byte(p.Family)
+	binary.BigEndian.PutUint32(h[8:], p.ObjectID)
+	binary.BigEndian.PutUint32(h[12:], p.PacketID)
+	binary.BigEndian.PutUint32(h[16:], p.K)
+	binary.BigEndian.PutUint32(h[20:], p.N)
+	binary.BigEndian.PutUint64(h[24:], uint64(p.Seed))
+	binary.BigEndian.PutUint32(h[32:], uint32(len(p.Payload)))
+	binary.BigEndian.PutUint32(h[36:], crc32.ChecksumIEEE(h[:36]))
+	return append(dst, p.Payload...), nil
+}
+
+// Encode serialises the packet into a fresh buffer.
+func (p *Packet) Encode() ([]byte, error) { return p.AppendEncode(nil) }
+
+// Decode parses a datagram. The returned packet's Payload aliases data;
+// copy it if the buffer is reused.
+func Decode(data []byte) (*Packet, error) {
+	if len(data) < HeaderLen {
+		return nil, ErrTooShort
+	}
+	h := data[:HeaderLen]
+	if h[0] != Magic[0] || h[1] != Magic[1] || h[2] != Magic[2] || h[3] != Magic[3] {
+		return nil, ErrBadMagic
+	}
+	if h[4] != Version {
+		return nil, ErrBadVersion
+	}
+	if binary.BigEndian.Uint32(h[36:]) != crc32.ChecksumIEEE(h[:36]) {
+		return nil, ErrBadChecksum
+	}
+	p := &Packet{
+		Family:   CodeFamily(h[5]),
+		ObjectID: binary.BigEndian.Uint32(h[8:]),
+		PacketID: binary.BigEndian.Uint32(h[12:]),
+		K:        binary.BigEndian.Uint32(h[16:]),
+		N:        binary.BigEndian.Uint32(h[20:]),
+		Seed:     int64(binary.BigEndian.Uint64(h[24:])),
+	}
+	payLen := int(binary.BigEndian.Uint32(h[32:]))
+	if len(data) < HeaderLen+payLen {
+		return nil, ErrTruncated
+	}
+	p.Payload = data[HeaderLen : HeaderLen+payLen]
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

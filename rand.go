@@ -1,0 +1,7 @@
+package fecperf
+
+import "math/rand"
+
+// newRand centralises RNG construction for the facade so every entry point
+// is reproducible in its seed argument.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
