@@ -1,0 +1,217 @@
+// Feccast broadcasts files over UDP with the paper's FEC codes and
+// transmission models, and receives them back — the deployable face of
+// the fecperf library.
+//
+//	feccast send -addr 239.1.2.3:9900 -file big.iso -code ldgm-staircase -ratio 2.5 -rate 8000
+//	feccast recv -addr 239.1.2.3:9900 -out ./downloads -count 1
+//
+// The sender runs a carousel: every round it re-schedules the object's
+// packets with the chosen transmission model and pushes them at the
+// configured rate, so receivers may join at any time and still complete
+// (the paper's FLUTE/ALC late-join property). The receiver daemon
+// reassembles any number of interleaved objects and writes each to disk
+// as it decodes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"fecperf/internal/sched"
+	"fecperf/internal/session"
+	"fecperf/internal/transport"
+	"fecperf/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "feccast:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: feccast <send|recv> [flags]\nRun 'feccast send -h' or 'feccast recv -h' for flags")
+	}
+	switch args[0] {
+	case "send":
+		return runSend(args[1:])
+	case "recv":
+		return runRecv(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want send or recv)", args[0])
+	}
+}
+
+func runSend(args []string) error {
+	fs := flag.NewFlagSet("feccast send", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9900", "destination host:port (multicast groups work)")
+	file := fs.String("file", "", "file to broadcast (required)")
+	objID := fs.Uint("object", 1, "object ID stamped on every datagram")
+	code := fs.String("code", "ldgm-staircase", "FEC code: rse, ldgm, ldgm-staircase, ldgm-triangle")
+	ratio := fs.Float64("ratio", 2.5, "FEC expansion ratio n/k")
+	payload := fs.Int("payload", 1024, "symbol payload bytes per datagram")
+	seed := fs.Int64("seed", 1, "seed for code construction and scheduling")
+	tx := fs.String("tx", "tx4", "transmission model tx1..tx6")
+	rate := fs.Float64("rate", 5000, "packets per second (0 = unpaced)")
+	rounds := fs.Int("rounds", 0, "carousel rounds (0 = loop until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("send: -file is required")
+	}
+	if *objID > math.MaxUint32 {
+		return fmt.Errorf("send: -object %d exceeds the wire format's 32-bit object ID", *objID)
+	}
+	family, err := wire.FamilyByName(*code)
+	if err != nil {
+		return err
+	}
+	scheduler, err := sched.ByName(*tx)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	obj, err := session.EncodeObject(data, session.SenderConfig{
+		ObjectID:    uint32(*objID),
+		Family:      family,
+		Ratio:       *ratio,
+		PayloadSize: *payload,
+		Seed:        *seed,
+	})
+	if err != nil {
+		return err
+	}
+	conn, err := transport.DialUDP(*addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	// OnRound reads the sender's own stats; the closure captures the
+	// variable before assignment, which is safe because Run (the only
+	// caller of OnRound) starts afterwards.
+	var s *transport.Sender
+	s = transport.NewSender(conn, transport.SenderConfig{
+		Rate:      *rate,
+		Rounds:    *rounds,
+		Scheduler: scheduler,
+		Seed:      *seed,
+		OnRound: func(round int) {
+			st := s.Stats()
+			fmt.Fprintf(os.Stderr, "round %d done: %d packets / %d bytes on the wire\n",
+				round+1, st.PacketsSent, st.BytesSent)
+		},
+	})
+	if err := s.Add(obj); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "broadcasting %s (%d bytes) as object %d to %s: k=%d n=%d %s %s @ %.0f pkt/s\n",
+		*file, len(data), *objID, *addr, obj.K(), obj.N(), *code, *tx, *rate)
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	err = s.Run(ctx)
+	st := s.Stats()
+	fmt.Fprintf(os.Stderr, "sent %d packets / %d bytes in %d rounds\n", st.PacketsSent, st.BytesSent, st.Rounds)
+	if err == context.Canceled {
+		return nil // interrupted: clean carousel shutdown
+	}
+	return err
+}
+
+func runRecv(args []string) error {
+	fs := flag.NewFlagSet("feccast recv", flag.ContinueOnError)
+	addr := fs.String("addr", ":9900", "listen host:port (multicast groups are joined)")
+	out := fs.String("out", ".", "directory for decoded objects")
+	count := fs.Int("count", 1, "exit after decoding this many objects (0 = run forever)")
+	timeout := fs.Duration("timeout", 0, "give up after this long (0 = no limit)")
+	mtu := fs.Int("mtu", 2048, "read buffer size (header + max payload)")
+	statsEvery := fs.Duration("stats", 5*time.Second, "stats reporting interval (0 = silent)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	conn, err := transport.ListenUDP(*addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, reached := context.WithCancel(ctx)
+	defer reached()
+
+	var decoded, saveFailed atomic.Int64
+	d := transport.NewReceiverDaemon(conn, transport.ReceiverConfig{
+		MTU: *mtu,
+		OnComplete: func(id uint32, data []byte) {
+			name := filepath.Join(*out, fmt.Sprintf("object-%d.bin", id))
+			if err := os.WriteFile(name, data, 0o644); err != nil {
+				saveFailed.Add(1)
+				fmt.Fprintf(os.Stderr, "object %d decoded but not saved: %v\n", id, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "object %d decoded: %d bytes → %s\n", id, len(data), name)
+			}
+			if n := decoded.Add(1); *count > 0 && n >= int64(*count) {
+				reached()
+			}
+		},
+	})
+	fmt.Fprintf(os.Stderr, "listening on %s\n", conn.LocalAddr())
+
+	if *statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(*statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					st := d.Stats()
+					fmt.Fprintf(os.Stderr,
+						"stats: seen=%d ingested=%d bad=%d late=%d inconsistent=%d truncated=%d decoded=%d evicted=%d\n",
+						st.PacketsSeen, st.PacketsIngested, st.PacketsBad, st.PacketsLate,
+						st.PacketsInconsistent, st.PacketsTruncated, st.ObjectsDecoded, st.ObjectsEvicted)
+				}
+			}
+		}()
+	}
+
+	err = d.Run(ctx)
+	if n := saveFailed.Load(); n > 0 {
+		// Decoding succeeded but the bytes never reached disk — that is
+		// a failed transfer, whatever the daemon thinks.
+		return fmt.Errorf("%d decoded object(s) could not be saved to %s", n, *out)
+	}
+	if *count > 0 && decoded.Load() >= int64(*count) {
+		return nil // target reached: context cancellation is success
+	}
+	if err == context.Canceled || err == context.DeadlineExceeded {
+		if decoded.Load() == 0 {
+			return fmt.Errorf("stopped before any object decoded (stats %+v)", d.Stats())
+		}
+		return nil
+	}
+	return err
+}

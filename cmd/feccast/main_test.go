@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freeUDPAddr reserves an ephemeral localhost port and releases it for
+// the subcommand under test. The tiny reuse window beats hardcoded
+// ports colliding on shared CI runners.
+func freeUDPAddr(t *testing.T) string {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := pc.LocalAddr().String()
+	pc.Close()
+	return addr
+}
+
+// waitForListener polls until addr is bound: UDP has no handshake, so
+// readiness is probed by re-bind attempts — once the receiver holds the
+// port, our own bind fails and the sender may start.
+func waitForListener(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		pc, err := net.ListenPacket("udp", addr)
+		if err != nil {
+			return // port taken: the receiver is bound
+		}
+		pc.Close()
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no listener appeared on %s", addr)
+}
+
+func TestRunRejectsBadUsage(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"bogus"},
+		{"send"}, // missing -file
+		{"send", "-file", "x", "-code", "not-a-code"},
+		{"send", "-file", "x", "-tx", "tx9"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestSendRecvOverLocalhostUDP drives the real CLI paths end to end: a
+// receiver daemon bound to an ephemeral localhost port, a carousel
+// sender pointed at it, and a byte-identical file on disk at the end.
+func TestSendRecvOverLocalhostUDP(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "payload.bin")
+	content := bytes.Repeat([]byte("fecperf over the air! "), 3000) // ~64 KiB
+	if err := os.WriteFile(file, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := freeUDPAddr(t)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var recvErr error
+	go func() {
+		defer wg.Done()
+		recvErr = run([]string{"recv", "-addr", addr, "-out", dir,
+			"-count", "1", "-timeout", "60s", "-stats", "0"})
+	}()
+	waitForListener(t, addr)
+
+	// Bounded carousel: lossless localhost decodes in round one; the
+	// spares cover any kernel-level drops under load.
+	if err := run([]string{"send", "-addr", addr, "-file", file,
+		"-object", "3", "-code", "ldgm-staircase", "-ratio", "2.0",
+		"-rate", "4000", "-rounds", "5", "-tx", "tx4"}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	wg.Wait()
+	if recvErr != nil {
+		t.Fatalf("recv: %v", recvErr)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "object-3.bin"))
+	if err != nil {
+		t.Fatalf("decoded object not on disk: %v", err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("decoded file differs from the original")
+	}
+}
+
+func TestSendRejectsOversizedObjectID(t *testing.T) {
+	if err := run([]string{"send", "-file", "x", "-object", "4294967297"}); err == nil {
+		t.Fatal("object ID > uint32 accepted")
+	}
+}
+
+// TestRecvFailedSaveIsAnError: a decoded object that cannot be written
+// to disk must fail the whole recv, not exit 0.
+func TestRecvFailedSaveIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "p.bin")
+	if err := os.WriteFile(file, bytes.Repeat([]byte("x"), 20000), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addr := freeUDPAddr(t)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var recvErr error
+	go func() {
+		defer wg.Done()
+		recvErr = run([]string{"recv", "-addr", addr, "-out", "/nonexistent-dir-for-sure",
+			"-count", "1", "-timeout", "30s", "-stats", "0"})
+	}()
+	waitForListener(t, addr)
+	if err := run([]string{"send", "-addr", addr, "-file", file,
+		"-rate", "4000", "-rounds", "5"}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	wg.Wait()
+	if recvErr == nil {
+		t.Fatal("recv exited success although the object was never saved")
+	}
+}

@@ -19,7 +19,26 @@
 //     over (p, q) grids and reports the paper's inefficiency-ratio metric;
 //   - every figure and table of the paper as a runnable experiment, and
 //     the Section-6 recommender (best tuple for a known channel, universal
-//     schemes for unknown channels, optimal n_sent sizing).
+//     schemes for unknown channels, optimal n_sent sizing);
+//   - a broadcast transport that carries the delivery session across real
+//     networks: UDP/UDP-multicast and lossy in-memory loopback backends
+//     behind one Conn abstraction, a rate-limited carousel sender driven
+//     by the paper's transmission models, and a receiver daemon that
+//     demultiplexes any number of objects with bounded memory.
+//
+// # Transport
+//
+// The delivery session (EncodeForDelivery / NewDeliveryReceiver) turns
+// byte objects into self-describing datagrams; the transport layer moves
+// them. NewBroadcaster streams encoded objects as a carousel — every
+// round re-scheduled by a Tx model, paced by a token bucket — over a
+// TransportConn from DialBroadcast (UDP) or NewLoopback (in-memory).
+// NewReceiverDaemon drains the other end, reassembling objects as they
+// decode, with LRU bounds on partial and completed state and atomic
+// counters for observability. Loopback receivers accept any Channel as a
+// live impairment, so a Gilbert-loss broadcast is one process with no
+// sockets: see examples/filecast. cmd/feccast is the same pipeline over
+// real UDP.
 //
 // # Quick start
 //

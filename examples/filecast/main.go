@@ -1,35 +1,32 @@
-// Filecast: a complete FLUTE-like file broadcast over real UDP sockets.
+// Filecast: a complete FLUTE-like file broadcast over the transport
+// subsystem's in-memory lossy backend.
 //
-// A sender FEC-encodes a file-sized object with LDGM Triangle, schedules
-// its packets with Tx_model_4 (the paper's recommendation for unknown
-// channels) and pushes self-describing datagrams over UDP. Two receivers
-// listen; an artificial Gilbert loss process drops datagrams
-// independently for each of them before delivery — receivers join with no
-// prior knowledge (every datagram carries the FEC Object Transmission
-// Information) and each completes as soon as its own subset suffices.
+// A carousel sender FEC-encodes a file-sized object with LDGM Triangle,
+// re-schedules it every round with Tx_model_4 (the paper's
+// recommendation for unknown channels) and streams it at a fixed packet
+// rate. Two receiver daemons listen on the same broadcast, each behind
+// its own Gilbert loss process — one light, one bursty. Receiver B even
+// joins mid-carousel: every datagram carries the FEC Object Transmission
+// Information, so it bootstraps from nothing and still completes.
+//
+// Swap NewLoopback for DialBroadcast/ListenBroadcast (see cmd/feccast)
+// and the same code runs over real UDP.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
-	"net"
-	"sync"
 	"time"
 
 	"fecperf/internal/channel"
 	"fecperf/internal/sched"
 	"fecperf/internal/session"
+	"fecperf/internal/transport"
 	"fecperf/internal/wire"
 )
-
-type rxResult struct {
-	name     string
-	packets  int
-	data     []byte
-	complete bool
-}
 
 func main() {
 	// The "file": 256 KiB of pseudo-random content.
@@ -37,124 +34,69 @@ func main() {
 	file := make([]byte, 256<<10)
 	rng.Read(file)
 
-	enc, err := session.EncodeObject(file, session.SenderConfig{
+	obj, err := session.EncodeObject(file, session.SenderConfig{
 		ObjectID:    7,
 		Family:      wire.CodeLDGMTriangle,
 		Ratio:       2.5,
 		PayloadSize: 1024,
 		Seed:        42,
-		Scheduler:   sched.TxModel4{},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("object: %d bytes → k=%d source + %d parity symbols of 1024 B\n",
-		len(file), enc.K(), enc.N()-enc.K())
+		len(file), obj.K(), obj.N()-obj.K())
 
-	// Two UDP receivers with different loss processes in front of them.
-	specs := []struct {
-		name string
-		p, q float64
-	}{
-		{"receiver-A (light loss)", 0.01, 0.7},
-		{"receiver-B (bursty)", 0.08, 0.3},
-	}
-	var wg sync.WaitGroup
-	results := make([]rxResult, len(specs))
-	addrs := make([]net.Addr, len(specs))
-	conns := make([]net.PacketConn, len(specs))
-	for i, s := range specs {
-		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer pc.Close()
-		// A real broadcast sender paces to the session bitrate; here the
-		// sender free-runs, so give the sockets room to absorb bursts.
-		if uc, ok := pc.(*net.UDPConn); ok {
-			uc.SetReadBuffer(8 << 20) //nolint:errcheck
-		}
-		addrs[i] = pc.LocalAddr()
-		conns[i] = pc
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			rx := session.NewReceiver()
-			buf := make([]byte, 2048)
-			for {
-				n, _, err := conns[i].ReadFrom(buf)
-				if err != nil {
-					return // socket closed: transmission over
-				}
-				if n == 1 && buf[0] == 0 {
-					return // end-of-session marker
-				}
-				results[i].packets++
-				_, complete, data, err := rx.Ingest(buf[:n])
-				if err != nil {
-					log.Printf("%s: bad datagram: %v", name, err)
-					continue
-				}
-				if complete {
-					results[i].data = data
-					results[i].complete = true
-					return
-				}
-			}
-		}(i, s.name)
-		results[i].name = s.name
-	}
+	hub := transport.NewLoopback()
+	defer hub.Close()
 
-	// The sender: one socket, every datagram unicast to both receivers
-	// (standing in for a multicast group), each behind its own loss
-	// process.
-	out, err := net.ListenPacket("udp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer out.Close()
-	losses := make([]*channel.Gilbert, len(specs))
-	for i, s := range specs {
-		losses[i] = channel.NewGilbert(s.p, s.q, rand.New(rand.NewSource(int64(100+i))))
-	}
-	sent := 0
-	err = enc.Send(rand.New(rand.NewSource(9)), func(d []byte) error {
-		sent++
-		if sent%64 == 0 {
-			// Light pacing: yields the (possibly single) CPU to the
-			// receiver goroutines so kernel socket buffers don't overflow.
-			time.Sleep(time.Millisecond)
-		}
-		for i := range specs {
-			if losses[i].Lost() {
-				continue
-			}
-			if _, err := out.WriteTo(d, addrs[i]); err != nil {
-				return err
-			}
-		}
-		return nil
+	// Receiver A is there from the start, behind light random loss.
+	chanA := channel.NewGilbert(0.01, 0.7, rand.New(rand.NewSource(100)))
+	daemonA := transport.NewReceiverDaemon(hub.Receiver(chanA, 1<<16), transport.ReceiverConfig{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	go daemonA.Run(ctx) //nolint:errcheck
+
+	// The carousel: infinite rounds, paced at 20k packets/s, stopped by
+	// cancelling its context once both receivers are done.
+	sender := transport.NewSender(hub.Sender(), transport.SenderConfig{
+		Rate:      20000,
+		Scheduler: sched.TxModel4{},
+		Seed:      9,
 	})
-	if err != nil {
+	if err := sender.Add(obj); err != nil {
 		log.Fatal(err)
 	}
-	// End-of-session marker so receivers that could not finish stop too.
-	for i := range specs {
-		out.WriteTo([]byte{0}, addrs[i]) //nolint:errcheck
-	}
-	wg.Wait()
+	senderCtx, stopSender := context.WithCancel(ctx)
+	defer stopSender()
+	go sender.Run(senderCtx) //nolint:errcheck
 
-	fmt.Printf("sender pushed %d datagrams\n\n", sent)
-	for _, r := range results {
-		if !r.complete {
-			fmt.Printf("%-26s FAILED after %d datagrams\n", r.name, r.packets)
-			continue
+	// Receiver B joins two seconds of carousel later, behind bursty
+	// loss — the paper's late-join scenario.
+	time.Sleep(2 * time.Second)
+	chanB := channel.NewGilbert(0.08, 0.3, rand.New(rand.NewSource(101)))
+	daemonB := transport.NewReceiverDaemon(hub.Receiver(chanB, 1<<16), transport.ReceiverConfig{})
+	go daemonB.Run(ctx) //nolint:errcheck
+	fmt.Println("receiver-B joined mid-carousel")
+
+	report := func(name string, d *transport.ReceiverDaemon) {
+		data, err := d.WaitObject(ctx, 7)
+		if err != nil {
+			log.Fatalf("%s: %v (stats %+v)", name, err, d.Stats())
 		}
+		st := d.Stats()
 		status := "corrupted!"
-		if bytes.Equal(r.data, file) {
+		if bytes.Equal(data, file) {
 			status = "verified byte-for-byte"
 		}
-		fmt.Printf("%-26s complete after %d datagrams (inefficiency %.4f) — %s\n",
-			r.name, r.packets, float64(r.packets)/float64(enc.K()), status)
+		fmt.Printf("%-26s complete after %d ingested datagrams (inefficiency %.4f) — %s\n",
+			name, st.PacketsIngested, float64(st.PacketsIngested)/float64(obj.K()), status)
 	}
+	report("receiver-A (light loss)", daemonA)
+	report("receiver-B (bursty, late)", daemonB)
+
+	stopSender()
+	st := sender.Stats()
+	fmt.Printf("sender pushed %d datagrams in %d full rounds\n", st.PacketsSent, st.Rounds)
 }

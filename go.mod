@@ -1,0 +1,3 @@
+module fecperf
+
+go 1.24

@@ -1,0 +1,270 @@
+package session
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"fecperf/internal/sched"
+	"fecperf/internal/wire"
+)
+
+// These tests exercise the receiver under transport-realistic input —
+// the arrival patterns a ReceiverDaemon sees on a real socket: reused
+// read buffers, duplicated and corrupted datagrams, interleaved objects,
+// and receivers that join mid-stream.
+
+// datagramsAny renders every packet of an object in schedule order.
+func datagramsAny(t *testing.T, o *Object, seed int64) [][]byte {
+	t.Helper()
+	var out [][]byte
+	if err := o.Send(rand.New(rand.NewSource(seed)), func(d []byte) error {
+		out = append(out, append([]byte(nil), d...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestIngestFromReusedBuffer replays the transport daemon's exact usage:
+// every datagram is copied into ONE shared read buffer before Ingest, so
+// any payload the receiver retains by reference gets overwritten by the
+// next arrival. The Clone at the ownership boundary must keep decoding
+// correct anyway.
+func TestIngestFromReusedBuffer(t *testing.T) {
+	for _, f := range allFamilies() {
+		obj := testObject(20_000, 3)
+		enc, err := EncodeObject(obj, baseConfig(f))
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		rx := NewReceiver()
+		buf := make([]byte, 4096) // the single reused "socket buffer"
+		var got []byte
+		for _, d := range datagramsAny(t, enc, 7) {
+			n := copy(buf, d)
+			_, complete, data, err := rx.Ingest(buf[:n])
+			if err != nil {
+				t.Fatalf("%v: Ingest: %v", f, err)
+			}
+			if complete {
+				got = data
+				break
+			}
+		}
+		if !bytes.Equal(got, obj) {
+			t.Fatalf("%v: decode through a reused buffer corrupted the object", f)
+		}
+	}
+}
+
+// TestDuplicatedDatagrams delivers every datagram twice (and some three
+// times), as a carousel or a flapping multicast path would.
+func TestDuplicatedDatagrams(t *testing.T) {
+	for _, f := range allFamilies() {
+		obj := testObject(10_000, 4)
+		enc, err := EncodeObject(obj, baseConfig(f))
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		rx := NewReceiver()
+		var got []byte
+		for i, d := range datagramsAny(t, enc, 8) {
+			copies := 2 + i%2
+			for c := 0; c < copies && got == nil; c++ {
+				_, complete, data, err := rx.Ingest(d)
+				if err != nil {
+					t.Fatalf("%v: Ingest dup %d: %v", f, c, err)
+				}
+				if complete {
+					got = data
+				}
+			}
+			if got != nil {
+				break
+			}
+		}
+		if !bytes.Equal(got, obj) {
+			t.Fatalf("%v: duplicates broke decoding", f)
+		}
+	}
+}
+
+// TestInterleavedMultiObjectStream multiplexes four objects of different
+// sizes and families over one receiver, round-robin — an ALC session
+// carrying several files at once.
+func TestInterleavedMultiObjectStream(t *testing.T) {
+	type stream struct {
+		id   uint32
+		data []byte
+		dgs  [][]byte
+		pos  int
+	}
+	families := allFamilies()
+	var streams []*stream
+	for i, f := range families {
+		cfg := baseConfig(f)
+		cfg.ObjectID = uint32(10 + i)
+		cfg.Seed = int64(50 + i)
+		data := testObject(4_000+3_000*i, int64(20+i))
+		enc, err := EncodeObject(data, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		streams = append(streams, &stream{
+			id:   cfg.ObjectID,
+			data: data,
+			dgs:  datagramsAny(t, enc, int64(30+i)),
+		})
+	}
+	rx := NewReceiver()
+	done := map[uint32][]byte{}
+	for remaining := len(streams); remaining > 0; {
+		remaining = 0
+		for _, s := range streams {
+			if s.pos >= len(s.dgs) {
+				continue
+			}
+			remaining++
+			id, complete, data, err := rx.Ingest(s.dgs[s.pos])
+			s.pos++
+			if err != nil {
+				t.Fatalf("object %d: %v", s.id, err)
+			}
+			if complete {
+				done[id] = data
+			}
+		}
+	}
+	for _, s := range streams {
+		if !bytes.Equal(done[s.id], s.data) {
+			t.Fatalf("object %d corrupted or incomplete in interleaved stream", s.id)
+		}
+	}
+}
+
+// TestCorruptAndTruncatedDatagramsInterspersed mixes flipped-bit,
+// truncated and foreign datagrams into a valid stream; each must error
+// without damaging the ongoing reassembly.
+func TestCorruptAndTruncatedDatagramsInterspersed(t *testing.T) {
+	obj := testObject(15_000, 5)
+	cfg := baseConfig(wire.CodeLDGMStaircase)
+	enc, err := EncodeObject(obj, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := NewReceiver()
+	var got []byte
+	errors := 0
+	for i, d := range datagramsAny(t, enc, 9) {
+		switch i % 3 {
+		case 1: // header bit flip → checksum mismatch
+			bad := append([]byte(nil), d...)
+			bad[9] ^= 0x40
+			if _, _, _, err := rx.Ingest(bad); err == nil {
+				t.Fatal("corrupted header accepted")
+			}
+			errors++
+		case 2: // truncated payload
+			if _, _, _, err := rx.Ingest(d[:wire.HeaderLen+1]); err == nil {
+				t.Fatal("truncated datagram accepted")
+			}
+			errors++
+		}
+		_, complete, data, err := rx.Ingest(d)
+		if err != nil {
+			t.Fatalf("valid datagram %d rejected: %v", i, err)
+		}
+		if complete {
+			got = data
+			break
+		}
+	}
+	if errors == 0 {
+		t.Fatal("test never injected corruption")
+	}
+	if !bytes.Equal(got, obj) {
+		t.Fatal("corruption injection damaged reassembly")
+	}
+}
+
+// TestMidStreamJoin starts ingesting only after 40% of a carousel's
+// first round has passed — the receiver must still complete from the
+// remainder plus the second round, with no knowledge of what it missed.
+func TestMidStreamJoin(t *testing.T) {
+	for _, f := range allFamilies() {
+		obj := testObject(12_000, 6)
+		cfg := baseConfig(f)
+		cfg.Scheduler = sched.Carousel{Inner: sched.TxModel4{}, Rounds: 2}
+		enc, err := EncodeObject(obj, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		all := datagramsAny(t, enc, 11)
+		join := (enc.N() * 2) / 5
+		rx := NewReceiver()
+		var got []byte
+		for _, d := range all[join:] {
+			_, complete, data, err := rx.Ingest(d)
+			if err != nil {
+				t.Fatalf("%v: %v", f, err)
+			}
+			if complete {
+				got = data
+				break
+			}
+		}
+		if !bytes.Equal(got, obj) {
+			t.Fatalf("%v: mid-stream join failed to decode", f)
+		}
+	}
+}
+
+// TestForgetAndInFlight covers the eviction hooks the transport daemon
+// relies on for bounded memory.
+func TestForgetAndInFlight(t *testing.T) {
+	obj := testObject(5_000, 7)
+	enc, err := EncodeObject(obj, baseConfig(wire.CodeLDGMStaircase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := datagramsAny(t, enc, 13)
+	rx := NewReceiver()
+	if _, _, _, err := rx.Ingest(all[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := rx.InFlight(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("InFlight = %v, want [1]", got)
+	}
+	rx.Forget(1)
+	if got := rx.InFlight(); len(got) != 0 {
+		t.Fatalf("InFlight after Forget = %v, want empty", got)
+	}
+	if n := rx.PacketsIngested(1); n != 0 {
+		t.Fatalf("PacketsIngested after Forget = %d, want 0", n)
+	}
+	// The object decodes from scratch after eviction.
+	var got []byte
+	for _, d := range all {
+		_, complete, data, err := rx.Ingest(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if complete {
+			got = data
+			break
+		}
+	}
+	if !bytes.Equal(got, obj) {
+		t.Fatal("decode after Forget failed")
+	}
+	// Forget also releases completed objects.
+	if _, ok := rx.Object(1); !ok {
+		t.Fatal("completed object missing")
+	}
+	rx.Forget(1)
+	if _, ok := rx.Object(1); ok {
+		t.Fatal("completed object survived Forget")
+	}
+}

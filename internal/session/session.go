@@ -121,6 +121,21 @@ func (o *Object) K() int { return o.code.Layout().K }
 // N returns the total number of symbols.
 func (o *Object) N() int { return o.code.Layout().N }
 
+// ObjectID returns the identifier stamped on every datagram.
+func (o *Object) ObjectID() uint32 { return o.cfg.ObjectID }
+
+// Layout returns the packet layout of the encoded object, which a
+// transmission scheduler turns into a packet order.
+func (o *Object) Layout() core.Layout { return o.code.Layout() }
+
+// Scheduler returns the configured transmission model (nil means the
+// caller should fall back to Tx_model_4).
+func (o *Object) Scheduler() core.Scheduler { return o.cfg.Scheduler }
+
+// NSent returns the configured per-pass transmission truncation
+// (0 = send everything), the Section-6 n_sent optimisation.
+func (o *Object) NSent() int { return o.cfg.NSent }
+
 // Datagram serialises the datagram for packet id.
 func (o *Object) Datagram(id int) ([]byte, error) {
 	l := o.code.Layout()
@@ -197,6 +212,14 @@ func (r *Receiver) Ingest(datagram []byte) (objectID uint32, complete bool, data
 	if err != nil {
 		return 0, false, nil, err
 	}
+	return r.IngestPacket(p)
+}
+
+// IngestPacket processes an already-decoded packet. The packet's Payload
+// may alias a reused read buffer (wire.Decode aliases its input); the
+// receiver clones whatever it retains, so the caller's buffer is free for
+// reuse as soon as IngestPacket returns.
+func (r *Receiver) IngestPacket(p *wire.Packet) (objectID uint32, complete bool, data []byte, err error) {
 	if _, ok := r.done[p.ObjectID]; ok {
 		return p.ObjectID, false, nil, nil
 	}
@@ -228,6 +251,23 @@ func (r *Receiver) Ingest(datagram []byte) (objectID uint32, complete bool, data
 func (r *Receiver) Object(id uint32) ([]byte, bool) {
 	d, ok := r.done[id]
 	return d, ok
+}
+
+// Forget drops all state for an object — in-flight reassembly and
+// completed data alike. Transport daemons use it to bound memory: evicted
+// objects simply start over if their datagrams keep arriving.
+func (r *Receiver) Forget(id uint32) {
+	delete(r.objects, id)
+	delete(r.done, id)
+}
+
+// InFlight returns the IDs of objects with partial reassembly state.
+func (r *Receiver) InFlight() []uint32 {
+	ids := make([]uint32, 0, len(r.objects))
+	for id := range r.objects {
+		ids = append(ids, id)
+	}
+	return ids
 }
 
 // PacketsIngested reports how many valid datagrams an in-flight object
@@ -290,14 +330,17 @@ func (st *objectState) consistent(p *wire.Packet) error {
 
 func (st *objectState) add(p *wire.Packet) (bool, error) {
 	st.packets++
+	// The packet's Payload aliases the caller's (possibly reused) read
+	// buffer; Clone before the decoder stashes it. This is the single
+	// ownership boundary — everything downstream holds its own copy.
+	p = p.Clone()
 	id := int(p.PacketID)
 	if st.ldgmDec != nil {
-		payload := append([]byte(nil), p.Payload...)
-		return st.ldgmDec.ReceivePayload(id, payload), nil
+		return st.ldgmDec.ReceivePayload(id, p.Payload), nil
 	}
 	// RSE: buffer payloads, decode per the MDS counting receiver.
 	st.rseIDs = append(st.rseIDs, id)
-	st.rsePay = append(st.rsePay, append([]byte(nil), p.Payload...))
+	st.rsePay = append(st.rsePay, p.Payload)
 	return st.rseRx.Receive(id), nil
 }
 

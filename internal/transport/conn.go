@@ -1,0 +1,58 @@
+// Package transport moves fecperf datagrams across real networks. It is
+// the deployment layer the reproduced paper assumes (FLUTE/ALC content
+// broadcasting): the session package produces self-describing datagrams,
+// and this package carries them — over UDP/UDP-multicast sockets or over
+// an in-memory loopback whose deliveries are filtered by any core.Channel,
+// so every impairment the simulator supports (Gilbert bursts, Bernoulli
+// loss, recorded traces) becomes a live network scenario.
+//
+// The package has three moving parts:
+//
+//   - Conn: a minimal datagram endpoint (Send / Recv / deadline / Close)
+//     with two backends, UDP (udp.go) and the lossy loopback (loopback.go);
+//   - Sender: a rate-limited carousel that streams encoded objects in
+//     rounds, re-scheduling each round with one of the paper's
+//     transmission models (sender.go);
+//   - ReceiverDaemon: a demultiplexing reassembly loop with bounded
+//     memory and atomic statistics (receiver.go).
+package transport
+
+import (
+	"errors"
+	"net"
+	"time"
+)
+
+// ErrClosed is returned by Send and Recv after the endpoint is closed.
+// UDP conns surface the identical net.ErrClosed, so errors.Is works
+// uniformly across backends.
+var ErrClosed = net.ErrClosed
+
+// Conn is a datagram endpoint. Implementations must be safe for
+// concurrent use: multiple goroutines may Send while another blocks in
+// Recv, and Close must unblock pending Recv calls.
+type Conn interface {
+	// Send transmits one datagram. Like UDP, delivery is best-effort:
+	// packets may be dropped (full receiver queues, lossy channels)
+	// without an error.
+	Send(datagram []byte) error
+	// Recv blocks for the next datagram and copies it into buf,
+	// returning its length. Datagrams longer than buf are truncated,
+	// exactly like a UDP socket read. It returns ErrClosed once the
+	// endpoint is closed and a net.Error with Timeout()==true when the
+	// read deadline passes.
+	Recv(buf []byte) (int, error)
+	// SetReadDeadline bounds future (and pending) Recv calls. The zero
+	// time means no deadline.
+	SetReadDeadline(t time.Time) error
+	// Close releases the endpoint and unblocks pending Recv calls.
+	Close() error
+	// LocalAddr describes the endpoint for logs and errors.
+	LocalAddr() string
+}
+
+// isTimeout reports whether err is a read-deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -1,0 +1,69 @@
+package transport
+
+import (
+	"context"
+	"time"
+)
+
+// pacer is a token-bucket rate limiter counted in packets. It exists so
+// the sender can hold a broadcast to the session bitrate (ALC sessions
+// are announced with a fixed rate) instead of free-running and flooding
+// kernel buffers. A nil pacer means "as fast as the socket allows".
+type pacer struct {
+	rate   float64 // tokens (packets) added per second
+	burst  float64 // bucket depth
+	tokens float64
+	last   time.Time
+}
+
+// newPacer returns a pacer admitting rate packets/second with the given
+// burst, or nil when rate <= 0 (unpaced).
+func newPacer(rate float64, burst int) *pacer {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 32
+	}
+	return &pacer{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
+}
+
+// wait blocks until one token is available (or ctx is done) and consumes
+// it. Refill accounting is exact: tokens accrue continuously at rate and
+// cap at burst.
+func (p *pacer) wait(ctx context.Context) error {
+	if p == nil {
+		// Still honour cancellation on the fast path.
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+			return nil
+		}
+	}
+	now := time.Now()
+	p.tokens += now.Sub(p.last).Seconds() * p.rate
+	p.last = now
+	if p.tokens > p.burst {
+		p.tokens = p.burst
+	}
+	if p.tokens >= 1 {
+		p.tokens--
+		return nil
+	}
+	delay := time.Duration((1 - p.tokens) / p.rate * float64(time.Second))
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case now = <-t.C:
+		p.tokens += now.Sub(p.last).Seconds() * p.rate
+		p.last = now
+		if p.tokens > p.burst {
+			p.tokens = p.burst
+		}
+		p.tokens--
+		return nil
+	}
+}

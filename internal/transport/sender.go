@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"fecperf/internal/core"
+	"fecperf/internal/sched"
+	"fecperf/internal/session"
+)
+
+// SenderConfig tunes the carousel.
+type SenderConfig struct {
+	// Rate limits transmission in packets per second (0 = unpaced).
+	Rate float64
+	// Burst is the token-bucket depth in packets (default 32).
+	Burst int
+	// Rounds bounds the carousel; 0 streams until the context is
+	// cancelled — the ALC "infinite carousel" serving late joiners.
+	Rounds int
+	// Scheduler orders each round's packets when an object does not
+	// carry its own (default Tx_model_4, the paper's recommendation for
+	// unknown channels). Each round draws a fresh schedule, so
+	// randomised models re-randomise between rounds.
+	Scheduler core.Scheduler
+	// Seed fixes the scheduling randomness.
+	Seed int64
+	// OnRound, when set, is called after each completed carousel round
+	// with the 0-based round index (for progress logs).
+	OnRound func(round int)
+}
+
+// SenderStats is a point-in-time snapshot of sender counters.
+type SenderStats struct {
+	// PacketsSent counts datagrams handed to the Conn.
+	PacketsSent uint64
+	// BytesSent counts the datagram bytes handed to the Conn.
+	BytesSent uint64
+	// Rounds counts completed carousel rounds.
+	Rounds uint64
+}
+
+// Sender streams one or more encoded objects over a Conn as a
+// rate-limited carousel. Each round every object's packets are freshly
+// scheduled and the objects are interleaved round-robin, so a receiver
+// joining mid-stream sees a statistically uniform packet mix — the
+// regime the paper's Tx_model_4 analysis covers.
+//
+// Configure and Add objects before Run; Run may be called once. Stats is
+// safe to call concurrently with Run.
+type Sender struct {
+	conn Conn
+	cfg  SenderConfig
+	objs []*senderObject
+
+	packets atomic.Uint64
+	bytes   atomic.Uint64
+	rounds  atomic.Uint64
+}
+
+type senderObject struct {
+	layout    core.Layout
+	scheduler core.Scheduler
+	nsent     int      // per-round schedule truncation (0 = all)
+	datagrams [][]byte // pre-encoded, indexed by packet ID
+}
+
+// NewSender returns a sender writing to conn.
+func NewSender(conn Conn, cfg SenderConfig) *Sender {
+	return &Sender{conn: conn, cfg: cfg}
+}
+
+// Add registers an encoded object with the carousel, pre-encoding all of
+// its datagrams (the carousel retransmits them every round, so paying
+// the header encode once is the hot-path win).
+func (s *Sender) Add(obj *session.Object) error {
+	so := &senderObject{
+		layout:    obj.Layout(),
+		scheduler: obj.Scheduler(),
+		nsent:     obj.NSent(),
+		datagrams: make([][]byte, obj.N()),
+	}
+	for id := range so.datagrams {
+		d, err := obj.Datagram(id)
+		if err != nil {
+			return fmt.Errorf("transport: pre-encoding object %d: %w", obj.ObjectID(), err)
+		}
+		so.datagrams[id] = d
+	}
+	s.objs = append(s.objs, so)
+	return nil
+}
+
+// Run drives the carousel until the configured rounds complete or ctx is
+// cancelled. Cancellation is a graceful shutdown: Run stops between
+// packets and returns ctx.Err().
+func (s *Sender) Run(ctx context.Context) error {
+	if len(s.objs) == 0 {
+		return fmt.Errorf("transport: sender has no objects")
+	}
+	defaultSched := s.cfg.Scheduler
+	if defaultSched == nil {
+		defaultSched = sched.TxModel4{}
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	p := newPacer(s.cfg.Rate, s.cfg.Burst)
+
+	for round := 0; s.cfg.Rounds <= 0 || round < s.cfg.Rounds; round++ {
+		schedules := make([][]int, len(s.objs))
+		for i, o := range s.objs {
+			sc := o.scheduler
+			if sc == nil {
+				sc = defaultSched
+			}
+			schedules[i] = sc.Schedule(o.layout, rng)
+			// Honour the object's Section-6 n_sent truncation, exactly
+			// as session.Object.Send does for a single pass.
+			if o.nsent > 0 && o.nsent < len(schedules[i]) {
+				schedules[i] = schedules[i][:o.nsent]
+			}
+		}
+		// Round-robin interleave across objects: one packet from each
+		// in turn, objects with longer schedules trailing off last.
+		for pos, remaining := 0, len(s.objs); remaining > 0; pos++ {
+			remaining = 0
+			for i, o := range s.objs {
+				if pos >= len(schedules[i]) {
+					continue
+				}
+				remaining++
+				if err := p.wait(ctx); err != nil {
+					return err
+				}
+				d := o.datagrams[schedules[i][pos]]
+				if err := s.conn.Send(d); err != nil {
+					return fmt.Errorf("transport: send: %w", err)
+				}
+				s.packets.Add(1)
+				s.bytes.Add(uint64(len(d)))
+			}
+		}
+		s.rounds.Add(1)
+		if s.cfg.OnRound != nil {
+			s.cfg.OnRound(round)
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the sender's counters.
+func (s *Sender) Stats() SenderStats {
+	return SenderStats{
+		PacketsSent: s.packets.Load(),
+		BytesSent:   s.bytes.Load(),
+		Rounds:      s.rounds.Load(),
+	}
+}

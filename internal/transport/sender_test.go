@@ -1,0 +1,156 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"fecperf/internal/sched"
+	"fecperf/internal/session"
+	"fecperf/internal/wire"
+)
+
+func TestSenderCarouselRoundsAndInterleave(t *testing.T) {
+	hub := NewLoopback()
+	defer hub.Close()
+	rx := hub.Receiver(nil, 65536)
+
+	a := encodeTestObject(t, testFile(t, 8<<10, 1), 1, wire.CodeLDGMStaircase, 2.0, 512)
+	b := encodeTestObject(t, testFile(t, 8<<10, 2), 2, wire.CodeLDGMStaircase, 2.0, 512)
+	s := NewSender(hub.Sender(), SenderConfig{Rounds: 3, Scheduler: sched.TxModel4{}, Seed: 5})
+	if err := s.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := s.Stats()
+	wantPkts := uint64(3 * (a.N() + b.N()))
+	if st.PacketsSent != wantPkts {
+		t.Errorf("PacketsSent = %d, want %d", st.PacketsSent, wantPkts)
+	}
+	if st.Rounds != 3 {
+		t.Errorf("Rounds = %d, want 3", st.Rounds)
+	}
+
+	// Every datagram must parse, and each round must deliver each
+	// object's full packet set, interleaved (objects alternate while
+	// both still have packets to send).
+	rx.SetReadDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
+	buf := make([]byte, 2048)
+	counts := map[uint32]int{}
+	var firstIDs []uint32
+	for {
+		n, err := rx.Recv(buf)
+		if err != nil {
+			break
+		}
+		p, err := wire.Decode(buf[:n])
+		if err != nil {
+			t.Fatalf("broadcast datagram does not parse: %v", err)
+		}
+		counts[p.ObjectID]++
+		if len(firstIDs) < 10 {
+			firstIDs = append(firstIDs, p.ObjectID)
+		}
+	}
+	if counts[1] != 3*a.N() || counts[2] != 3*b.N() {
+		t.Errorf("per-object counts = %v, want %d and %d", counts, 3*a.N(), 3*b.N())
+	}
+	for i := 0; i+1 < len(firstIDs); i += 2 {
+		if firstIDs[i] == firstIDs[i+1] {
+			t.Fatalf("objects not interleaved: first datagrams %v", firstIDs)
+		}
+	}
+}
+
+func TestSenderPacing(t *testing.T) {
+	hub := NewLoopback()
+	defer hub.Close()
+	obj := encodeTestObject(t, testFile(t, 4<<10, 3), 9, wire.CodeLDGMStaircase, 2.0, 256)
+	// ~48 packets at 400 pkt/s with burst 1 ≈ 120 ms.
+	s := NewSender(hub.Sender(), SenderConfig{Rounds: 1, Rate: 400, Burst: 1, Seed: 1})
+	if err := s.Add(obj); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	elapsed := time.Since(start)
+	want := time.Duration(float64(obj.N()-1) / 400 * float64(time.Second))
+	if elapsed < want/2 {
+		t.Errorf("paced send of %d packets took %v, want ≥ %v", obj.N(), elapsed, want/2)
+	}
+}
+
+func TestSenderGracefulCancel(t *testing.T) {
+	hub := NewLoopback()
+	defer hub.Close()
+	obj := encodeTestObject(t, testFile(t, 16<<10, 4), 3, wire.CodeLDGMStaircase, 2.0, 512)
+	s := NewSender(hub.Sender(), SenderConfig{Rate: 100, Seed: 1}) // Rounds: 0 = infinite
+	if err := s.Add(obj); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := s.Run(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run = %v, want context.DeadlineExceeded", err)
+	}
+	if sent := s.Stats().PacketsSent; sent == 0 || sent >= uint64(obj.N()) {
+		t.Errorf("PacketsSent = %d, want a partial round (0 < sent < %d)", sent, obj.N())
+	}
+}
+
+func TestSenderRequiresObjects(t *testing.T) {
+	s := NewSender(NewLoopback().Sender(), SenderConfig{})
+	if err := s.Run(context.Background()); err == nil {
+		t.Fatal("Run with no objects succeeded, want error")
+	}
+}
+
+// TestSenderHonoursNSent verifies the carousel applies the object's
+// Section-6 n_sent truncation to every round, matching Object.Send.
+func TestSenderHonoursNSent(t *testing.T) {
+	hub := NewLoopback()
+	defer hub.Close()
+	rx := hub.Receiver(nil, 4096)
+	obj, err := session.EncodeObject(testFile(t, 8<<10, 6), session.SenderConfig{
+		ObjectID:    4,
+		Family:      wire.CodeLDGMStaircase,
+		Ratio:       2.0,
+		PayloadSize: 512,
+		Seed:        3,
+		NSent:       10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSender(hub.Sender(), SenderConfig{Rounds: 2, Seed: 8})
+	if err := s.Add(obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().PacketsSent; got != 20 {
+		t.Errorf("PacketsSent = %d, want 20 (NSent=10 × 2 rounds)", got)
+	}
+	rx.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //nolint:errcheck
+	buf := make([]byte, 2048)
+	n := 0
+	for {
+		if _, err := rx.Recv(buf); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 20 {
+		t.Errorf("received %d datagrams, want 20", n)
+	}
+}

@@ -1,0 +1,83 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"syscall"
+	"time"
+)
+
+// udpConn adapts *net.UDPConn to the Conn interface. The sender side is
+// a connected socket (unicast, broadcast or multicast destination); the
+// receiver side is a bound — and, for multicast groups, joined — socket.
+type udpConn struct {
+	c *net.UDPConn
+}
+
+// DialUDP returns a sending endpoint for addr ("host:port"). A multicast
+// group address turns the endpoint into a multicast transmitter; no group
+// membership is needed to send.
+func DialUDP(addr string) (Conn, error) {
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
+	}
+	c, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %q: %w", addr, err)
+	}
+	return &udpConn{c: c}, nil
+}
+
+// ListenUDP returns a receiving endpoint bound to addr ("host:port" or
+// ":port"). When addr names a multicast group the socket joins it on the
+// system-chosen interface, so `feccast recv` works for both unicast and
+// multicast sessions with one flag.
+func ListenUDP(addr string) (Conn, error) {
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
+	}
+	var c *net.UDPConn
+	if laddr.IP != nil && laddr.IP.IsMulticast() {
+		c, err = net.ListenMulticastUDP("udp", nil, laddr)
+	} else {
+		c, err = net.ListenUDP("udp", laddr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
+	}
+	// FEC broadcasts are bursty; absorb what the scheduler hands the
+	// kernel between our reads. Best effort — some systems clamp it.
+	c.SetReadBuffer(8 << 20) //nolint:errcheck
+	return &udpConn{c: c}, nil
+}
+
+func (u *udpConn) Send(datagram []byte) error {
+	_, err := u.c.Write(datagram)
+	// A broadcast is feedback-free: receivers join and leave at will.
+	// On a connected unicast socket the kernel surfaces their absence
+	// as async ICMP errors (port/host unreachable); swallowing them
+	// keeps the carousel running, matching multicast semantics where no
+	// such feedback exists.
+	if errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EHOSTUNREACH) ||
+		errors.Is(err, syscall.ENETUNREACH) {
+		return nil
+	}
+	return err
+}
+
+func (u *udpConn) Recv(buf []byte) (int, error) {
+	n, _, err := u.c.ReadFromUDP(buf)
+	return n, err
+}
+
+func (u *udpConn) SetReadDeadline(t time.Time) error {
+	return u.c.SetReadDeadline(t)
+}
+
+func (u *udpConn) Close() error { return u.c.Close() }
+
+func (u *udpConn) LocalAddr() string { return u.c.LocalAddr().String() }

@@ -1,0 +1,75 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"fecperf/internal/wire"
+)
+
+// TestUDPBroadcastLocalhost runs the full sender→daemon path over a real
+// UDP socket pair on the loopback interface.
+func TestUDPBroadcastLocalhost(t *testing.T) {
+	rxConn, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer rxConn.Close()
+	txConn, err := DialUDP(rxConn.LocalAddr())
+	if err != nil {
+		t.Fatalf("DialUDP: %v", err)
+	}
+	defer txConn.Close()
+
+	file := testFile(t, 64<<10, 55)
+	obj := encodeTestObject(t, file, 5, wire.CodeLDGMStaircase, 2.0, 1024)
+
+	d := NewReceiverDaemon(rxConn, ReceiverConfig{})
+	stop := runDaemon(t, d)
+	defer stop()
+
+	// Pace to ~4000 pkt/s so the kernel socket buffer cannot overflow
+	// even on a loaded single-CPU runner; the carousel re-sends anyway.
+	s := NewSender(txConn, SenderConfig{Rate: 4000, Seed: 2})
+	if err := s.Add(obj); err != nil {
+		t.Fatal(err)
+	}
+	senderCtx, stopSender := context.WithCancel(context.Background())
+	defer stopSender()
+	senderDone := make(chan error, 1)
+	go func() { senderDone <- s.Run(senderCtx) }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	data, err := d.WaitObject(ctx, 5)
+	if err != nil {
+		t.Fatalf("WaitObject over UDP: %v (stats %+v)", err, d.Stats())
+	}
+	if !bytes.Equal(data, file) {
+		t.Fatal("file corrupted over UDP")
+	}
+	stopSender()
+	if err := <-senderDone; err != context.Canceled {
+		t.Fatalf("sender Run = %v, want context.Canceled", err)
+	}
+}
+
+func TestUDPConnAddrs(t *testing.T) {
+	c, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	defer c.Close()
+	if !strings.HasPrefix(c.LocalAddr(), "127.0.0.1:") {
+		t.Errorf("LocalAddr = %q, want 127.0.0.1:*", c.LocalAddr())
+	}
+	if _, err := DialUDP("not-an-address"); err == nil {
+		t.Error("DialUDP on garbage address succeeded")
+	}
+	if _, err := ListenUDP("not-an-address"); err == nil {
+		t.Error("ListenUDP on garbage address succeeded")
+	}
+}

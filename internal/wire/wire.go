@@ -92,6 +92,21 @@ type Packet struct {
 	Payload  []byte
 }
 
+// Clone returns a deep copy of the packet. Decode returns packets whose
+// Payload aliases the input buffer; any consumer that outlives the buffer
+// (the session receiver, the transport daemon's reassembly state) must
+// Clone before stashing the packet.
+func (p *Packet) Clone() *Packet {
+	if p == nil {
+		return nil
+	}
+	q := *p
+	if p.Payload != nil {
+		q.Payload = append(make([]byte, 0, len(p.Payload)), p.Payload...)
+	}
+	return &q
+}
+
 // Errors returned by Decode.
 var (
 	ErrTooShort    = errors.New("wire: datagram shorter than header")

@@ -186,3 +186,45 @@ func TestPropertyRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestClone(t *testing.T) {
+	buf, err := (&Packet{
+		Family:   CodeLDGMStaircase,
+		ObjectID: 3,
+		PacketID: 1,
+		K:        2,
+		N:        4,
+		Seed:     99,
+		Payload:  []byte{1, 2, 3, 4},
+	}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	if c == p || &c.Payload[0] == &p.Payload[0] {
+		t.Fatal("Clone did not deep-copy")
+	}
+	// Overwriting the original buffer (socket-buffer reuse) must leave
+	// the clone intact.
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	if string(c.Payload) != string([]byte{1, 2, 3, 4}) {
+		t.Fatalf("clone payload corrupted by buffer reuse: %v", c.Payload)
+	}
+	if c.ObjectID != 3 || c.PacketID != 1 || c.K != 2 || c.N != 4 || c.Seed != 99 {
+		t.Fatalf("clone header fields wrong: %+v", c)
+	}
+	var nilPkt *Packet
+	if nilPkt.Clone() != nil {
+		t.Fatal("Clone of nil packet should be nil")
+	}
+	empty := &Packet{Family: CodeRSE, K: 1, N: 1}
+	if cl := empty.Clone(); cl.Payload != nil {
+		t.Fatal("Clone invented a payload")
+	}
+}

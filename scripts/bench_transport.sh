@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Runs the transport benchmarks and emits BENCH_transport.json — the
+# perf trajectory record for the broadcast subsystem. Usage:
+#
+#   scripts/bench_transport.sh [benchtime] [output.json]
+#
+# benchtime defaults to 2s per benchmark; output defaults to
+# BENCH_transport.json in the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-2s}"
+OUT="${2:-BENCH_transport.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench . -benchtime "$BENCHTIME" -count 1 \
+    ./internal/transport | tee "$RAW"
+
+awk -v out="$OUT" '
+/^BenchmarkSenderThroughput/ {
+    for (i = 1; i <= NF; i++) {
+        if ($(i+1) == "pkts/s") sender_pps = $i
+        if ($(i+1) == "MB/s")   sender_mbps = $i
+    }
+}
+/^BenchmarkReceiverDecodeLatency/ {
+    for (i = 1; i <= NF; i++) {
+        if ($(i+1) == "ns/op") decode_ns = $i
+        if ($(i+1) == "MB/s")  decode_mbps = $i
+    }
+}
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+END {
+    if (sender_pps == "" || decode_ns == "") {
+        print "bench_transport: missing benchmark output" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n" > out
+    printf "  \"benchmark\": \"transport\",\n" >> out
+    printf "  \"cpu\": \"%s\",\n", cpu >> out
+    printf "  \"sender_throughput_pkts_per_sec\": %s,\n", sender_pps >> out
+    printf "  \"sender_throughput_mb_per_sec\": %s,\n", sender_mbps >> out
+    printf "  \"receiver_decode_latency_ns\": %s,\n", decode_ns >> out
+    printf "  \"receiver_decode_mb_per_sec\": %s\n", decode_mbps >> out
+    printf "}\n" >> out
+}' "$RAW"
+
+echo "wrote $OUT"

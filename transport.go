@@ -1,0 +1,70 @@
+package fecperf
+
+// Facade over the broadcast transport (internal/transport): the layer
+// that carries the delivery session's datagrams across a real network.
+// Two backends share one Conn abstraction — UDP/UDP-multicast sockets
+// for deployment, and an in-memory loopback whose deliveries pass
+// through any Channel (Gilbert, Bernoulli, traces), so every scenario
+// the simulator models runs live, in-process, deterministically.
+
+import (
+	"fecperf/internal/transport"
+)
+
+// Transport types, re-exported.
+type (
+	// TransportConn is a datagram endpoint (UDP or in-memory loopback).
+	TransportConn = transport.Conn
+	// Broadcaster streams encoded objects as a rate-limited carousel.
+	Broadcaster = transport.Sender
+	// BroadcasterConfig tunes the carousel (rate, rounds, scheduler).
+	BroadcasterConfig = transport.SenderConfig
+	// BroadcasterStats is a snapshot of sender counters.
+	BroadcasterStats = transport.SenderStats
+	// ReceiverDaemon demultiplexes datagrams into decoded objects with
+	// bounded memory.
+	ReceiverDaemon = transport.ReceiverDaemon
+	// ReceiverDaemonConfig tunes the daemon's bounds and callbacks.
+	ReceiverDaemonConfig = transport.ReceiverConfig
+	// ReceiverStats is a snapshot of daemon counters.
+	ReceiverStats = transport.Stats
+	// Loopback is the in-memory broadcast medium for live-impairment
+	// runs without sockets.
+	Loopback = transport.Loopback
+)
+
+// ErrTransportClosed is returned by transport endpoints after Close.
+var ErrTransportClosed = transport.ErrClosed
+
+// DialBroadcast returns a sending UDP endpoint for addr ("host:port";
+// multicast group addresses work without joining).
+func DialBroadcast(addr string) (TransportConn, error) { return transport.DialUDP(addr) }
+
+// ListenBroadcast returns a receiving UDP endpoint bound to addr,
+// joining the group when addr is multicast.
+func ListenBroadcast(addr string) (TransportConn, error) { return transport.ListenUDP(addr) }
+
+// NewLoopback returns an empty in-memory broadcast medium. Attach
+// receivers (each optionally behind a Channel impairment), then create
+// sender endpoints with its Sender method.
+func NewLoopback() *Loopback { return transport.NewLoopback() }
+
+// NewBroadcaster returns a carousel sender writing to conn; Add encoded
+// objects (EncodeForDelivery) before Run.
+func NewBroadcaster(conn TransportConn, cfg BroadcasterConfig) *Broadcaster {
+	return transport.NewSender(conn, cfg)
+}
+
+// NewReceiverDaemon returns a reassembly daemon reading from conn; drive
+// it with Run and collect objects via WaitObject, Object or OnComplete.
+func NewReceiverDaemon(conn TransportConn, cfg ReceiverDaemonConfig) *ReceiverDaemon {
+	return transport.NewReceiverDaemon(conn, cfg)
+}
+
+// NewGilbertImpairment returns a seeded Gilbert channel suitable for
+// Loopback.Receiver — the bridge from the paper's simulated loss to live
+// transport impairment. (Alias of NewGilbertChannel with a clearer name
+// in transport contexts.)
+func NewGilbertImpairment(p, q float64, seed int64) (Channel, error) {
+	return NewGilbertChannel(p, q, seed)
+}
