@@ -1,10 +1,12 @@
 package fecperf
 
 import (
+	"context"
 	"fmt"
 
 	"fecperf/internal/channel"
 	"fecperf/internal/core"
+	"fecperf/internal/engine"
 	"fecperf/internal/experiments"
 	"fecperf/internal/ldpc"
 	"fecperf/internal/recommend"
@@ -38,6 +40,19 @@ type (
 	ExperimentOptions = experiments.Options
 	// Tuple is a (code, transmission model, expansion ratio) candidate.
 	Tuple = recommend.Tuple
+	// Plan declares a cartesian scenario space for the experiment engine.
+	Plan = engine.Plan
+	// Point is one serializable work unit of an expanded plan.
+	Point = engine.Point
+	// PointResult pairs a point with its measured aggregate.
+	PointResult = engine.PointResult
+	// ChannelSpec is a serializable loss-channel description for plans.
+	ChannelSpec = engine.ChannelSpec
+	// PlanOptions tunes a RunPlan call: workers, progress callback,
+	// streaming results channel and checkpoint path.
+	PlanOptions = engine.Options
+	// PlanProgress describes one completed point of a running plan.
+	PlanProgress = engine.Progress
 )
 
 // CodeNames lists the identifiers accepted by NewCode: "rse", "ldgm",
@@ -89,6 +104,31 @@ func TxModel6() Scheduler { return sched.TxModel6{} }
 // SchedulerByName resolves "tx1".."tx6".
 func SchedulerByName(name string) (Scheduler, error) { return sched.ByName(name) }
 
+// RunPlan expands a declarative plan into measurement points and
+// executes them on the parallel experiment engine: trials split across
+// workers, results identical for any worker count, optional progress /
+// streaming / JSON-lines checkpointing through opts, cancellation
+// through ctx. Results align with the plan's expansion order.
+func RunPlan(ctx context.Context, plan Plan, opts PlanOptions) ([]PointResult, error) {
+	return engine.Run(ctx, plan, opts)
+}
+
+// Channel spec constructors for Plan.Channels.
+
+// GilbertChannelSpec declares a two-state Gilbert channel.
+func GilbertChannelSpec(p, q float64) ChannelSpec { return engine.GilbertChannel(p, q) }
+
+// BernoulliChannelSpec declares IID loss at rate p.
+func BernoulliChannelSpec(p float64) ChannelSpec { return engine.BernoulliChannel(p) }
+
+// NoLossChannelSpec declares the perfect channel.
+func NoLossChannelSpec() ChannelSpec { return engine.NoLossChannel() }
+
+// TraceChannelSpec declares replay of a recorded loss pattern.
+func TraceChannelSpec(pattern []bool, noWrap bool) ChannelSpec {
+	return engine.TraceChannel(pattern, noWrap)
+}
+
 // Measurement describes one measurement point for Measure: a code and a
 // scheduler facing a Gilbert(p, q) channel.
 type Measurement struct {
@@ -102,6 +142,9 @@ type Measurement struct {
 	Seed int64
 	// NSent optionally truncates transmissions (Section 6 optimisation).
 	NSent int
+	// Workers splits the trials across goroutines (0 = sequential);
+	// the aggregate is identical for every worker count.
+	Workers int
 }
 
 // Measure runs repeated reception trials at one channel point and returns
@@ -121,6 +164,7 @@ func Measure(m Measurement) (Aggregate, error) {
 		Trials:    m.Trials,
 		Seed:      m.Seed,
 		NSent:     m.NSent,
+		Workers:   m.Workers,
 	}), nil
 }
 

@@ -1,6 +1,7 @@
 package fecperf
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -36,6 +37,59 @@ func TestNewRSEAndLDGMDirect(t *testing.T) {
 	}
 	if l.Name() != "ldgm-triangle" {
 		t.Fatalf("Name = %q", l.Name())
+	}
+}
+
+func TestRunPlanFacade(t *testing.T) {
+	plan := Plan{
+		Codes:      []string{"ldgm-staircase", "rse"},
+		Ks:         []int{60},
+		Ratios:     []float64{2.5},
+		Schedulers: []string{"tx2"},
+		Channels: []ChannelSpec{
+			GilbertChannelSpec(0, 1),
+			BernoulliChannelSpec(0.05),
+			NoLossChannelSpec(),
+			TraceChannelSpec(make([]bool, 32), false),
+		},
+		Trials: 4,
+		Seed:   2,
+	}
+	res, err := RunPlan(context.Background(), plan, PlanOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != plan.NumPoints() {
+		t.Fatalf("got %d results, want %d", len(res), plan.NumPoints())
+	}
+	for _, r := range res {
+		if r.Aggregate.Trials != 4 {
+			t.Fatalf("point %s ran %d trials", r.Point.Key(), r.Aggregate.Trials)
+		}
+	}
+	// Gilbert(0,1) under tx2 is the perfect channel: inefficiency 1.
+	if res[0].Aggregate.Failed() || res[0].Aggregate.MeanIneff() != 1.0 {
+		t.Fatalf("perfect point aggregate: %+v", res[0].Aggregate)
+	}
+	if _, err := RunPlan(context.Background(), Plan{}, PlanOptions{}); err == nil {
+		t.Fatal("RunPlan accepted an empty plan")
+	}
+}
+
+func TestMeasureWorkersDeterministic(t *testing.T) {
+	c, _ := NewCode("ldgm-staircase", 150, 2.5, 1)
+	m := Measurement{Code: c, Scheduler: TxModel4(), P: 0.1, Q: 0.5, Trials: 24, Seed: 6}
+	seq, err := Measure(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Workers = 6
+	par, err := Measure(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Fatalf("parallel Measure differs: %+v vs %+v", par, seq)
 	}
 }
 

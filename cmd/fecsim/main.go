@@ -1,5 +1,5 @@
 // Command fecsim runs a single (code × transmission model × ratio) sweep
-// over a (p, q) grid of Gilbert channel parameters and prints the mean
+// over a (p, q) grid of channel parameters and prints the mean
 // inefficiency table, the way the paper's appendix reports them.
 //
 // Usage:
@@ -9,62 +9,148 @@
 // A reduced grid keeps exploratory runs fast:
 //
 //	fecsim -code rse -tx tx5 -ratio 1.5 -k 1000 -trials 20 -grid 0,0.05,0.2,0.5
+//
+// Sweeps run on the parallel experiment engine: -workers bounds the
+// pool, -channel selects the loss model family (gilbert, bernoulli,
+// markov, noloss), and -resume FILE checkpoints completed grid cells to
+// a JSON-lines file — interrupting the run (Ctrl-C) and starting it
+// again with the same flags resumes without recomputing finished cells.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
-	"fecperf/internal/experiments"
-	"fecperf/internal/sched"
+	"fecperf/internal/channel"
+	"fecperf/internal/engine"
 	"fecperf/internal/sim"
 )
 
 func main() {
+	// Ctrl-C cancels cleanly: cells finished so far are already in the
+	// checkpoint file, so the same command resumes the sweep.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "fecsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fecsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		codeName = flag.String("code", "ldgm-staircase", "FEC code: rse, ldgm, ldgm-staircase, ldgm-triangle")
-		txName   = flag.String("tx", "tx2", "transmission model: tx1..tx6")
-		ratio    = flag.Float64("ratio", 2.5, "FEC expansion ratio n/k")
-		k        = flag.Int("k", 1000, "object size in source packets (paper: 20000)")
-		trials   = flag.Int("trials", 20, "trials per grid cell (paper: 100)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		nsent    = flag.Int("nsent", 0, "truncate transmissions after this many packets (0 = send all)")
-		gridSpec = flag.String("grid", "", "comma-separated probabilities for both axes (default: paper's 14-value axis)")
-		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		codeName = fs.String("code", "ldgm-staircase", "FEC code: rse, ldgm, ldgm-staircase, ldgm-triangle")
+		txName   = fs.String("tx", "tx2", "transmission model: tx1..tx6")
+		ratio    = fs.Float64("ratio", 2.5, "FEC expansion ratio n/k")
+		k        = fs.Int("k", 1000, "object size in source packets (paper: 20000)")
+		trials   = fs.Int("trials", 20, "trials per grid cell (paper: 100)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		nsent    = fs.Int("nsent", 0, "truncate transmissions after this many packets (0 = send all)")
+		gridSpec = fs.String("grid", "", "comma-separated probabilities for both axes (default: paper's 14-value axis)")
+		workers  = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		chName   = fs.String("channel", "gilbert", "channel family: "+strings.Join(channel.FamilyNames(), ", "))
+		resume   = fs.String("resume", "", "checkpoint file: completed cells are appended and restored on restart")
+		progress = fs.Bool("progress", false, "report per-cell completion on stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	grid, err := parseGrid(*gridSpec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	code, err := experiments.MakeCode(*codeName, *k, *ratio, *seed)
-	if err != nil {
-		fatal(err)
+	if grid == nil {
+		grid = sim.PaperGrid
 	}
-	scheduler, err := sched.ByName(*txName)
-	if err != nil {
-		fatal(err)
+	if _, err := channel.ByName(*chName); err != nil {
+		return err
+	}
+	channels, cellKeys := gridChannels(*chName, grid)
+	plan := buildPlan(*codeName, *txName, *ratio, *k, *trials, *nsent, *seed, channels)
+
+	opts := engine.Options{Workers: *workers, CheckpointPath: *resume}
+	if *progress {
+		opts.Progress = func(ev engine.Progress) {
+			state := "done"
+			if ev.FromCheckpoint {
+				state = "resumed"
+			}
+			fmt.Fprintf(stderr, "fecsim: %d/%d %s %s: %s\n",
+				ev.Done, ev.Total, ev.Point.Channel.Key(), state, ev.Aggregate.String())
+		}
 	}
 
-	g := sim.Sweep(sim.SweepConfig{
-		Code:      code,
-		Scheduler: scheduler,
-		P:         grid,
-		Q:         grid,
-		Trials:    *trials,
-		Seed:      *seed,
-		NSent:     *nsent,
-		Workers:   *workers,
-	})
+	res, err := engine.Run(ctx, plan, opts)
+	if err != nil {
+		if *resume != "" && ctx.Err() != nil {
+			fmt.Fprintf(stderr, "fecsim: interrupted; rerun with -resume %s to continue\n", *resume)
+		}
+		return err
+	}
 
-	fmt.Printf("# %s, %s, FEC expansion ratio %.2f, k=%d, trials=%d\n",
-		*codeName, *txName, *ratio, *k, *trials)
-	fmt.Printf("# cell = mean inefficiency ratio; \"-\" = at least one trial failed\n")
-	printGrid(g)
+	byKey := make(map[string]sim.Aggregate, len(res))
+	for _, r := range res {
+		byKey[r.Point.Channel.Key()] = r.Aggregate
+	}
+	g := &sim.Grid{P: grid, Q: grid, Cells: make([][]sim.Aggregate, len(grid))}
+	for i := range g.Cells {
+		g.Cells[i] = make([]sim.Aggregate, len(grid))
+		for j := range g.Cells[i] {
+			g.Cells[i][j] = byKey[cellKeys[i][j]]
+		}
+	}
+
+	fmt.Fprintf(stdout, "# %s, %s, FEC expansion ratio %.2f, k=%d, trials=%d, channel=%s\n",
+		*codeName, *txName, *ratio, *k, *trials, *chName)
+	fmt.Fprintf(stdout, "# cell = mean inefficiency ratio; \"-\" = at least one trial failed\n")
+	printGrid(stdout, g)
+	return nil
+}
+
+// gridChannels enumerates the (p, q) grid row-major as channel specs,
+// deduplicated by identity: families that ignore a coordinate
+// (bernoulli ignores q, noloss both) collapse to one measurement per
+// distinct channel, and cellKeys maps every grid cell back to it.
+func gridChannels(chName string, grid []float64) ([]engine.ChannelSpec, [][]string) {
+	var channels []engine.ChannelSpec
+	seen := map[string]bool{}
+	cellKeys := make([][]string, len(grid))
+	for i, p := range grid {
+		cellKeys[i] = make([]string, len(grid))
+		for j, q := range grid {
+			spec := engine.ChannelSpec{Kind: chName, P: p, Q: q}
+			key := spec.Key()
+			cellKeys[i][j] = key
+			if !seen[key] {
+				seen[key] = true
+				channels = append(channels, spec)
+			}
+		}
+	}
+	return channels, cellKeys
+}
+
+// buildPlan declares the sweep: one code/scheduler over the channel axis.
+func buildPlan(codeName, txName string, ratio float64, k, trials, nsent int, seed int64, channels []engine.ChannelSpec) engine.Plan {
+	return engine.Plan{
+		Codes:      []string{codeName},
+		Ks:         []int{k},
+		Ratios:     []float64{ratio},
+		Schedulers: []string{txName},
+		Channels:   channels,
+		NSents:     []int{nsent},
+		Trials:     trials,
+		Seed:       seed,
+	}
 }
 
 func parseGrid(spec string) ([]float64, error) {
@@ -85,22 +171,17 @@ func parseGrid(spec string) ([]float64, error) {
 	return out, nil
 }
 
-func printGrid(g *sim.Grid) {
-	fmt.Printf("%8s", "p\\q")
+func printGrid(w io.Writer, g *sim.Grid) {
+	fmt.Fprintf(w, "%8s", "p\\q")
 	for _, q := range g.Q {
-		fmt.Printf("%8s", fmt.Sprintf("%g", q*100))
+		fmt.Fprintf(w, "%8s", fmt.Sprintf("%g", q*100))
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for i, p := range g.P {
-		fmt.Printf("%8s", fmt.Sprintf("%g", p*100))
+		fmt.Fprintf(w, "%8s", fmt.Sprintf("%g", p*100))
 		for j := range g.Q {
-			fmt.Printf("%8s", g.At(i, j).String())
+			fmt.Fprintf(w, "%8s", g.At(i, j).String())
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fecsim:", err)
-	os.Exit(1)
 }

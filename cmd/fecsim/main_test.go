@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -33,17 +36,88 @@ func TestParseGridErrors(t *testing.T) {
 }
 
 func TestPrintGridRenders(t *testing.T) {
-	// printGrid writes to stdout; just exercise the formatting path via
-	// the grid's own String cells, checking it does not panic on a
-	// minimal grid.
 	g := &sim.Grid{
 		P:     []float64{0},
 		Q:     []float64{0, 1},
 		Cells: [][]sim.Aggregate{{{}, {}}},
 	}
-	printGrid(g)
+	var buf bytes.Buffer
+	printGrid(&buf, g)
 	// Cells with zero trials render "-".
-	if s := g.At(0, 0).String(); !strings.Contains(s, "-") {
-		t.Fatalf("empty aggregate rendered %q", s)
+	if !strings.Contains(buf.String(), "-") {
+		t.Fatalf("empty aggregate rendered %q", buf.String())
+	}
+}
+
+func fastArgs(extra ...string) []string {
+	return append([]string{
+		"-code", "ldgm-staircase", "-tx", "tx2", "-k", "60",
+		"-trials", "4", "-grid", "0,0.1", "-workers", "2",
+	}, extra...)
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	var out, errs bytes.Buffer
+	if err := run(context.Background(), fastArgs(), &out, &errs); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errs.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "channel=gilbert") || !strings.Contains(got, "p\\q") {
+		t.Fatalf("unexpected output:\n%s", got)
+	}
+	// p=0 row of a tx2 sweep decodes at inefficiency 1.000.
+	if !strings.Contains(got, "1.000") {
+		t.Fatalf("no perfect cell in output:\n%s", got)
+	}
+}
+
+func TestRunChannelFamilies(t *testing.T) {
+	for _, family := range []string{"bernoulli", "markov", "noloss"} {
+		var out, errs bytes.Buffer
+		if err := run(context.Background(), fastArgs("-channel", family), &out, &errs); err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		if !strings.Contains(out.String(), "channel="+family) {
+			t.Fatalf("%s: header missing family", family)
+		}
+	}
+	var out, errs bytes.Buffer
+	if err := run(context.Background(), fastArgs("-channel", "smoke-signals"), &out, &errs); err == nil {
+		t.Fatal("accepted unknown channel family")
+	}
+}
+
+func TestRunResumeSkipsFinishedCells(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.jsonl")
+	var out1, errs1 bytes.Buffer
+	if err := run(context.Background(), fastArgs("-resume", ckpt), &out1, &errs1); err != nil {
+		t.Fatal(err)
+	}
+	// Second run with the same flags: every cell restores from the
+	// checkpoint ("resumed" progress lines, no "done" ones) and the
+	// rendered table is identical.
+	var out2, errs2 bytes.Buffer
+	if err := run(context.Background(), fastArgs("-resume", ckpt, "-progress"), &out2, &errs2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.String() != out1.String() {
+		t.Fatalf("resumed table differs:\n%s\nvs\n%s", out2.String(), out1.String())
+	}
+	prog := errs2.String()
+	if !strings.Contains(prog, "resumed") {
+		t.Fatalf("no resumed cells reported:\n%s", prog)
+	}
+	if strings.Contains(prog, " done:") {
+		t.Fatalf("resume recomputed cells:\n%s", prog)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errs bytes.Buffer
+	if err := run(context.Background(), []string{"-grid", "2,3"}, &out, &errs); err == nil {
+		t.Fatal("accepted out-of-range grid")
+	}
+	if err := run(context.Background(), []string{"-code", "nope", "-grid", "0"}, &out, &errs); err == nil {
+		t.Fatal("accepted unknown code")
 	}
 }

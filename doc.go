@@ -15,8 +15,11 @@
 //   - the two-state Gilbert loss channel with its analytic companions
 //     (global loss probability, decoding-impossibility limits, parameter
 //     estimation from traces);
-//   - the measurement harness that sweeps (code × schedule × channel)
-//     over (p, q) grids and reports the paper's inefficiency-ratio metric;
+//   - a parallel experiment engine: declarative plans over
+//     (code × k × ratio × schedule × channel × n_sent) axes expand into
+//     serializable points whose trials run sharded across a worker pool,
+//     with cancellation, progress, streaming results and JSON-lines
+//     checkpoint/resume — deterministic in the seed at any worker count;
 //   - every figure and table of the paper as a runnable experiment, and
 //     the Section-6 recommender (best tuple for a known channel, universal
 //     schemes for unknown channels, optimal n_sent sizing);
@@ -39,6 +42,20 @@
 // live impairment, so a Gilbert-loss broadcast is one process with no
 // sockets: see examples/filecast. cmd/feccast is the same pipeline over
 // real UDP.
+//
+// # Experiment engine
+//
+// Measure and SweepGrid cover single points and (p, q) grids; RunPlan is
+// the general form. A Plan declares axes (codes, object sizes, ratios,
+// transmission models, channel specs, truncation points); the engine
+// expands their cartesian product into points, splits every point's
+// trials into shards executed by one bounded worker pool, and merges
+// partial aggregates in a fixed order, so the result is identical for
+// any PlanOptions.Workers. Per-trial seeds derive from the plan seed by
+// splitmix64 hashing of the point's configuration key — extending a plan
+// never changes the results of existing points, and a JSON-lines
+// checkpoint (PlanOptions.CheckpointPath) lets an interrupted sweep
+// resume without recomputing finished points. See examples/plansweep.
 //
 // # Quick start
 //

@@ -1,0 +1,47 @@
+package channel
+
+// Name-based channel family resolution for the CLI tools and the sweep
+// engine: each family maps the (p, q) coordinates of a sweep grid to a
+// concrete Factory, so a single -channel flag switches a whole sweep
+// between loss models without touching the grid machinery.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// families maps a family name to its grid-coordinate constructor.
+var families = map[string]func(p, q float64) Factory{
+	"gilbert":   func(p, q float64) Factory { return GilbertFactory{P: p, Q: q} },
+	"bernoulli": func(p, _ float64) Factory { return BernoulliFactory{P: p} },
+	"noloss":    func(_, _ float64) Factory { return NoLossFactory{} },
+	"markov":    func(p, q float64) Factory { return MarkovFactory{Spec: ThreeStateSpec(p, q)} },
+}
+
+// ByName resolves a channel family name into a constructor that maps the
+// grid coordinates (p, q) to a Factory:
+//
+//	"gilbert"   — two-state Gilbert with transition probabilities (p, q)
+//	"bernoulli" — IID loss at rate p (q is ignored)
+//	"markov"    — the three-state good/degraded/outage model of
+//	              ThreeStateSpec(p, q)
+//	"noloss"    — the perfect channel (both ignored)
+//
+// Unknown names return an error listing the valid ones.
+func ByName(name string) (func(p, q float64) Factory, error) {
+	f, ok := families[name]
+	if !ok {
+		return nil, fmt.Errorf("channel: unknown family %q (have %v)", name, FamilyNames())
+	}
+	return f, nil
+}
+
+// FamilyNames lists the families ByName accepts, sorted.
+func FamilyNames() []string {
+	out := make([]string, 0, len(families))
+	for n := range families {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,80 @@
+package channel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestByNameResolvesAllFamilies(t *testing.T) {
+	for _, name := range FamilyNames() {
+		ctor, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		f := ctor(0.1, 0.5)
+		if f.Name() == "" {
+			t.Fatalf("%s: empty factory name", name)
+		}
+		ch := f.New(rand.New(rand.NewSource(1)))
+		for i := 0; i < 100; i++ {
+			ch.Lost() // must not panic
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("carrier-pigeon"); err == nil {
+		t.Fatal("accepted unknown family")
+	}
+}
+
+func TestByNameSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	noloss, _ := ByName("noloss")
+	ch := noloss(0.9, 0.9).New(rng)
+	for i := 0; i < 50; i++ {
+		if ch.Lost() {
+			t.Fatal("noloss lost a packet")
+		}
+	}
+	bern, _ := ByName("bernoulli")
+	lost := 0
+	ch = bern(0.3, 0).New(rng) // q ignored
+	for i := 0; i < 10000; i++ {
+		if ch.Lost() {
+			lost++
+		}
+	}
+	if rate := float64(lost) / 10000; rate < 0.27 || rate > 0.33 {
+		t.Fatalf("bernoulli(0.3) observed loss rate %g", rate)
+	}
+}
+
+func TestThreeStateSpecValidForGridCorners(t *testing.T) {
+	for _, p := range []float64{0, 0.5, 1} {
+		for _, q := range []float64{0, 0.5, 1} {
+			spec := ThreeStateSpec(p, q)
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("ThreeStateSpec(%g, %g): %v", p, q, err)
+			}
+		}
+	}
+	// p=0 from the good start state never degrades: loss stays zero.
+	loss, err := ThreeStateSpec(0, 0.5).StationaryLoss()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss != 0 {
+		t.Fatalf("p=0 stationary loss %g, want 0", loss)
+	}
+}
+
+func TestTraceFactoryRestartsPerTrial(t *testing.T) {
+	f := TraceFactory{Pattern: []bool{true, false}}
+	for trial := 0; trial < 3; trial++ {
+		ch := f.New(nil)
+		if !ch.Lost() || ch.Lost() {
+			t.Fatalf("trial %d did not replay the trace from the start", trial)
+		}
+	}
+}

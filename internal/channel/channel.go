@@ -178,3 +178,31 @@ func (NoLossFactory) New(*rand.Rand) core.Channel { return NoLoss{} }
 
 // Name implements Factory.
 func (NoLossFactory) Name() string { return "no-loss" }
+
+// BernoulliFactory creates memoryless (IID) loss channels with rate P.
+type BernoulliFactory struct{ P float64 }
+
+// New implements Factory.
+func (f BernoulliFactory) New(rng *rand.Rand) core.Channel { return Bernoulli(f.P, rng) }
+
+// Name implements Factory.
+func (f BernoulliFactory) Name() string { return fmt.Sprintf("bernoulli(p=%g)", f.P) }
+
+// TraceFactory replays one recorded loss pattern; every trial restarts
+// from the beginning of the trace, so repeated trials see the same
+// channel realisation (the randomness across trials then comes from the
+// scheduler alone).
+type TraceFactory struct {
+	Pattern []bool
+	// NoWrap makes trials report "received" past the end of the trace
+	// instead of wrapping around.
+	NoWrap bool
+}
+
+// New implements Factory.
+func (f TraceFactory) New(*rand.Rand) core.Channel {
+	return &Trace{Pattern: f.Pattern, NoWrap: f.NoWrap}
+}
+
+// Name implements Factory.
+func (f TraceFactory) Name() string { return fmt.Sprintf("trace(%d samples)", len(f.Pattern)) }

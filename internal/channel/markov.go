@@ -119,6 +119,24 @@ func GilbertSpec(p, q float64) MarkovSpec {
 	}
 }
 
+// ThreeStateSpec returns a canonical three-state wireless-style loss
+// model — good / degraded / outage — parameterised by the same (p, q)
+// grid coordinates the paper sweeps. p drives degradation (good→degraded,
+// degraded→outage), q drives recovery (outage→degraded, degraded→good);
+// the degraded state loses half its packets, the outage state all of
+// them. The spec is row-stochastic for every p, q in [0, 1].
+func ThreeStateSpec(p, q float64) MarkovSpec {
+	return MarkovSpec{
+		Transition: [][]float64{
+			{1 - p, p, 0},
+			{q / 2, 1 - p/2 - q/2, p / 2},
+			{0, q, 1 - q},
+		},
+		LossProb: []float64{0, 0.5, 1},
+		Start:    0,
+	}
+}
+
 // StationaryLoss computes the long-run packet loss rate of the spec by
 // solving for the stationary distribution with power iteration (the chain
 // sizes here are tiny, so simplicity beats a linear solver).

@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"fmt"
+
+	"fecperf/internal/stats"
+)
+
+// Aggregate summarises the repeated trials of one measurement point.
+// Partial aggregates from different workers combine with Merge; a point
+// executed under any worker count always merges its fixed trial shards
+// in shard order, so the result is identical whatever goroutine computed
+// which shard.
+type Aggregate struct {
+	// Trials is the number run; Failures how many did not decode.
+	Trials   int `json:"trials"`
+	Failures int `json:"failures"`
+	// Ineff aggregates inefficiency over *successful* trials.
+	Ineff stats.Accumulator `json:"ineff"`
+	// ReceivedOverK aggregates n_received/k over all trials: the
+	// companion curve the paper plots alongside the inefficiency.
+	ReceivedOverK stats.Accumulator `json:"received_over_k"`
+}
+
+// Merge folds another partial aggregate into a. Merging the same parts
+// in the same order is bit-reproducible.
+func (a *Aggregate) Merge(b Aggregate) {
+	a.Trials += b.Trials
+	a.Failures += b.Failures
+	a.Ineff.Merge(b.Ineff)
+	a.ReceivedOverK.Merge(b.ReceivedOverK)
+}
+
+// Failed reports whether at least one trial failed — the paper's strict
+// criterion for leaving a grid cell blank.
+func (a Aggregate) Failed() bool { return a.Failures > 0 }
+
+// MeanIneff returns the average inefficiency over successful trials.
+func (a Aggregate) MeanIneff() float64 { return a.Ineff.Mean() }
+
+// String renders the cell the way the appendix tables do: a ratio with
+// three decimals or "-" when any trial failed.
+func (a Aggregate) String() string {
+	if a.Failed() || a.Ineff.N() == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", a.MeanIneff())
+}

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"fecperf/internal/channel"
+	"fecperf/internal/codes"
+	"fecperf/internal/core"
+	"fecperf/internal/sched"
+)
+
+// benchCode builds the acceptance-scenario code once per benchmark
+// binary: LDGM Staircase, k=1000, ratio 2.5 — the ISSUE's reference
+// single-point workload.
+var benchCode core.Code
+
+func benchSpec(b *testing.B) PointSpec {
+	b.Helper()
+	if benchCode == nil {
+		c, err := codes.Make("ldgm-staircase", 1000, 2.5, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchCode = c
+	}
+	return PointSpec{
+		Code:      benchCode,
+		Scheduler: sched.TxModel4{},
+		Channel:   channel.GilbertFactory{P: 0.05, Q: 0.5},
+		Trials:    100,
+		Seed:      7,
+	}
+}
+
+func benchmarkPoint(b *testing.B, workers int) {
+	spec := benchSpec(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg, err := RunPoint(context.Background(), spec, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Trials != 100 {
+			b.Fatalf("ran %d trials", agg.Trials)
+		}
+	}
+	b.ReportMetric(float64(100*b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+// BenchmarkPointSequential is the sequential baseline for the speedup
+// record in BENCH_engine.json.
+func BenchmarkPointSequential(b *testing.B) { benchmarkPoint(b, 1) }
+
+// BenchmarkPointParallel4 is the same point on 4 workers; the ratio of
+// the two ns/op values is the single-point speedup.
+func BenchmarkPointParallel4(b *testing.B) { benchmarkPoint(b, 4) }
+
+// BenchmarkPlanThroughput measures whole-plan execution (points/sec) on
+// all cores: a 2-code × 2-scheduler × 9-channel grid at small k, the
+// regime where cross-point parallelism dominates.
+func BenchmarkPlanThroughput(b *testing.B) {
+	axis := []float64{0, 0.05, 0.2}
+	var chans []ChannelSpec
+	for _, p := range axis {
+		for _, q := range []float64{0.5, 0.8, 1} {
+			chans = append(chans, GilbertChannel(p, q))
+		}
+	}
+	plan := Plan{
+		Codes:      []string{"ldgm-staircase", "rse"},
+		Ks:         []int{200},
+		Ratios:     []float64{2.5},
+		Schedulers: []string{"tx2", "tx4"},
+		Channels:   chans,
+		Trials:     20,
+		Seed:       3,
+	}
+	points := plan.NumPoints()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), plan, Options{Workers: runtime.GOMAXPROCS(0)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(points*b.N)/b.Elapsed().Seconds(), "points/s")
+}

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// checkpointRecord is one JSON line: the identity of a completed point
+// and its aggregate. Identity is (Key, Seed) — the configuration string
+// plus the derived seed — so records written under a different plan seed
+// or trial count never match and are simply recomputed.
+type checkpointRecord struct {
+	Key       string    `json:"key"`
+	Seed      int64     `json:"seed"`
+	Aggregate Aggregate `json:"aggregate"`
+}
+
+// checkpoint is an append-only JSON-lines store of completed points.
+type checkpoint struct {
+	mu   sync.Mutex
+	file *os.File
+	done map[string]checkpointRecord // key → record
+	err  error                       // first write failure, surfaced by close
+}
+
+// openCheckpoint loads any existing records from path (tolerating a
+// truncated final line from a killed run) and opens the file for
+// appending.
+func openCheckpoint(path string) (*checkpoint, error) {
+	done := map[string]checkpointRecord{}
+	if blob, err := os.ReadFile(path); err == nil {
+		sc := bufio.NewScanner(bytes.NewReader(blob))
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var rec checkpointRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				continue // torn write from a killed run; recompute that point
+			}
+			done[rec.Key] = rec
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("engine: reading checkpoint %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("engine: reading checkpoint %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("engine: opening checkpoint %s: %w", path, err)
+	}
+	return &checkpoint{file: f, done: done}, nil
+}
+
+// lookup returns the stored aggregate for a point when its configuration
+// key and seed both match.
+func (c *checkpoint) lookup(pt Point) (Aggregate, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.done[pt.Key()]
+	if !ok || rec.Seed != pt.Seed {
+		return Aggregate{}, false
+	}
+	return rec.Aggregate, true
+}
+
+// append writes one completed point, flushing the line to the OS before
+// returning so a kill right after loses at most the in-flight point.
+// Write failures (disk full, revoked mount) are remembered and surfaced
+// by close, so a run never reports success with a silently stale
+// checkpoint.
+func (c *checkpoint) append(pt Point, agg Aggregate) {
+	rec := checkpointRecord{Key: pt.Key(), Seed: pt.Seed, Aggregate: agg}
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		return // aggregates always marshal; defensive only
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[rec.Key] = rec
+	if _, err := c.file.Write(append(blob, '\n')); err != nil && c.err == nil {
+		c.err = fmt.Errorf("engine: writing checkpoint %s: %w", c.file.Name(), err)
+	}
+}
+
+// close releases the file and reports the first write failure, if any.
+func (c *checkpoint) close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.file.Close(); err != nil && c.err == nil {
+		c.err = fmt.Errorf("engine: closing checkpoint %s: %w", c.file.Name(), err)
+	}
+	return c.err
+}

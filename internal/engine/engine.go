@@ -1,0 +1,352 @@
+// Package engine is the parallel experiment engine behind every sweep in
+// the repository. A declarative Plan expands into serializable Point work
+// units; a worker pool executes them with trial-level parallelism — the
+// trials of one point are split into fixed-size shards, run on whatever
+// worker is free, and merged in shard order — so results are identical
+// under any worker count. The engine supports context cancellation,
+// progress callbacks, a streaming results channel, and JSON-lines
+// checkpointing so interrupted sweeps resume without recomputing
+// finished points.
+//
+//	plan (axes) → points (serializable) → shards (trials) → workers → merge
+//
+// Per-trial randomness derives from splitmix64 hashing (DeriveSeed), not
+// arithmetic seed offsets, so no two trials or grid cells share
+// correlated rand streams.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"fecperf/internal/channel"
+	"fecperf/internal/codes"
+	"fecperf/internal/core"
+	"fecperf/internal/sched"
+)
+
+// shardSize is the number of trials per work unit. Small enough that a
+// default 100-trial point fans out across many workers, large enough
+// that scheduling overhead stays negligible next to a decode.
+const shardSize = 8
+
+// PointSpec is a materialised work unit: live code, scheduler and
+// channel factory rather than declarative names. The sim package's
+// adapters build these directly; plans materialise Points into them.
+type PointSpec struct {
+	Code      core.Code
+	Scheduler core.Scheduler
+	Channel   channel.Factory
+	// Trials is the number of independent receptions; 0 means 100.
+	Trials int
+	// Seed is the point seed; trial t draws from DeriveSeed(Seed, t).
+	Seed int64
+	// NSent truncates every schedule when positive.
+	NSent int
+}
+
+func (s PointSpec) trials() int {
+	if s.Trials == 0 {
+		return 100
+	}
+	return s.Trials
+}
+
+// PointResult pairs a point with its aggregate.
+type PointResult struct {
+	Point     Point     `json:"point"`
+	Aggregate Aggregate `json:"aggregate"`
+}
+
+// Progress describes one completed point.
+type Progress struct {
+	// Done counts completed points (including resumed ones); Total is
+	// the plan size.
+	Done, Total int
+	Point       Point
+	Aggregate   Aggregate
+	// FromCheckpoint marks points restored from the checkpoint file
+	// rather than recomputed.
+	FromCheckpoint bool
+}
+
+// Options tunes an engine run.
+type Options struct {
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, is called after every completed point.
+	// Calls are serialised but may come from worker goroutines, and
+	// arrive in completion order, not plan order.
+	Progress func(Progress)
+	// Results, when non-nil, receives every completed point in
+	// completion order. The engine closes it when the run ends; the
+	// caller must drain it concurrently or the run will block.
+	Results chan<- PointResult
+	// CheckpointPath, when non-empty, names a JSON-lines file: completed
+	// points are appended as they finish, and points already recorded
+	// there (matched on configuration key and seed) are restored instead
+	// of recomputed.
+	CheckpointPath string
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// runShard executes trials [lo, hi) of a point and returns their partial
+// aggregate, stopping early (with a short count) when ctx is cancelled.
+func runShard(ctx context.Context, spec PointSpec, lo, hi int) (Aggregate, bool) {
+	layout := spec.Code.Layout()
+	k := float64(layout.K)
+	var agg Aggregate
+	for t := lo; t < hi; t++ {
+		select {
+		case <-ctx.Done():
+			return agg, false
+		default:
+		}
+		rng := rand.New(rand.NewSource(DeriveSeed(spec.Seed, uint64(t))))
+		schedule := spec.Scheduler.Schedule(layout, rng)
+		ch := spec.Channel.New(rng)
+		res := core.RunTrial(schedule, ch, spec.Code.NewReceiver(), spec.NSent)
+		agg.Trials++
+		agg.ReceivedOverK.Add(float64(res.NReceived) / k)
+		if res.Decoded {
+			agg.Ineff.Add(res.Inefficiency(layout.K))
+		} else {
+			agg.Failures++
+		}
+	}
+	return agg, true
+}
+
+// RunPointSpecs executes every spec with trial-level parallelism and
+// returns aggregates aligned with the input. All shards of all points
+// feed one worker pool, so a single expensive point still saturates
+// every worker. Results are deterministic in the specs' seeds whatever
+// the worker count: shard boundaries are fixed and partial aggregates
+// merge in shard order. On cancellation the returned error is ctx.Err()
+// and unfinished points hold zero-valued aggregates.
+func RunPointSpecs(ctx context.Context, specs []PointSpec, workers int) ([]Aggregate, error) {
+	out := make([]Aggregate, len(specs))
+	err := runSpecs(ctx, specs, workers, func(i int, agg Aggregate) {
+		out[i] = agg
+	})
+	return out, err
+}
+
+// RunPoint executes one materialised point. Workers ≤ 0 means
+// GOMAXPROCS; the aggregate is identical for every worker count.
+func RunPoint(ctx context.Context, spec PointSpec, workers int) (Aggregate, error) {
+	aggs, err := RunPointSpecs(ctx, []PointSpec{spec}, workers)
+	return aggs[0], err
+}
+
+// runSpecs is the shared pool: it shards every point's trials, drains
+// the shard queue with a bounded worker pool, and calls done(i, agg)
+// exactly once per point that completes all its shards. done may be
+// called from any worker goroutine, one call at a time per point but
+// concurrently across points.
+func runSpecs(ctx context.Context, specs []PointSpec, workers int, done func(int, Aggregate)) error {
+	if len(specs) == 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type task struct{ point, shard int }
+	var tasks []task
+	parts := make([][]Aggregate, len(specs))
+	remaining := make([]int, len(specs))
+	for i, spec := range specs {
+		n := (spec.trials() + shardSize - 1) / shardSize
+		if n == 0 {
+			n = 1 // zero-trial point: one empty shard so done() still fires
+		}
+		parts[i] = make([]Aggregate, n)
+		remaining[i] = n
+		for s := 0; s < n; s++ {
+			tasks = append(tasks, task{point: i, shard: s})
+		}
+	}
+
+	var (
+		mu    sync.Mutex // guards remaining and the done callback
+		wg    sync.WaitGroup
+		queue = make(chan task)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range queue {
+				spec := specs[tk.point]
+				trials := spec.trials()
+				lo := tk.shard * shardSize
+				hi := lo + shardSize
+				if hi > trials {
+					hi = trials
+				}
+				agg, ok := runShard(ctx, spec, lo, hi)
+				if !ok {
+					continue // cancelled mid-shard: point never completes
+				}
+				parts[tk.point][tk.shard] = agg
+				mu.Lock()
+				remaining[tk.point]--
+				if remaining[tk.point] == 0 {
+					var merged Aggregate
+					for _, part := range parts[tk.point] {
+						merged.Merge(part)
+					}
+					done(tk.point, merged)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+feed:
+	for _, tk := range tasks {
+		select {
+		case queue <- tk:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(queue)
+	wg.Wait()
+	return ctx.Err()
+}
+
+// Run expands the plan and executes it; see RunPoints for semantics.
+func Run(ctx context.Context, plan Plan, opts Options) ([]PointResult, error) {
+	points, err := plan.Points()
+	if err != nil {
+		return nil, err
+	}
+	return RunPoints(ctx, points, opts)
+}
+
+// RunPoints executes an explicit point list (normally a plan expansion,
+// possibly filtered). Results are returned aligned with the input, and
+// also streamed through opts.Results / opts.Progress in completion
+// order. With a checkpoint path configured, previously completed points
+// are restored instead of recomputed and new completions are appended;
+// on cancellation (err == ctx.Err()) the checkpoint holds every point
+// finished so far, so the same call resumes the run later.
+func RunPoints(ctx context.Context, points []Point, opts Options) (res []PointResult, retErr error) {
+	if opts.Results != nil {
+		defer close(opts.Results)
+	}
+	results := make([]PointResult, len(points))
+	for i, pt := range points {
+		results[i].Point = pt
+	}
+
+	var ckpt *checkpoint
+	if opts.CheckpointPath != "" {
+		var err error
+		if ckpt, err = openCheckpoint(opts.CheckpointPath); err != nil {
+			return nil, err
+		}
+		// A failed checkpoint write must fail the run: callers rely on
+		// the file holding every reported-complete point.
+		defer func() {
+			if err := ckpt.close(); err != nil && retErr == nil {
+				retErr = err
+			}
+		}()
+	}
+
+	total := len(points)
+	completed := 0
+	deliver := func(i int, agg Aggregate, resumed bool) {
+		results[i].Aggregate = agg
+		completed++
+		if !resumed && ckpt != nil {
+			ckpt.append(points[i], agg)
+		}
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				Done: completed, Total: total,
+				Point: points[i], Aggregate: agg,
+				FromCheckpoint: resumed,
+			})
+		}
+		if opts.Results != nil {
+			opts.Results <- results[i]
+		}
+	}
+
+	// Restore checkpointed points, then materialise and run the rest.
+	var (
+		pending []PointSpec
+		indices []int
+	)
+	codeCache := map[string]core.Code{}
+	for i, pt := range points {
+		if ckpt != nil {
+			if agg, ok := ckpt.lookup(pt); ok {
+				deliver(i, agg, true)
+				continue
+			}
+		}
+		spec, err := materialize(pt, codeCache)
+		if err != nil {
+			return nil, err
+		}
+		pending = append(pending, spec)
+		indices = append(indices, i)
+	}
+
+	var mu sync.Mutex // serialises deliver across worker goroutines
+	retErr = runSpecs(ctx, pending, opts.workers(), func(j int, agg Aggregate) {
+		mu.Lock()
+		deliver(indices[j], agg, false)
+		mu.Unlock()
+	})
+	return results, retErr
+}
+
+// materialize builds the live code/scheduler/factory for a point,
+// sharing code constructions (the expensive part: LDGM matrix building)
+// across points with the same code spec.
+func materialize(pt Point, codeCache map[string]core.Code) (PointSpec, error) {
+	codeKey := pt.codeKey()
+	code, ok := codeCache[codeKey]
+	if !ok {
+		var err error
+		if code, err = codes.Make(pt.Code, pt.K, pt.Ratio, pt.CodeSeed); err != nil {
+			return PointSpec{}, err
+		}
+		codeCache[codeKey] = code
+	}
+	s, err := sched.ByName(pt.Scheduler)
+	if err != nil {
+		return PointSpec{}, err
+	}
+	fac, err := pt.Channel.Factory()
+	if err != nil {
+		return PointSpec{}, err
+	}
+	return PointSpec{
+		Code:      code,
+		Scheduler: s,
+		Channel:   fac,
+		Trials:    pt.Trials,
+		Seed:      pt.Seed,
+		NSent:     pt.NSent,
+	}, nil
+}
+
+func (pt Point) codeKey() string {
+	return fmt.Sprintf("%s|%d|%g|%d", pt.Code, pt.K, pt.Ratio, pt.CodeSeed)
+}

@@ -1,0 +1,289 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"fecperf/internal/channel"
+	"fecperf/internal/codes"
+	"fecperf/internal/sched"
+)
+
+func smallPlan() Plan {
+	return Plan{
+		Codes:      []string{"ldgm-staircase"},
+		Ks:         []int{80},
+		Ratios:     []float64{2.5},
+		Schedulers: []string{"tx2", "tx4"},
+		Channels: []ChannelSpec{
+			GilbertChannel(0, 1),
+			GilbertChannel(0.05, 0.5),
+			GilbertChannel(0.2, 0.5),
+			BernoulliChannel(0.1),
+		},
+		Trials: 20,
+		Seed:   3,
+	}
+}
+
+// marshal canonicalises results for byte-identity comparison.
+func marshal(t *testing.T, res []PointResult) string {
+	t.Helper()
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	plan := smallPlan()
+	var baseline string
+	for _, workers := range []int{1, 8} {
+		res, err := Run(context.Background(), plan, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := marshal(t, res)
+		if baseline == "" {
+			baseline = got
+			continue
+		}
+		if got != baseline {
+			t.Fatalf("workers=%d produced different bytes than workers=1", workers)
+		}
+	}
+}
+
+func TestRunPointDeterministicAcrossWorkerCounts(t *testing.T) {
+	code, err := codes.Make("ldgm-staircase", 120, 2.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := PointSpec{
+		Code:      code,
+		Scheduler: sched.TxModel4{},
+		Channel:   mustFactory(t, GilbertChannel(0.1, 0.5)),
+		Trials:    50,
+		Seed:      99,
+	}
+	base, err := RunPoint(context.Background(), spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Trials != 50 {
+		t.Fatalf("ran %d trials, want 50", base.Trials)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		agg, err := RunPoint(context.Background(), spec, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agg != base {
+			t.Fatalf("workers=%d aggregate differs: %+v vs %+v", workers, agg, base)
+		}
+	}
+}
+
+func TestRunStreamsAndReportsProgress(t *testing.T) {
+	plan := smallPlan()
+	stream := make(chan PointResult, plan.NumPoints())
+	var events int32
+	res, err := Run(context.Background(), plan, Options{
+		Workers:  4,
+		Results:  stream,
+		Progress: func(Progress) { atomic.AddInt32(&events, 1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed int
+	for range stream { // engine closed it on return
+		streamed++
+	}
+	if streamed != len(res) || int(events) != len(res) {
+		t.Fatalf("streamed %d, progress %d, want %d", streamed, events, len(res))
+	}
+	// p=0 under tx2 decodes with inefficiency exactly 1 (source first).
+	if res[0].Aggregate.Failed() || res[0].Aggregate.MeanIneff() != 1.0 {
+		t.Fatalf("perfect-channel point: %+v", res[0].Aggregate)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	plan := smallPlan()
+	var done int32
+	_, err := Run(ctx, plan, Options{
+		Workers: 2,
+		Progress: func(Progress) {
+			if atomic.AddInt32(&done, 1) == 2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if int(atomic.LoadInt32(&done)) >= plan.NumPoints() {
+		t.Fatal("cancellation did not stop the run early")
+	}
+}
+
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	plan := smallPlan()
+	clean, err := Run(context.Background(), plan, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshal(t, clean)
+
+	// First run: killed (cancelled) after a few points hit the checkpoint.
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	var done int32
+	_, err = Run(ctx, plan, Options{
+		Workers:        2,
+		CheckpointPath: path,
+		Progress: func(Progress) {
+			if atomic.AddInt32(&done, 1) == 3 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("first run err = %v, want context.Canceled", err)
+	}
+
+	// Second run resumes: checkpointed points restore, the rest recompute.
+	var resumed, computed int32
+	res, err := Run(context.Background(), plan, Options{
+		Workers:        4,
+		CheckpointPath: path,
+		Progress: func(ev Progress) {
+			if ev.FromCheckpoint {
+				atomic.AddInt32(&resumed, 1)
+			} else {
+				atomic.AddInt32(&computed, 1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed == 0 {
+		t.Fatal("resume recomputed every point")
+	}
+	if int(resumed+computed) != plan.NumPoints() {
+		t.Fatalf("resumed %d + computed %d != %d points", resumed, computed, plan.NumPoints())
+	}
+	if got := marshal(t, res); got != want {
+		t.Fatal("resumed run is not byte-identical to a clean run")
+	}
+
+	// Third run: everything restores, nothing recomputes.
+	var recomputed int32
+	res, err = Run(context.Background(), plan, Options{
+		CheckpointPath: path,
+		Progress: func(ev Progress) {
+			if !ev.FromCheckpoint {
+				atomic.AddInt32(&recomputed, 1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recomputed != 0 {
+		t.Fatalf("full checkpoint still recomputed %d points", recomputed)
+	}
+	if got := marshal(t, res); got != want {
+		t.Fatal("fully-resumed run is not byte-identical to a clean run")
+	}
+}
+
+func TestCheckpointIgnoresDifferentSeed(t *testing.T) {
+	plan := smallPlan()
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	if _, err := Run(context.Background(), plan, Options{CheckpointPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	plan.Seed = 4
+	var resumed int32
+	if _, err := Run(context.Background(), plan, Options{
+		CheckpointPath: path,
+		Progress: func(ev Progress) {
+			if ev.FromCheckpoint {
+				atomic.AddInt32(&resumed, 1)
+			}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 0 {
+		t.Fatalf("checkpoint written under seed 3 satisfied %d points of a seed-4 plan", resumed)
+	}
+}
+
+func TestCheckpointToleratesTornTail(t *testing.T) {
+	plan := smallPlan()
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	if _, err := Run(context.Background(), plan, Options{CheckpointPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a kill mid-write: chop the last line in half.
+	if err := os.WriteFile(path, blob[:len(blob)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var resumed int32
+	if _, err := Run(context.Background(), plan, Options{
+		CheckpointPath: path,
+		Progress: func(ev Progress) {
+			if ev.FromCheckpoint {
+				atomic.AddInt32(&resumed, 1)
+			}
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if int(resumed) != plan.NumPoints()-1 {
+		t.Fatalf("resumed %d points after torn tail, want %d", resumed, plan.NumPoints()-1)
+	}
+}
+
+func TestRunPointZeroTrialsDefaultsTo100(t *testing.T) {
+	code, err := codes.Make("ldgm-staircase", 40, 2.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := RunPoint(context.Background(), PointSpec{
+		Code:      code,
+		Scheduler: sched.TxModel2{},
+		Channel:   mustFactory(t, NoLossChannel()),
+		Seed:      1,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Trials != 100 {
+		t.Fatalf("default trials = %d, want 100", agg.Trials)
+	}
+}
+
+func mustFactory(t *testing.T, spec ChannelSpec) channel.Factory {
+	t.Helper()
+	f, err := spec.Factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}

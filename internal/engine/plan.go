@@ -1,0 +1,273 @@
+package engine
+
+import (
+	"fmt"
+
+	"fecperf/internal/channel"
+	"fecperf/internal/codes"
+	"fecperf/internal/sched"
+)
+
+// ChannelSpec is a serializable description of a loss channel — the
+// declarative counterpart of a channel.Factory, so plans and checkpoints
+// can be written to disk and rebuilt elsewhere.
+type ChannelSpec struct {
+	// Kind selects the family: "gilbert", "bernoulli", "markov",
+	// "noloss" or "trace".
+	Kind string `json:"kind"`
+	// P and Q parameterise gilbert (transition probabilities),
+	// bernoulli (loss rate P) and markov (ThreeStateSpec coordinates).
+	P float64 `json:"p,omitempty"`
+	Q float64 `json:"q,omitempty"`
+	// Markov overrides the canonical three-state model with an explicit
+	// n-state spec when Kind is "markov".
+	Markov *channel.MarkovSpec `json:"markov,omitempty"`
+	// Trace is the recorded loss pattern when Kind is "trace".
+	Trace  []bool `json:"trace,omitempty"`
+	NoWrap bool   `json:"nowrap,omitempty"`
+}
+
+// GilbertChannel describes a two-state Gilbert channel with transition
+// probabilities (p, q).
+func GilbertChannel(p, q float64) ChannelSpec { return ChannelSpec{Kind: "gilbert", P: p, Q: q} }
+
+// BernoulliChannel describes IID loss at rate p.
+func BernoulliChannel(p float64) ChannelSpec { return ChannelSpec{Kind: "bernoulli", P: p} }
+
+// NoLossChannel describes the perfect channel.
+func NoLossChannel() ChannelSpec { return ChannelSpec{Kind: "noloss"} }
+
+// MarkovChannel describes an explicit n-state Markov loss model.
+func MarkovChannel(spec channel.MarkovSpec) ChannelSpec {
+	return ChannelSpec{Kind: "markov", Markov: &spec}
+}
+
+// TraceChannel describes replay of a recorded loss pattern.
+func TraceChannel(pattern []bool, noWrap bool) ChannelSpec {
+	return ChannelSpec{Kind: "trace", Trace: pattern, NoWrap: noWrap}
+}
+
+// Factory materialises the spec into a channel.Factory.
+func (c ChannelSpec) Factory() (channel.Factory, error) {
+	switch c.Kind {
+	case "gilbert":
+		if err := channel.ValidateGilbert(c.P, c.Q); err != nil {
+			return nil, err
+		}
+		return channel.GilbertFactory{P: c.P, Q: c.Q}, nil
+	case "bernoulli":
+		if c.P < 0 || c.P > 1 {
+			return nil, fmt.Errorf("engine: bernoulli loss rate %g outside [0,1]", c.P)
+		}
+		return channel.BernoulliFactory{P: c.P}, nil
+	case "noloss":
+		return channel.NoLossFactory{}, nil
+	case "markov":
+		spec := channel.ThreeStateSpec(c.P, c.Q)
+		if c.Markov != nil {
+			spec = *c.Markov
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		return channel.MarkovFactory{Spec: spec}, nil
+	case "trace":
+		if len(c.Trace) == 0 {
+			return nil, fmt.Errorf("engine: trace channel spec has no pattern")
+		}
+		return channel.TraceFactory{Pattern: c.Trace, NoWrap: c.NoWrap}, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown channel kind %q", c.Kind)
+	}
+}
+
+// Key returns a stable identity string for checkpointing.
+func (c ChannelSpec) Key() string {
+	switch c.Kind {
+	case "noloss":
+		return "noloss"
+	case "bernoulli":
+		return fmt.Sprintf("bernoulli(p=%g)", c.P)
+	case "trace":
+		h := uint64(1469598103934665603) // FNV-1a over the pattern bits
+		for _, lost := range c.Trace {
+			b := uint64(0)
+			if lost {
+				b = 1
+			}
+			h = (h ^ b) * 1099511628211
+		}
+		return fmt.Sprintf("trace(n=%d,wrap=%t,h=%x)", len(c.Trace), !c.NoWrap, h)
+	case "markov":
+		if c.Markov != nil {
+			return fmt.Sprintf("markov(h=%x)", hashString(fmt.Sprintf("%v|%v|%d",
+				c.Markov.Transition, c.Markov.LossProb, c.Markov.Start)))
+		}
+		fallthrough
+	default:
+		return fmt.Sprintf("%s(p=%g,q=%g)", c.Kind, c.P, c.Q)
+	}
+}
+
+// Plan declares a cartesian scenario space: every combination of the
+// axes below becomes one measurement Point. Empty axes take the
+// defaults noted on each field; Codes, Schedulers and Channels must be
+// non-empty.
+type Plan struct {
+	// Codes are code family names accepted by codes.Make
+	// ("rse", "ldgm", "ldgm-staircase", "ldgm-triangle").
+	Codes []string `json:"codes"`
+	// Ks are object sizes in source packets (default {1000}).
+	Ks []int `json:"ks,omitempty"`
+	// Ratios are FEC expansion ratios n/k (default {2.5}).
+	Ratios []float64 `json:"ratios,omitempty"`
+	// Schedulers are transmission model names ("tx1".."tx6").
+	Schedulers []string `json:"schedulers"`
+	// Channels are the loss models to sweep.
+	Channels []ChannelSpec `json:"channels"`
+	// NSents are schedule truncation points; 0 sends the full schedule
+	// (default {0}).
+	NSents []int `json:"nsents,omitempty"`
+	// Trials per point (default 100, the paper's count).
+	Trials int `json:"trials,omitempty"`
+	// Seed drives all pseudo-randomness; per-point seeds are derived
+	// from it by hashing the point's configuration key.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+func (p Plan) withDefaults() Plan {
+	if len(p.Ks) == 0 {
+		p.Ks = []int{1000}
+	}
+	if len(p.Ratios) == 0 {
+		p.Ratios = []float64{2.5}
+	}
+	if len(p.NSents) == 0 {
+		p.NSents = []int{0}
+	}
+	if p.Trials == 0 {
+		p.Trials = 100
+	}
+	return p
+}
+
+// Validate checks that every axis value resolves, without running
+// anything expensive (codes are not constructed).
+func (p Plan) Validate() error {
+	if len(p.Codes) == 0 || len(p.Schedulers) == 0 || len(p.Channels) == 0 {
+		return fmt.Errorf("engine: plan needs at least one code, scheduler and channel")
+	}
+	for _, c := range p.Codes {
+		ok := false
+		for _, n := range codes.Names {
+			if c == n {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("engine: unknown code %q (have %v)", c, codes.Names)
+		}
+	}
+	for _, s := range p.Schedulers {
+		if _, err := sched.ByName(s); err != nil {
+			return err
+		}
+	}
+	for _, c := range p.Channels {
+		if _, err := c.Factory(); err != nil {
+			return err
+		}
+	}
+	q := p.withDefaults()
+	for _, k := range q.Ks {
+		if k <= 0 {
+			return fmt.Errorf("engine: object size k=%d must be positive", k)
+		}
+	}
+	for _, r := range q.Ratios {
+		if r < 1 {
+			return fmt.Errorf("engine: expansion ratio %g below 1", r)
+		}
+	}
+	if q.Trials < 0 {
+		return fmt.Errorf("engine: negative trial count %d", q.Trials)
+	}
+	return nil
+}
+
+// NumPoints returns the size of the expanded scenario space.
+func (p Plan) NumPoints() int {
+	p = p.withDefaults()
+	return len(p.Codes) * len(p.Ks) * len(p.Ratios) * len(p.Schedulers) * len(p.Channels) * len(p.NSents)
+}
+
+// Point is one serializable work unit: a fully specified measurement
+// point plus its derived seed. Points are what workers execute and what
+// checkpoints record.
+type Point struct {
+	// Index is the position in the plan's expansion order (codes, then
+	// ks, ratios, schedulers, channels, nsents — last axis fastest).
+	Index     int         `json:"index"`
+	Code      string      `json:"code"`
+	K         int         `json:"k"`
+	Ratio     float64     `json:"ratio"`
+	Scheduler string      `json:"scheduler"`
+	Channel   ChannelSpec `json:"channel"`
+	NSent     int         `json:"nsent,omitempty"`
+	Trials    int         `json:"trials"`
+	// Seed is the per-point seed, derived from the plan seed and the
+	// configuration key; trial t then draws from DeriveSeed(Seed, t).
+	Seed int64 `json:"seed"`
+	// CodeSeed fixes the pseudo-random code construction (LDGM).
+	CodeSeed int64 `json:"codeseed"`
+}
+
+// Key returns the point's configuration identity — everything that
+// determines its result except the derived seed. Checkpoint records are
+// matched on (Key, Seed), so resuming with a different plan seed never
+// reuses stale results.
+func (pt Point) Key() string {
+	return fmt.Sprintf("code=%s|k=%d|ratio=%g|sched=%s|ch=%s|trials=%d|nsent=%d|cseed=%d",
+		pt.Code, pt.K, pt.Ratio, pt.Scheduler, pt.Channel.Key(), pt.Trials, pt.NSent, pt.CodeSeed)
+}
+
+// Points expands the plan into its cartesian scenario space. The
+// expansion order is deterministic: codes, ks, ratios, schedulers,
+// channels, nsents, with the last axis varying fastest. Each point's
+// seed is derived by hashing its configuration key with the plan seed,
+// so a point keeps its seed (and therefore its exact result) when the
+// plan is extended with new axis values.
+func (p Plan) Points() ([]Point, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	out := make([]Point, 0, p.NumPoints())
+	for _, code := range p.Codes {
+		for _, k := range p.Ks {
+			for _, ratio := range p.Ratios {
+				for _, s := range p.Schedulers {
+					for _, ch := range p.Channels {
+						for _, nsent := range p.NSents {
+							pt := Point{
+								Index:     len(out),
+								Code:      code,
+								K:         k,
+								Ratio:     ratio,
+								Scheduler: s,
+								Channel:   ch,
+								NSent:     nsent,
+								Trials:    p.Trials,
+								CodeSeed:  p.Seed,
+							}
+							pt.Seed = DeriveSeed(p.Seed, hashString(pt.Key()))
+							out = append(out, pt)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}

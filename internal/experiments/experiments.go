@@ -14,9 +14,8 @@ import (
 	"sort"
 	"strings"
 
+	"fecperf/internal/codes"
 	"fecperf/internal/core"
-	"fecperf/internal/ldpc"
-	"fecperf/internal/rse"
 )
 
 // Options scales an experiment. The zero value is replaced by defaults
@@ -185,27 +184,14 @@ func List() []Experiment {
 }
 
 // CodeNames are the identifiers accepted by MakeCode.
-var CodeNames = []string{"rse", "ldgm", "ldgm-staircase", "ldgm-triangle"}
+var CodeNames = codes.Names
 
 // MakeCode builds a code by family name for a given object size and FEC
 // expansion ratio. LDGM construction seeds derive from the sweep seed so
-// repeated runs are reproducible.
+// repeated runs are reproducible. It delegates to the codes package,
+// which the engine shares.
 func MakeCode(name string, k int, ratio float64, seed int64) (core.Code, error) {
-	switch name {
-	case "rse":
-		return rse.New(rse.Params{K: k, Ratio: ratio})
-	case "ldgm", "ldgm-staircase", "ldgm-triangle":
-		v := ldpc.Plain
-		switch name {
-		case "ldgm-staircase":
-			v = ldpc.Staircase
-		case "ldgm-triangle":
-			v = ldpc.Triangle
-		}
-		return ldpc.New(ldpc.Params{K: k, N: int(float64(k)*ratio + 0.5), Variant: v, Seed: seed})
-	default:
-		return nil, fmt.Errorf("experiments: unknown code %q", name)
-	}
+	return codes.Make(name, k, ratio, seed)
 }
 
 func percentLabels(vals []float64) []string {

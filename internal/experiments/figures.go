@@ -6,10 +6,12 @@ package experiments
 // engine.
 
 import (
+	"context"
 	"fmt"
 
 	"fecperf/internal/channel"
 	"fecperf/internal/core"
+	"fecperf/internal/engine"
 	"fecperf/internal/repetition"
 	"fecperf/internal/sched"
 	"fecperf/internal/sim"
@@ -51,21 +53,40 @@ func receivedTable(name string, g *sim.Grid) Table {
 	return t
 }
 
-// sweepCode runs one (code, scheduler) sweep with the experiment options.
+// sweepCode runs one (code, scheduler) sweep with the experiment options
+// as a declarative engine plan whose channel axis is the (p, q) grid.
 func sweepCode(o Options, codeName string, ratio float64, s core.Scheduler) (*sim.Grid, error) {
-	c, err := MakeCode(codeName, o.K, ratio, o.Seed)
+	axis := o.Grid
+	if axis == nil {
+		axis = sim.PaperGrid
+	}
+	channels := make([]engine.ChannelSpec, 0, len(axis)*len(axis))
+	for _, p := range axis {
+		for _, q := range axis {
+			channels = append(channels, engine.GilbertChannel(p, q))
+		}
+	}
+	plan := engine.Plan{
+		Codes:      []string{codeName},
+		Ks:         []int{o.K},
+		Ratios:     []float64{ratio},
+		Schedulers: []string{s.Name()},
+		Channels:   channels,
+		Trials:     o.Trials,
+		Seed:       o.Seed,
+	}
+	res, err := engine.Run(context.Background(), plan, engine.Options{Workers: o.Workers})
 	if err != nil {
 		return nil, err
 	}
-	return sim.Sweep(sim.SweepConfig{
-		Code:      c,
-		Scheduler: s,
-		P:         o.Grid,
-		Q:         o.Grid,
-		Trials:    o.Trials,
-		Seed:      o.Seed,
-		Workers:   o.Workers,
-	}), nil
+	g := &sim.Grid{P: axis, Q: axis, Cells: make([][]sim.Aggregate, len(axis))}
+	for i := range g.Cells {
+		g.Cells[i] = make([]sim.Aggregate, len(axis))
+		for j := range g.Cells[i] {
+			g.Cells[i][j] = res[i*len(axis)+j].Aggregate
+		}
+	}
+	return g, nil
 }
 
 // txFigure builds the standard figure report: the given codes × ratios
@@ -286,7 +307,8 @@ func runFig14(o Options) (*Report, error) {
 			Scheduler: sched.RxModel1{SourceCount: sc},
 			Channel:   channel.NoLossFactory{},
 			Trials:    o.Trials,
-			Seed:      o.Seed + int64(sc),
+			Seed:      engine.DeriveSeed(o.Seed, uint64(sc)),
+			Workers:   o.Workers,
 		})
 		s.X = append(s.X, float64(sc))
 		s.Y = append(s.Y, agg.MeanIneff())

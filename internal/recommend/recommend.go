@@ -6,12 +6,14 @@
 package recommend
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"fecperf/internal/channel"
-	"fecperf/internal/experiments"
+	"fecperf/internal/codes"
+	"fecperf/internal/engine"
 	"fecperf/internal/sched"
 	"fecperf/internal/sim"
 )
@@ -64,6 +66,8 @@ type Config struct {
 	Trials int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the parallelism of Rank/Best (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -85,7 +89,7 @@ func Evaluate(t Tuple, p, q float64, cfg Config) (Result, error) {
 	if err := channel.ValidateGilbert(p, q); err != nil {
 		return Result{}, err
 	}
-	code, err := experiments.MakeCode(t.Code, cfg.K, t.Ratio, cfg.Seed)
+	code, err := codes.Make(t.Code, cfg.K, t.Ratio, cfg.Seed)
 	if err != nil {
 		return Result{}, err
 	}
@@ -111,15 +115,77 @@ func Evaluate(t Tuple, p, q float64, cfg Config) (Result, error) {
 
 // Rank evaluates every candidate tuple at (p, q) and sorts them: reliable
 // tuples first (no failed trial), then by mean inefficiency. This is the
-// "known channel" procedure of Section 6.2.1.
+// "known channel" procedure of Section 6.2.1. The candidates run as one
+// engine plan, so evaluation parallelises across tuples and trials.
 func Rank(p, q float64, cfg Config) ([]Result, error) {
-	var out []Result
-	for _, t := range Candidates() {
-		r, err := Evaluate(t, p, q, cfg)
-		if err != nil {
-			return nil, err
+	cfg = cfg.withDefaults()
+	if err := channel.ValidateGilbert(p, q); err != nil {
+		return nil, err
+	}
+	// The plan axes and the kept subset both derive from Candidates(),
+	// so the search space has a single definition.
+	cands := Candidates()
+	var (
+		codeAxis, schedAxis []string
+		ratioAxis           []float64
+		want                = map[Tuple]bool{}
+	)
+	appendString := func(axis []string, v string) []string {
+		for _, have := range axis {
+			if have == v {
+				return axis
+			}
 		}
-		out = append(out, r)
+		return append(axis, v)
+	}
+	for _, c := range cands {
+		codeAxis = appendString(codeAxis, c.Code)
+		schedAxis = appendString(schedAxis, c.TxModel)
+		seen := false
+		for _, r := range ratioAxis {
+			if r == c.Ratio {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			ratioAxis = append(ratioAxis, c.Ratio)
+		}
+		want[c] = true
+	}
+	plan := engine.Plan{
+		Codes:      codeAxis,
+		Ks:         []int{cfg.K},
+		Ratios:     ratioAxis,
+		Schedulers: schedAxis,
+		Channels:   []engine.ChannelSpec{engine.GilbertChannel(p, q)},
+		Trials:     cfg.Trials,
+		Seed:       cfg.Seed,
+	}
+	points, err := plan.Points()
+	if err != nil {
+		return nil, err
+	}
+	kept := points[:0]
+	for _, pt := range points {
+		if !want[Tuple{Code: pt.Code, TxModel: pt.Scheduler, Ratio: pt.Ratio}] {
+			continue
+		}
+		kept = append(kept, pt)
+	}
+	res, err := engine.RunPoints(context.Background(), kept, engine.Options{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(res))
+	for _, r := range res {
+		out = append(out, Result{
+			Tuple:    Tuple{Code: r.Point.Code, TxModel: r.Point.Scheduler, Ratio: r.Point.Ratio},
+			Failed:   r.Aggregate.Failed(),
+			Ineff:    r.Aggregate.MeanIneff(),
+			Failures: r.Aggregate.Failures,
+			Trials:   r.Aggregate.Trials,
+		})
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		a, b := out[i], out[j]

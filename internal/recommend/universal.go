@@ -8,10 +8,12 @@ package recommend
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"fecperf/internal/channel"
-	"fecperf/internal/experiments"
+	"fecperf/internal/codes"
+	"fecperf/internal/engine"
 	"fecperf/internal/sched"
 	"fecperf/internal/sim"
 	"fecperf/internal/stats"
@@ -19,6 +21,14 @@ import (
 
 // PQ is one Gilbert channel operating point.
 type PQ struct{ P, Q float64 }
+
+// pointSeed derives the per-point seed from the point's coordinates, not
+// its position in the population, so the same (p, q) point always sees
+// the same trial stream — sizing a subset of a population is then
+// guaranteed to agree with sizing the whole of it.
+func pointSeed(base int64, pt PQ) int64 {
+	return engine.DeriveSeed(base, math.Float64bits(pt.P), math.Float64bits(pt.Q))
+}
 
 // PopulationResult describes how one tuple serves a set of receivers.
 type PopulationResult struct {
@@ -41,8 +51,8 @@ func EvaluatePopulation(t Tuple, points []PQ, cfg Config) (PopulationResult, err
 		return PopulationResult{}, fmt.Errorf("recommend: no channel points")
 	}
 	out := PopulationResult{Tuple: t}
-	for i, pt := range points {
-		r, err := Evaluate(t, pt.P, pt.Q, Config{K: cfg.K, Trials: cfg.Trials, Seed: cfg.Seed + int64(i)})
+	for _, pt := range points {
+		r, err := Evaluate(t, pt.P, pt.Q, Config{K: cfg.K, Trials: cfg.Trials, Seed: pointSeed(cfg.Seed, pt)})
 		if err != nil {
 			return PopulationResult{}, err
 		}
@@ -88,7 +98,7 @@ func RankForPopulation(points []PQ, cfg Config) ([]PopulationResult, error) {
 // impossible and are returned as an error.
 func NSentForPopulation(t Tuple, points []PQ, margin int, cfg Config) (int, error) {
 	cfg = cfg.withDefaults()
-	code, err := experiments.MakeCode(t.Code, cfg.K, t.Ratio, cfg.Seed)
+	code, err := codes.Make(t.Code, cfg.K, t.Ratio, cfg.Seed)
 	if err != nil {
 		return 0, err
 	}
@@ -98,13 +108,13 @@ func NSentForPopulation(t Tuple, points []PQ, margin int, cfg Config) (int, erro
 	}
 	n := code.Layout().N
 	best := 0
-	for i, pt := range points {
+	for _, pt := range points {
 		agg := sim.Run(sim.Config{
 			Code:      code,
 			Scheduler: s,
 			Channel:   channel.GilbertFactory{P: pt.P, Q: pt.Q},
 			Trials:    cfg.Trials,
-			Seed:      cfg.Seed + int64(i),
+			Seed:      pointSeed(cfg.Seed, pt),
 		})
 		if agg.Failed() {
 			return 0, fmt.Errorf("recommend: tuple %s fails at (p=%g, q=%g); cannot size n_sent", t, pt.P, pt.Q)

@@ -10,20 +10,20 @@
 //   - a cell where any trial fails to decode reports Failed() — the paper
 //     plots no point there ("-" in the appendix tables).
 //
-// Sweeps parallelise across grid cells with a bounded worker pool; results
-// are deterministic in Config.Seed regardless of worker scheduling because
-// every cell derives its own seed.
+// Since the engine refactor this package is a thin adapter over
+// internal/engine, which owns trial execution, parallelism and seed
+// derivation: per-trial and per-cell seeds come from splitmix64 hashing
+// (engine.DeriveSeed), so neighbouring trials and grid cells never share
+// correlated rand streams, and results are deterministic in the seed
+// under any worker count.
 package sim
 
 import (
-	"fmt"
-	"math/rand"
-	"runtime"
-	"sync"
+	"context"
 
 	"fecperf/internal/channel"
 	"fecperf/internal/core"
-	"fecperf/internal/stats"
+	"fecperf/internal/engine"
 )
 
 // PaperGrid is the 14-value axis used by the paper's 14×14 (p, q) sweeps,
@@ -44,63 +44,32 @@ type Config struct {
 	// NSent optionally truncates every schedule (Section 6's stopping
 	// optimisation); zero sends the full schedule.
 	NSent int
+	// Workers splits the trials across goroutines (0 = sequential).
+	// The aggregate is identical for every worker count.
+	Workers int
 }
 
-func (c Config) trials() int {
-	if c.Trials == 0 {
-		return 100
-	}
-	return c.Trials
-}
+// Aggregate summarises the trials of one measurement point. It is the
+// engine's mergeable aggregate; see engine.Aggregate.
+type Aggregate = engine.Aggregate
 
-// Aggregate summarises the trials of one measurement point.
-type Aggregate struct {
-	// Trials is the number run; Failures how many did not decode.
-	Trials, Failures int
-	// Ineff aggregates inefficiency over *successful* trials.
-	Ineff stats.Accumulator
-	// ReceivedOverK aggregates n_received/k over all trials: the
-	// companion curve the paper plots alongside the inefficiency.
-	ReceivedOverK stats.Accumulator
-}
-
-// Failed reports whether at least one trial failed — the paper's strict
-// criterion for leaving a grid cell blank.
-func (a Aggregate) Failed() bool { return a.Failures > 0 }
-
-// MeanIneff returns the average inefficiency over successful trials.
-func (a Aggregate) MeanIneff() float64 { return a.Ineff.Mean() }
-
-// String renders the cell the way the appendix tables do: a ratio with
-// three decimals or "-" when any trial failed.
-func (a Aggregate) String() string {
-	if a.Failed() || a.Ineff.N() == 0 {
-		return "-"
-	}
-	return fmt.Sprintf("%.3f", a.MeanIneff())
-}
-
-// Run executes the trials of one measurement point sequentially.
+// Run executes the trials of one measurement point.
 func Run(cfg Config) Aggregate {
 	if cfg.Code == nil || cfg.Scheduler == nil || cfg.Channel == nil {
 		panic("sim: Config requires Code, Scheduler and Channel")
 	}
-	layout := cfg.Code.Layout()
-	k := float64(layout.K)
-	var agg Aggregate
-	agg.Trials = cfg.trials()
-	for t := 0; t < agg.Trials; t++ {
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
-		schedule := cfg.Scheduler.Schedule(layout, rng)
-		ch := cfg.Channel.New(rng)
-		res := core.RunTrial(schedule, ch, cfg.Code.NewReceiver(), cfg.NSent)
-		agg.ReceivedOverK.Add(float64(res.NReceived) / k)
-		if res.Decoded {
-			agg.Ineff.Add(res.Inefficiency(layout.K))
-		} else {
-			agg.Failures++
-		}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
 	}
+	agg, _ := engine.RunPoint(context.Background(), engine.PointSpec{
+		Code:      cfg.Code,
+		Scheduler: cfg.Scheduler,
+		Channel:   cfg.Channel,
+		Trials:    cfg.Trials,
+		Seed:      cfg.Seed,
+		NSent:     cfg.NSent,
+	}, workers)
 	return agg
 }
 
@@ -120,6 +89,11 @@ type SweepConfig struct {
 	Scheduler core.Scheduler
 	// P and Q are the grid axes; nil means PaperGrid.
 	P, Q []float64
+	// Factory maps the grid coordinates of a cell to its loss channel;
+	// nil means the Gilbert model with transition probabilities (p, q).
+	// Use channel.ByName to resolve a family ("bernoulli", "markov", …)
+	// from the CLI.
+	Factory func(p, q float64) channel.Factory
 	// Trials per cell (0 = 100) and base Seed.
 	Trials int
 	Seed   int64
@@ -129,8 +103,10 @@ type SweepConfig struct {
 	Workers int
 }
 
-// Sweep measures every (p, q) cell of the grid, in parallel, and returns
-// the filled grid. Results are deterministic in Seed.
+// Sweep measures every (p, q) cell of the grid through the engine's
+// shared worker pool (cells and their trials interleave freely across
+// workers) and returns the filled grid. Results are deterministic in
+// Seed regardless of worker count.
 func Sweep(cfg SweepConfig) *Grid {
 	ps, qs := cfg.P, cfg.Q
 	if ps == nil {
@@ -139,41 +115,29 @@ func Sweep(cfg SweepConfig) *Grid {
 	if qs == nil {
 		qs = PaperGrid
 	}
-	g := &Grid{P: ps, Q: qs, Cells: make([][]Aggregate, len(ps))}
-	for i := range g.Cells {
-		g.Cells[i] = make([]Aggregate, len(qs))
+	factory := cfg.Factory
+	if factory == nil {
+		factory = func(p, q float64) channel.Factory { return channel.GilbertFactory{P: p, Q: q} }
 	}
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	type job struct{ i, j int }
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for jb := range jobs {
-				cellSeed := cfg.Seed + int64(jb.i)*1_000_003 + int64(jb.j)*29_989
-				g.Cells[jb.i][jb.j] = Run(Config{
-					Code:      cfg.Code,
-					Scheduler: cfg.Scheduler,
-					Channel:   channel.GilbertFactory{P: ps[jb.i], Q: qs[jb.j]},
-					Trials:    cfg.Trials,
-					Seed:      cellSeed,
-					NSent:     cfg.NSent,
-				})
-			}
-		}()
-	}
-	for i := range ps {
-		for j := range qs {
-			jobs <- job{i, j}
+	specs := make([]engine.PointSpec, 0, len(ps)*len(qs))
+	for i, p := range ps {
+		for j, q := range qs {
+			specs = append(specs, engine.PointSpec{
+				Code:      cfg.Code,
+				Scheduler: cfg.Scheduler,
+				Channel:   factory(p, q),
+				Trials:    cfg.Trials,
+				Seed:      engine.DeriveSeed(cfg.Seed, uint64(i), uint64(j)),
+				NSent:     cfg.NSent,
+			})
 		}
 	}
-	close(jobs)
-	wg.Wait()
+	aggs, _ := engine.RunPointSpecs(context.Background(), specs, cfg.Workers)
+
+	g := &Grid{P: ps, Q: qs, Cells: make([][]Aggregate, len(ps))}
+	for i := range g.Cells {
+		g.Cells[i] = aggs[i*len(qs) : (i+1)*len(qs)]
+	}
 	return g
 }

@@ -4,7 +4,10 @@
 // aggregate without duplicating numerics.
 package stats
 
-import "math"
+import (
+	"encoding/json"
+	"math"
+)
 
 // Accumulator tracks count, mean, variance, min and max of a stream of
 // float64 samples in O(1) memory. The zero value is ready to use.
@@ -32,6 +35,32 @@ func (a *Accumulator) Add(x float64) {
 	a.m2 += d * (x - a.mean)
 }
 
+// Merge folds another accumulator into a, as if every sample of b had
+// been Added to a. It uses the pairwise combination of Chan, Golub and
+// LeVeque (1979), which keeps the variance update numerically stable, so
+// per-worker partial aggregates combine into the same moments a single
+// stream would produce (up to floating-point rounding of the merge tree).
+func (a *Accumulator) Merge(b Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.mean += d * float64(b.n) / float64(n)
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	a.n = n
+}
+
 // N returns the number of samples.
 func (a Accumulator) N() int { return a.n }
 
@@ -54,3 +83,31 @@ func (a Accumulator) Min() float64 { return a.min }
 
 // Max returns the largest sample (0 with no samples).
 func (a Accumulator) Max() float64 { return a.max }
+
+// accumulatorJSON is the wire form of an Accumulator. The raw moments
+// (not derived statistics) are serialised so a decoded accumulator can
+// keep accepting Add and Merge; encoding/json prints float64 values with
+// the shortest representation that round-trips exactly, so checkpointed
+// aggregates resume bit-identical.
+type accumulatorJSON struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (a Accumulator) MarshalJSON() ([]byte, error) {
+	return json.Marshal(accumulatorJSON{N: a.n, Mean: a.mean, M2: a.m2, Min: a.min, Max: a.max})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (a *Accumulator) UnmarshalJSON(data []byte) error {
+	var w accumulatorJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	a.n, a.mean, a.m2, a.min, a.max = w.N, w.Mean, w.M2, w.Min, w.Max
+	return nil
+}

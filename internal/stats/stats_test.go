@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
@@ -45,6 +46,97 @@ func TestNegativeValues(t *testing.T) {
 	a.Add(3)
 	if a.Mean() != 0 || a.Min() != -3 || a.Max() != 3 {
 		t.Fatalf("mean=%g min=%g max=%g", a.Mean(), a.Min(), a.Max())
+	}
+}
+
+func TestMergeMatchesSingleStream(t *testing.T) {
+	f := func(seed int64, nRaw uint8, splitRaw uint8) bool {
+		n := 2 + int(nRaw%200)
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		var whole Accumulator
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 3
+			whole.Add(xs[i])
+		}
+		split := 1 + int(splitRaw)%(n-1)
+		var left, right Accumulator
+		for _, x := range xs[:split] {
+			left.Add(x)
+		}
+		for _, x := range xs[split:] {
+			right.Add(x)
+		}
+		left.Merge(right)
+		return left.N() == whole.N() &&
+			math.Abs(left.Mean()-whole.Mean()) < 1e-9 &&
+			math.Abs(left.Var()-whole.Var()) < 1e-9 &&
+			left.Min() == whole.Min() && left.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeEmptySides(t *testing.T) {
+	var a, empty Accumulator
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(empty)
+	if a != before {
+		t.Fatal("merging an empty accumulator changed the receiver")
+	}
+	var b Accumulator
+	b.Merge(before)
+	if b != before {
+		t.Fatalf("merging into empty: got %+v, want %+v", b, before)
+	}
+}
+
+func TestMergeManyShardsDeterministic(t *testing.T) {
+	// Merging the same shards in the same order must be bit-identical,
+	// whatever goroutine computed them: merge is a pure function.
+	rng := rand.New(rand.NewSource(7))
+	shards := make([]Accumulator, 9)
+	for i := range shards {
+		for j := 0; j < 10+i; j++ {
+			shards[i].Add(rng.Float64() * 100)
+		}
+	}
+	var m1, m2 Accumulator
+	for _, s := range shards {
+		m1.Merge(s)
+	}
+	for _, s := range shards {
+		m2.Merge(s)
+	}
+	if m1 != m2 {
+		t.Fatal("identical merge sequences produced different accumulators")
+	}
+}
+
+func TestJSONRoundTripExact(t *testing.T) {
+	var a Accumulator
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 57; i++ {
+		a.Add(rng.NormFloat64() * 1e3)
+	}
+	blob, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Accumulator
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != a {
+		t.Fatalf("round-trip not exact: %+v vs %+v", back, a)
+	}
+	// A decoded accumulator must still accept further samples.
+	back.Add(1)
+	if back.N() != a.N()+1 {
+		t.Fatal("decoded accumulator cannot accumulate")
 	}
 }
 

@@ -1,0 +1,60 @@
+#!/usr/bin/env sh
+# Runs the experiment-engine benchmarks and emits BENCH_engine.json —
+# the perf trajectory record for the sweep engine: whole-plan throughput
+# (points/sec) and the single-point speedup of 4 workers over the
+# sequential path (LDGM Staircase, k=1000, 100 trials). Usage:
+#
+#   scripts/bench_engine.sh [benchtime] [output.json]
+#
+# benchtime defaults to 2s per benchmark; output defaults to
+# BENCH_engine.json in the repository root. Note the speedup is
+# hardware-dependent: on a single-core machine it hovers around 1.0
+# (the engine adds no overhead); the ≥2× win needs 4+ cores.
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-2s}"
+OUT="${2:-BENCH_engine.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkPoint|BenchmarkPlanThroughput' \
+    -benchtime "$BENCHTIME" -count 1 ./internal/engine | tee "$RAW"
+
+awk -v out="$OUT" '
+/^BenchmarkPointSequential/ {
+    for (i = 1; i <= NF; i++) {
+        if ($(i+1) == "ns/op")    seq_ns = $i
+        if ($(i+1) == "trials/s") seq_tps = $i
+    }
+}
+/^BenchmarkPointParallel4/ {
+    for (i = 1; i <= NF; i++) {
+        if ($(i+1) == "ns/op")    par_ns = $i
+        if ($(i+1) == "trials/s") par_tps = $i
+    }
+}
+/^BenchmarkPlanThroughput/ {
+    for (i = 1; i <= NF; i++) {
+        if ($(i+1) == "points/s") pps = $i
+    }
+}
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+END {
+    if (seq_ns == "" || par_ns == "" || pps == "") {
+        print "bench_engine: missing benchmark output" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n" > out
+    printf "  \"benchmark\": \"engine\",\n" >> out
+    printf "  \"cpu\": \"%s\",\n", cpu >> out
+    printf "  \"single_point_sequential_ns\": %s,\n", seq_ns >> out
+    printf "  \"single_point_parallel4_ns\": %s,\n", par_ns >> out
+    printf "  \"single_point_speedup_4workers\": %.3f,\n", seq_ns / par_ns >> out
+    printf "  \"single_point_sequential_trials_per_sec\": %s,\n", seq_tps >> out
+    printf "  \"single_point_parallel4_trials_per_sec\": %s,\n", par_tps >> out
+    printf "  \"plan_points_per_sec\": %s\n", pps >> out
+    printf "}\n" >> out
+}' "$RAW"
+
+echo "wrote $OUT"
