@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"fecperf/internal/channel"
+	"fecperf/internal/codes"
 	"fecperf/internal/core"
 	"fecperf/internal/engine"
 	"fecperf/internal/experiments"
@@ -13,6 +14,7 @@ import (
 	"fecperf/internal/rse"
 	"fecperf/internal/sched"
 	"fecperf/internal/sim"
+	"fecperf/internal/symbol"
 )
 
 // Core abstractions, aliased so facade users interoperate with every
@@ -22,6 +24,15 @@ type (
 	Code = core.Code
 	// Receiver is an incremental decoder fed packets in arrival order.
 	Receiver = core.Receiver
+	// Codec is the payload-carrying half of a code: encode k source
+	// symbols to n-k parity, mint incremental payload decoders. All
+	// families (rse, rse16, the ldgm variants, no-fec) implement it.
+	Codec = core.Codec
+	// PayloadDecoder consumes payload packets one at a time and exposes
+	// the recovered source symbols. See the buffer-ownership contract on
+	// the interface: payloads passed in are borrowed, slices returned by
+	// Source live until Close.
+	PayloadDecoder = core.PayloadDecoder
 	// Scheduler produces a transmission order for one trial.
 	Scheduler = core.Scheduler
 	// Channel decides, per transmission, whether a packet is erased.
@@ -65,6 +76,22 @@ var CodeNames = experiments.CodeNames
 func NewCode(name string, k int, ratio float64, seed int64) (Code, error) {
 	return experiments.MakeCode(name, k, ratio, seed)
 }
+
+// CodecNames lists the identifiers accepted by NewCodec: "rse", "rse16",
+// "ldgm", "ldgm-staircase", "ldgm-triangle", "no-fec".
+var CodecNames = codes.CodecNames
+
+// NewCodec builds a payload-carrying codec by family name: the encode /
+// incremental-decode surface the delivery session and transport run on.
+// Parity buffers returned by Encode are pooled; hand them back with
+// ReleaseSymbol when done, or let the garbage collector take them.
+func NewCodec(name string, k int, ratio float64, seed int64) (Codec, error) {
+	return codes.MakeCodec(name, k, ratio, seed)
+}
+
+// ReleaseSymbol returns a pooled symbol buffer (from Codec.Encode) to
+// the symbol pool. The buffer must not be used afterwards.
+func ReleaseSymbol(b []byte) { symbol.Put(b) }
 
 // NewRSE builds the Reed-Solomon erasure code with FLUTE-style blocking.
 func NewRSE(k int, ratio float64) (*rse.Code, error) {

@@ -227,3 +227,48 @@ func TestPaperGridIsCopy(t *testing.T) {
 		t.Fatalf("PaperGrid has %d values", len(g))
 	}
 }
+
+func TestNewCodecFacade(t *testing.T) {
+	for _, name := range CodecNames {
+		ratio := 1.5
+		if name == "no-fec" {
+			ratio = 1.0
+		}
+		c, err := NewCodec(name, 16, ratio, 7)
+		if err != nil {
+			t.Fatalf("NewCodec(%q): %v", name, err)
+		}
+		src := make([][]byte, 16)
+		for i := range src {
+			src[i] = make([]byte, 64)
+			for j := range src[i] {
+				src[i][j] = byte(i*31 + j)
+			}
+		}
+		parity, err := c.Encode(src)
+		if err != nil {
+			t.Fatalf("%s: Encode: %v", name, err)
+		}
+		dec, err := c.NewDecoder(64)
+		if err != nil {
+			t.Fatalf("%s: NewDecoder: %v", name, err)
+		}
+		all := append(append([][]byte{}, src...), parity...)
+		done := false
+		for id := len(all) - 1; id >= 0 && !done; id-- {
+			done = dec.ReceivePayload(id, all[id])
+		}
+		if !done {
+			t.Fatalf("%s: lossless delivery did not decode", name)
+		}
+		for i := range src {
+			if string(dec.Source(i)) != string(src[i]) {
+				t.Fatalf("%s: source %d corrupted", name, i)
+			}
+		}
+		dec.Close()
+		for _, p := range parity {
+			ReleaseSymbol(p)
+		}
+	}
+}

@@ -119,6 +119,9 @@ func runSend(args []string) error {
 	if err := s.Add(obj); err != nil {
 		return err
 	}
+	// The carousel retransmits the pre-encoded datagrams; the object's
+	// pooled symbol buffers are free to return to the pool already.
+	obj.Close()
 
 	fmt.Fprintf(os.Stderr, "broadcasting %s (%d bytes) as object %d to %s: k=%d n=%d %s %s @ %.0f pkt/s\n",
 		*file, len(data), *objID, *addr, obj.K(), obj.N(), *code, *tx, *rate)

@@ -30,6 +30,8 @@ const (
 	WireLDGM          = wire.CodeLDGM
 	WireLDGMStaircase = wire.CodeLDGMStaircase
 	WireLDGMTriangle  = wire.CodeLDGMTriangle
+	WireRSE16         = wire.CodeRSE16
+	WireNoFEC         = wire.CodeNoFEC
 )
 
 // EncodeForDelivery FEC-encodes a byte object for datagram transmission.

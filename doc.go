@@ -29,6 +29,37 @@
 //     by the paper's transmission models, and a receiver daemon that
 //     demultiplexes any number of objects with bounded memory.
 //
+// # Payload codecs and buffer ownership
+//
+// Every code family — Reed-Solomon over GF(2^8) ("rse") and GF(2^16)
+// ("rse16"), the three LDGM variants, and the "no-fec" repetition
+// baseline — implements one payload interface pair (NewCodec): Codec
+// encodes k source symbols into n-k parity, PayloadDecoder rebuilds the
+// source incrementally from whatever arrives. The delivery session and
+// transport are written purely against that surface; family dispatch
+// happens once, in the codec registry, keyed by name or by a datagram's
+// OTI.
+//
+// Symbol buffers come from a size-classed pool with a strict ownership
+// contract. A payload handed to PayloadDecoder.ReceivePayload is only
+// borrowed for the call — the decoder copies it exactly once into a
+// pooled buffer it owns (this is the receive path's only copy; transport
+// read buffers are reused immediately). Slices returned by Source belong
+// to the decoder and die with Close, which returns every pooled buffer
+// it holds. Parity returned by Codec.Encode is pooled and owned by the
+// caller: release it with ReleaseSymbol (DeliveryObject.Close does this
+// for a whole encoded object), or simply drop it to the garbage
+// collector. A pooled buffer must never be released twice or retained
+// past its release.
+//
+// The kernels under the codecs are tiered: word-wide XOR and row-blocked
+// multiply-accumulate (four parity rows per pass over each source
+// symbol) in GF(2^8), low/high-byte split product tables in GF(2^16),
+// with the byte-at-a-time reference kernels retained for equivalence
+// tests and the old-vs-new comparison in scripts/bench_codec.sh.
+// Segmented Reed-Solomon objects encode blocks in parallel across
+// GOMAXPROCS goroutines.
+//
 // # Transport
 //
 // The delivery session (EncodeForDelivery / NewDeliveryReceiver) turns

@@ -68,6 +68,9 @@ func main() {
 	if err := sender.Add(obj); err != nil {
 		log.Fatal(err)
 	}
+	// The carousel retransmits the pre-encoded datagrams; the object's
+	// pooled symbol buffers are free to return to the pool already.
+	obj.Close()
 	senderCtx, stopSender := context.WithCancel(ctx)
 	defer stopSender()
 	go sender.Run(senderCtx) //nolint:errcheck

@@ -1,0 +1,96 @@
+package codes
+
+// Codec resolution: the payload-carrying registry next to the ID-level
+// Make. Every per-family decision in the repository funnels through this
+// file — the session layer, transport and examples build codecs from
+// names or on-the-wire OTI and never switch on a family themselves.
+
+import (
+	"fmt"
+
+	"fecperf/internal/core"
+	"fecperf/internal/ldpc"
+	"fecperf/internal/repetition"
+	"fecperf/internal/rse"
+	"fecperf/internal/rse16"
+	"fecperf/internal/wire"
+)
+
+// CodecNames are the identifiers accepted by MakeCodec: every family
+// usable through the core.Codec payload interface.
+var CodecNames = []string{"rse", "rse16", "ldgm", "ldgm-staircase", "ldgm-triangle", "no-fec"}
+
+// MakeCodec builds a payload codec by family name for k source symbols
+// and FEC expansion ratio n/k. The seed fixes the pseudo-random LDGM
+// construction (ignored by the other families).
+func MakeCodec(name string, k int, ratio float64, seed int64) (core.Codec, error) {
+	f, err := wire.FamilyByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("codes: unknown codec %q (have %v)", name, CodecNames)
+	}
+	return ForFamily(f, k, ratio, seed)
+}
+
+// ForFamily builds the codec for a wire code family on the encode side,
+// where the total symbol count still has to be derived from the ratio.
+func ForFamily(f wire.CodeFamily, k int, ratio float64, seed int64) (core.Codec, error) {
+	switch f {
+	case wire.CodeRSE:
+		return rse.New(rse.Params{K: k, Ratio: ratio})
+	case wire.CodeRSE16:
+		return rse16.New(rse16.Params{K: k, N: int(float64(k)*ratio + 0.5)})
+	case wire.CodeLDGM, wire.CodeLDGMStaircase, wire.CodeLDGMTriangle:
+		return ldpc.New(ldpc.Params{
+			K: k, N: int(float64(k)*ratio + 0.5),
+			Variant: ldgmVariant(f), Seed: seed,
+		})
+	case wire.CodeNoFEC:
+		if n := int(float64(k)*ratio + 0.5); n != k {
+			return nil, fmt.Errorf("codes: no-fec carries no parity; ratio %g (n=%d) must keep n == k=%d", ratio, n, k)
+		}
+		return repetition.New(k)
+	default:
+		return nil, fmt.Errorf("codes: unsupported code family %v", f)
+	}
+}
+
+// ForWire rebuilds the codec a received packet's OTI describes: exact
+// (k, n) geometry plus the construction seed. It fails when the family
+// cannot reproduce that geometry (the segmented RSE blocking must land
+// on the announced n), so a receiver rejects impossible OTI instead of
+// mis-decoding.
+func ForWire(f wire.CodeFamily, k, n int, seed int64) (core.Codec, error) {
+	switch f {
+	case wire.CodeRSE:
+		c, err := rse.New(rse.Params{K: k, Ratio: float64(n) / float64(k)})
+		if err != nil {
+			return nil, err
+		}
+		if c.Layout().N != n {
+			return nil, fmt.Errorf("codes: RSE geometry mismatch: rebuilt n=%d, wire n=%d", c.Layout().N, n)
+		}
+		return c, nil
+	case wire.CodeRSE16:
+		return rse16.New(rse16.Params{K: k, N: n})
+	case wire.CodeLDGM, wire.CodeLDGMStaircase, wire.CodeLDGMTriangle:
+		return ldpc.New(ldpc.Params{K: k, N: n, Variant: ldgmVariant(f), Seed: seed})
+	case wire.CodeNoFEC:
+		if n != k {
+			return nil, fmt.Errorf("codes: no-fec OTI with n=%d != k=%d", n, k)
+		}
+		return repetition.New(k)
+	default:
+		return nil, fmt.Errorf("codes: unsupported code family %v", f)
+	}
+}
+
+func ldgmVariant(f wire.CodeFamily) ldpc.Variant {
+	switch f {
+	case wire.CodeLDGMStaircase:
+		return ldpc.Staircase
+	case wire.CodeLDGMTriangle:
+		return ldpc.Triangle
+	default:
+		return ldpc.Plain
+	}
+}

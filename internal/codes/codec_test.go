@@ -1,0 +1,390 @@
+package codes
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"fecperf/internal/core"
+	"fecperf/internal/ldpc"
+	"fecperf/internal/repetition"
+	"fecperf/internal/rse"
+	"fecperf/internal/rse16"
+	"fecperf/internal/wire"
+)
+
+// Compile-time checks: every family implements the payload codec surface.
+var (
+	_ core.Codec = (*rse.Code)(nil)
+	_ core.Codec = (*rse16.Code)(nil)
+	_ core.Codec = (*ldpc.Code)(nil)
+	_ core.Codec = (*repetition.Code)(nil)
+)
+
+func randSymbols(rng *rand.Rand, k, symLen int) [][]byte {
+	src := make([][]byte, k)
+	for i := range src {
+		src[i] = make([]byte, symLen)
+		rng.Read(src[i])
+	}
+	return src
+}
+
+// evenFor rounds symLen to the family's alignment (rse16 carries 16-bit
+// symbols).
+func evenFor(name string, symLen int) int {
+	if name == "rse16" && symLen%2 != 0 {
+		return symLen + 1
+	}
+	return symLen
+}
+
+func ratioFor(name string, ratio float64) float64 {
+	if name == "no-fec" {
+		return 1.0
+	}
+	return ratio
+}
+
+func TestMakeCodecUnknownName(t *testing.T) {
+	if _, err := MakeCodec("nope", 10, 1.5, 1); err == nil {
+		t.Fatal("MakeCodec accepted junk name")
+	}
+}
+
+func TestCodecRoundTripAllFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, name := range CodecNames {
+		for _, k := range []int{1, 2, 13, 100} {
+			for _, symLen := range []int{2, 63, 64, 256} {
+				symLen := evenFor(name, symLen)
+				c, err := MakeCodec(name, k, ratioFor(name, 1.5), 11)
+				if err != nil {
+					t.Fatalf("%s k=%d: %v", name, k, err)
+				}
+				l := c.Layout()
+				src := randSymbols(rng, k, symLen)
+				parity, err := c.Encode(src)
+				if err != nil {
+					t.Fatalf("%s k=%d: encode: %v", name, k, err)
+				}
+				if len(parity) != l.N-l.K {
+					t.Fatalf("%s k=%d: %d parity symbols, want %d", name, k, len(parity), l.N-l.K)
+				}
+				all := append(append([][]byte{}, src...), parity...)
+
+				dec, err := c.NewDecoder(symLen)
+				if err != nil {
+					t.Fatalf("%s k=%d: NewDecoder: %v", name, k, err)
+				}
+				ids := rng.Perm(l.N)
+				done := false
+				for _, id := range ids {
+					done = dec.ReceivePayload(id, all[id])
+					if done {
+						break
+					}
+				}
+				if !done {
+					t.Fatalf("%s k=%d: not decoded after all %d symbols", name, k, l.N)
+				}
+				if got := dec.SourceRecovered(); got != k {
+					t.Fatalf("%s k=%d: SourceRecovered = %d", name, k, got)
+				}
+				for i := 0; i < k; i++ {
+					if !bytes.Equal(dec.Source(i), src[i]) {
+						t.Fatalf("%s k=%d: source %d corrupted", name, k, i)
+					}
+				}
+				// Post-completion arrivals must be no-ops.
+				if !dec.ReceivePayload(ids[0], all[ids[0]]) {
+					t.Fatalf("%s k=%d: decoder forgot completion", name, k)
+				}
+				dec.Close()
+				dec.Close() // idempotent
+			}
+		}
+	}
+}
+
+func TestCodecDecodesUnderLoss(t *testing.T) {
+	// Drop a third of the packets; MDS families must still decode from
+	// any k survivors, LDGM whenever the peeling decoder completes.
+	rng := rand.New(rand.NewSource(8))
+	for _, name := range CodecNames {
+		if name == "no-fec" {
+			continue // no parity: any loss is fatal by design
+		}
+		k, symLen := 50, evenFor(name, 128)
+		c, err := MakeCodec(name, k, 2.5, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := c.Layout()
+		src := randSymbols(rng, k, symLen)
+		parity, err := c.Encode(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := append(append([][]byte{}, src...), parity...)
+		dec, err := c.NewDecoder(symLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dec.Close()
+		done := false
+		var dropped []int
+		for _, id := range rng.Perm(l.N) {
+			if rng.Float64() < 0.33 {
+				dropped = append(dropped, id)
+				continue
+			}
+			if done = dec.ReceivePayload(id, all[id]); done {
+				break
+			}
+		}
+		if !done {
+			// The MDS families decode from any k survivors, guaranteed.
+			// LDGM iterative decoding may legitimately stall (that
+			// overhead is the paper's subject); top it up and it must
+			// finish.
+			if name == "rse" || name == "rse16" {
+				t.Fatalf("%s: failed to decode with 33%% loss at ratio 2.5", name)
+			}
+			for _, id := range dropped {
+				if done = dec.ReceivePayload(id, all[id]); done {
+					break
+				}
+			}
+			if !done {
+				t.Fatalf("%s: failed to decode even after full delivery", name)
+			}
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(dec.Source(i), src[i]) {
+				t.Fatalf("%s: source %d corrupted", name, i)
+			}
+		}
+	}
+}
+
+func TestDecoderBorrowsPayload(t *testing.T) {
+	// The payload passed to ReceivePayload is only borrowed: reusing (and
+	// clobbering) one buffer for every delivery must not corrupt decoding.
+	rng := rand.New(rand.NewSource(9))
+	for _, name := range CodecNames {
+		k, symLen := 20, evenFor(name, 64)
+		c, err := MakeCodec(name, k, ratioFor(name, 2.0), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := c.Layout()
+		src := randSymbols(rng, k, symLen)
+		parity, err := c.Encode(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := append(append([][]byte{}, src...), parity...)
+		dec, err := c.NewDecoder(symLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared := make([]byte, symLen)
+		for _, id := range rng.Perm(l.N) {
+			copy(shared, all[id])
+			done := dec.ReceivePayload(id, shared)
+			for i := range shared {
+				shared[i] = 0xAA // clobber after return
+			}
+			if done {
+				break
+			}
+		}
+		if !dec.Done() {
+			t.Fatalf("%s: lossless delivery did not decode", name)
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(dec.Source(i), src[i]) {
+				t.Fatalf("%s: decoder retained the borrowed buffer (source %d corrupted)", name, i)
+			}
+		}
+		dec.Close()
+	}
+}
+
+func TestNewDecoderRejectsBadSymbolLengths(t *testing.T) {
+	for _, name := range CodecNames {
+		c, err := MakeCodec(name, 10, ratioFor(name, 1.5), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.NewDecoder(0); err == nil {
+			t.Errorf("%s: NewDecoder(0) accepted", name)
+		}
+		if _, err := c.NewDecoder(-4); err == nil {
+			t.Errorf("%s: NewDecoder(-4) accepted", name)
+		}
+	}
+	c, err := MakeCodec("rse16", 10, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NewDecoder(63); err == nil {
+		t.Error("rse16: odd symbol length accepted")
+	}
+}
+
+func TestForWireGeometry(t *testing.T) {
+	// ForWire must reproduce exactly the geometry ForFamily announced.
+	for _, name := range CodecNames {
+		for _, k := range []int{1, 7, 100, 300} {
+			enc, err := MakeCodec(name, k, ratioFor(name, 1.5), 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l := enc.Layout()
+			f, err := wire.FamilyByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := ForWire(f, l.K, l.N, 9)
+			if err != nil {
+				t.Fatalf("%s k=%d: ForWire: %v", name, k, err)
+			}
+			if dl := dec.Layout(); dl.K != l.K || dl.N != l.N {
+				t.Fatalf("%s k=%d: ForWire geometry (%d,%d) != (%d,%d)", name, k, dl.K, dl.N, l.K, l.N)
+			}
+		}
+	}
+	if _, err := ForWire(wire.CodeNoFEC, 10, 12, 0); err == nil {
+		t.Error("no-fec OTI with parity accepted")
+	}
+	if _, err := ForWire(wire.CodeInvalid, 10, 12, 0); err == nil {
+		t.Error("invalid family accepted")
+	}
+	// An RSE OTI whose n cannot come out of the blocking algorithm
+	// (two blocks of 150 sources each must round to 151 symbols, so the
+	// announced total of 301 is unreachable).
+	if _, err := ForWire(wire.CodeRSE, 300, 301, 0); err == nil {
+		t.Error("impossible RSE geometry accepted")
+	}
+}
+
+func TestEncodeValidatesInput(t *testing.T) {
+	for _, name := range CodecNames {
+		c, err := MakeCodec(name, 5, ratioFor(name, 1.5), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Encode(make([][]byte, 3)); err == nil {
+			t.Errorf("%s: wrong source count accepted", name)
+		}
+		ragged := [][]byte{{1, 2}, {1, 2}, {1}, {1, 2}, {1, 2}}
+		if _, err := c.Encode(ragged); err == nil {
+			t.Errorf("%s: ragged payloads accepted", name)
+		}
+	}
+}
+
+// FuzzCodecRoundTrip drives random (family, k, ratio, symbol size, loss
+// pattern, delivery order) combinations through encode → drop → decode
+// and asserts byte-identical recovery for every pattern the decoder
+// accepts — and that full delivery always decodes.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint8(10), uint8(5), uint8(64), int64(1), int64(2))
+	f.Add(uint8(1), uint8(1), uint8(0), uint8(1), int64(3), int64(4))
+	f.Add(uint8(2), uint8(200), uint8(15), uint8(33), int64(5), int64(6))
+	f.Add(uint8(3), uint8(40), uint8(29), uint8(2), int64(7), int64(8))
+	f.Add(uint8(4), uint8(7), uint8(10), uint8(17), int64(9), int64(10))
+	f.Add(uint8(5), uint8(3), uint8(0), uint8(128), int64(11), int64(12))
+	f.Fuzz(func(t *testing.T, famB, kB, ratioB, lenB uint8, seed, lossSeed int64) {
+		name := CodecNames[int(famB)%len(CodecNames)]
+		k := 1 + int(kB)
+		ratio := 1.0 + float64(ratioB%30)/10.0
+		if name == "no-fec" {
+			ratio = 1.0
+		}
+		symLen := 1 + int(lenB)%200 // odd and unaligned lengths included
+		symLen = evenFor(name, symLen)
+
+		c, err := MakeCodec(name, k, ratio, seed)
+		if err != nil {
+			t.Skip() // unsatisfiable geometry (e.g. ldgm needs n > k)
+		}
+		l := c.Layout()
+		rng := rand.New(rand.NewSource(seed))
+		src := randSymbols(rng, k, symLen)
+		parity, err := c.Encode(src)
+		if err != nil {
+			t.Fatalf("%s k=%d symLen=%d: encode: %v", name, k, symLen, err)
+		}
+		all := append(append([][]byte{}, src...), parity...)
+
+		dec, err := c.NewDecoder(symLen)
+		if err != nil {
+			t.Fatalf("%s: NewDecoder: %v", name, err)
+		}
+		defer dec.Close()
+
+		verify := func(stage string) {
+			if got := dec.SourceRecovered(); got != k {
+				t.Fatalf("%s %s: done but SourceRecovered=%d, want %d", name, stage, got, k)
+			}
+			for i := 0; i < k; i++ {
+				if !bytes.Equal(dec.Source(i), src[i]) {
+					t.Fatalf("%s %s: source %d differs after decode", name, stage, i)
+				}
+			}
+		}
+
+		lossRng := rand.New(rand.NewSource(lossSeed))
+		order := lossRng.Perm(l.N)
+		var dropped []int
+		done := false
+		for _, id := range order {
+			if lossRng.Float64() < 0.3 {
+				dropped = append(dropped, id)
+				continue
+			}
+			if dec.ReceivePayload(id, all[id]) {
+				done = true
+				break
+			}
+		}
+		if done {
+			verify("lossy")
+		}
+		// Deliver everything that was dropped: with the full set in hand
+		// every family must decode, and duplicates must stay harmless.
+		for _, id := range dropped {
+			done = dec.ReceivePayload(id, all[id])
+		}
+		for _, id := range order[:min(3, len(order))] {
+			done = dec.ReceivePayload(id, all[id])
+		}
+		if !dec.Done() {
+			t.Fatalf("%s k=%d: full delivery did not decode", name, k)
+		}
+		verify("full")
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestCodecNamesResolve keeps the registry lists in sync.
+func TestCodecNamesResolve(t *testing.T) {
+	for _, name := range CodecNames {
+		f, err := wire.FamilyByName(name)
+		if err != nil {
+			t.Fatalf("codec name %q has no wire family: %v", name, err)
+		}
+		if f.String() != name {
+			t.Fatalf("wire family %v stringifies to %q, want %q", f, f.String(), name)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Payload codec abstractions. The ID-level Code/Receiver interfaces in
+// core.go are what the paper's simulations run on: they track which
+// packets arrived, never their bytes. Codec and PayloadDecoder are the
+// byte-carrying halves the delivery session and transport ship real data
+// through — one uniform surface over all code families, so nothing above
+// this layer ever switches on a family again.
+
+package core
+
+// Codec is a Code that can also carry payloads: it encodes k source
+// symbols into n-k parity symbols and mints incremental payload decoders.
+// All four families implement it (Reed-Solomon over GF(2^8) and GF(2^16),
+// the LDGM variants, and the repetition baseline). Implementations are
+// immutable after construction and safe for concurrent use.
+type Codec interface {
+	Code
+	// Encode computes the n-k parity payloads from the k source payloads
+	// (equal-length slices in global-ID order; parity ID K+i is result
+	// i). The returned buffers are drawn from the symbol pool and owned
+	// by the caller: release them with symbol.Put when done, or let the
+	// garbage collector take them. Encode never retains src.
+	Encode(src [][]byte) ([][]byte, error)
+	// NewDecoder mints a fresh incremental decoder for payloads of
+	// symLen bytes. It returns an error when the length is unusable by
+	// the family (zero, negative, or odd for the GF(2^16) codec).
+	NewDecoder(symLen int) (PayloadDecoder, error)
+}
+
+// PayloadDecoder is an incremental payload decoder: packets are delivered
+// one at a time in arrival order, exactly as a receiver experiences them.
+//
+// Buffer ownership is the load-bearing part of this contract. The
+// payload passed to ReceivePayload is only borrowed for the duration of
+// the call: the decoder copies what it retains into buffers it draws
+// from the symbol pool, so callers may reuse their read buffer
+// immediately — this is the single copy on the receive path. Slices
+// returned by Source are owned by the decoder and remain valid only
+// until Close; Close releases every pooled buffer the decoder holds, so
+// callers must copy out (or be done with) recovered symbols first.
+type PayloadDecoder interface {
+	// ReceivePayload delivers packet id with its payload and returns
+	// true once all k source payloads are recovered. Duplicates and
+	// arrivals after completion are no-ops. It panics on an out-of-range
+	// id or a payload whose length differs from the decoder's symLen —
+	// feeding it unvalidated network input is a caller bug (the session
+	// layer checks both against the object's OTI first).
+	ReceivePayload(id int, payload []byte) bool
+	// Done reports whether all k source payloads are recovered.
+	Done() bool
+	// SourceRecovered returns how many of the k source payloads are
+	// currently known (received or rebuilt).
+	SourceRecovered() int
+	// Source returns the payload of source symbol i, or nil if it is
+	// not yet recovered. The slice is owned by the decoder: valid until
+	// Close, and not to be modified.
+	Source(i int) []byte
+	// Close returns the decoder's pooled buffers to the symbol pool.
+	// The decoder must not be used afterwards (Source slices die with
+	// it). Close is idempotent.
+	Close()
+}

@@ -1,0 +1,200 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randSlice returns a deterministic pseudo-random slice of length n.
+func randSlice(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// kernelLens covers the unroll boundaries: empty, sub-word, word-aligned,
+// odd tails, and a realistic symbol size.
+var kernelLens = []int{0, 1, 3, 7, 8, 9, 15, 16, 17, 31, 63, 64, 65, 257, 1024, 1027}
+
+func TestXorMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range kernelLens {
+		src := randSlice(rng, n)
+		d0 := randSlice(rng, n)
+		d1 := append([]byte(nil), d0...)
+		Xor(d0, src)
+		XorScalar(d1, src)
+		if !bytes.Equal(d0, d1) {
+			t.Fatalf("len %d: Xor diverges from XorScalar", n)
+		}
+	}
+}
+
+func TestAddMulVariantsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range kernelLens {
+		for _, c := range []byte{0, 1, 2, 0x53, 0x8e, 0xff} {
+			src := randSlice(rng, n)
+			want := randSlice(rng, n)
+			fast := append([]byte(nil), want...)
+			tab := append([]byte(nil), want...)
+			nib := append([]byte(nil), want...)
+			AddMulScalar(want, src, c)
+			AddMul(fast, src, c)
+			AddMulTable(tab, src, c)
+			AddMulNibble(nib, src, c)
+			if !bytes.Equal(fast, want) {
+				t.Fatalf("len %d c %#x: AddMul diverges from AddMulScalar", n, c)
+			}
+			if !bytes.Equal(tab, want) {
+				t.Fatalf("len %d c %#x: AddMulTable diverges from AddMulScalar", n, c)
+			}
+			if !bytes.Equal(nib, want) {
+				t.Fatalf("len %d c %#x: AddMulNibble diverges from AddMulScalar", n, c)
+			}
+		}
+	}
+}
+
+func TestMulSliceMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range kernelLens {
+		for _, c := range []byte{0, 1, 2, 0x53, 0xff} {
+			src := randSlice(rng, n)
+			want := randSlice(rng, n)
+			fast := randSlice(rng, n)
+			MulSliceScalar(want, src, c)
+			MulSlice(fast, src, c)
+			if !bytes.Equal(fast, want) {
+				t.Fatalf("len %d c %#x: MulSlice diverges from MulSliceScalar", n, c)
+			}
+		}
+	}
+}
+
+func TestAddMulRowBlocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	coefs := []byte{0, 1, 2, 0x53, 0x7e, 0x11, 0xc8, 0xff}
+	for _, n := range kernelLens {
+		src := randSlice(rng, n)
+		for _, c0 := range coefs {
+			for _, c1 := range coefs {
+				w0, w1 := randSlice(rng, n), randSlice(rng, n)
+				g0 := append([]byte(nil), w0...)
+				g1 := append([]byte(nil), w1...)
+				AddMulScalar(w0, src, c0)
+				AddMulScalar(w1, src, c1)
+				AddMul2(g0, g1, src, c0, c1)
+				if !bytes.Equal(g0, w0) || !bytes.Equal(g1, w1) {
+					t.Fatalf("len %d c0 %#x c1 %#x: AddMul2 diverges", n, c0, c1)
+				}
+			}
+		}
+		// AddMul4 across a coefficient sample, including degenerate rows.
+		for trial := 0; trial < 32; trial++ {
+			cs := [4]byte{coefs[rng.Intn(len(coefs))], coefs[rng.Intn(len(coefs))],
+				coefs[rng.Intn(len(coefs))], coefs[rng.Intn(len(coefs))]}
+			var want, got [4][]byte
+			for r := 0; r < 4; r++ {
+				want[r] = randSlice(rng, n)
+				got[r] = append([]byte(nil), want[r]...)
+				AddMulScalar(want[r], src, cs[r])
+			}
+			AddMul4(got[0], got[1], got[2], got[3], src, cs[0], cs[1], cs[2], cs[3])
+			for r := 0; r < 4; r++ {
+				if !bytes.Equal(got[r], want[r]) {
+					t.Fatalf("len %d cs %v row %d: AddMul4 diverges", n, cs, r)
+				}
+			}
+		}
+	}
+}
+
+func TestRowBlockedLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"AddMul2": func() { AddMul2(make([]byte, 3), make([]byte, 4), make([]byte, 4), 2, 3) },
+		"AddMul4": func() {
+			AddMul4(make([]byte, 4), make([]byte, 4), make([]byte, 3), make([]byte, 4), make([]byte, 4), 2, 3, 4, 5)
+		},
+		"AddMulNibble":   func() { AddMulNibble(make([]byte, 3), make([]byte, 4), 2) },
+		"AddMulScalar":   func() { AddMulScalar(make([]byte, 3), make([]byte, 4), 2) },
+		"MulSliceScalar": func() { MulSliceScalar(make([]byte, 3), make([]byte, 4), 2) },
+		"XorScalar":      func() { XorScalar(make([]byte, 3), make([]byte, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Old-vs-new kernel benchmarks, consumed by scripts/bench_codec.sh.
+
+func benchPair(n int) (dst, src []byte) {
+	rng := rand.New(rand.NewSource(9))
+	return randSlice(rng, n), randSlice(rng, n)
+}
+
+func BenchmarkAddMulKernel(b *testing.B) {
+	dst, src := benchPair(1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		AddMul(dst, src, 0x53)
+	}
+}
+
+func BenchmarkAddMulKernelScalar(b *testing.B) {
+	dst, src := benchPair(1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		AddMulScalar(dst, src, 0x53)
+	}
+}
+
+func BenchmarkAddMulKernelTable(b *testing.B) {
+	dst, src := benchPair(1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		AddMulTable(dst, src, 0x53)
+	}
+}
+
+func BenchmarkAddMulKernelNibble(b *testing.B) {
+	dst, src := benchPair(1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		AddMulNibble(dst, src, 0x53)
+	}
+}
+
+func BenchmarkAddMul4Kernel(b *testing.B) {
+	d0, src := benchPair(1024)
+	d1, _ := benchPair(1024)
+	d2, _ := benchPair(1024)
+	d3, _ := benchPair(1024)
+	b.SetBytes(4 * 1024)
+	for i := 0; i < b.N; i++ {
+		AddMul4(d0, d1, d2, d3, src, 0x53, 0x7e, 0x11, 0xc8)
+	}
+}
+
+func BenchmarkXorKernel(b *testing.B) {
+	dst, src := benchPair(1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Xor(dst, src)
+	}
+}
+
+func BenchmarkXorKernelScalar(b *testing.B) {
+	dst, src := benchPair(1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		XorScalar(dst, src)
+	}
+}

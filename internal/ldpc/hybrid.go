@@ -9,7 +9,10 @@ package ldpc
 // stopping set that remains, and it recovers every erasure pattern of
 // maximum-likelihood decoding.
 
-import "fmt"
+import (
+	"fecperf/internal/gf256"
+	"fecperf/internal/symbol"
+)
 
 // SolveGauss attempts to complete a stalled decode by Gaussian elimination
 // on the residual system. It works in both structural and payload modes;
@@ -64,7 +67,7 @@ func (d *Decoder) SolveGauss() bool {
 		}
 		rows[i] = row
 		if d.symLen > 0 {
-			r := make([]byte, d.symLen)
+			r := symbol.Get(d.symLen)
 			if d.acc[eq] != nil {
 				copy(r, d.acc[eq])
 			}
@@ -130,13 +133,17 @@ func (d *Decoder) SolveGauss() bool {
 		}
 		var payload []byte
 		if d.symLen > 0 {
+			// The decoder adopts the RHS buffer (ownership transfer).
 			payload = rhs[r]
+			rhs[r] = nil
 		}
 		d.markKnown(v, payload)
 	}
 	// Feed the newly solved variables back through peeling: they may
 	// unlock equations the elimination left alone (rows dropped by rank).
 	d.propagate()
+	// Release the RHS buffers no variable adopted.
+	symbol.PutAll(rhs)
 	return d.Done()
 }
 
@@ -178,11 +185,4 @@ func (m *MLReceiver) Done() bool { return m.dec.Done() }
 // SourceRecovered implements core.Receiver.
 func (m *MLReceiver) SourceRecovered() int { return m.dec.SourceRecovered() }
 
-func xorBytes(dst, src []byte) {
-	if len(dst) != len(src) {
-		panic(fmt.Sprintf("ldpc: xor length mismatch %d vs %d", len(dst), len(src)))
-	}
-	for i := range dst {
-		dst[i] ^= src[i]
-	}
-}
+func xorBytes(dst, src []byte) { gf256.Xor(dst, src) }

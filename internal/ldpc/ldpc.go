@@ -34,6 +34,7 @@ import (
 
 	"fecperf/internal/core"
 	"fecperf/internal/gf256"
+	"fecperf/internal/symbol"
 )
 
 // Variant selects the structure of the right-hand side of H.
@@ -295,9 +296,8 @@ func (c *Code) Encode(src [][]byte) ([][]byte, error) {
 		}
 	}
 	parity := make([][]byte, c.m)
-	buf := make([]byte, c.m*symLen)
 	for i := 0; i < c.m; i++ {
-		parity[i] = buf[i*symLen : (i+1)*symLen]
+		parity[i] = symbol.Get(symLen)
 	}
 	for i := 0; i < c.m; i++ {
 		p := parity[i]
@@ -326,6 +326,15 @@ func (c *Code) NewPayloadDecoder(symLen int) *Decoder {
 		panic(fmt.Sprintf("ldpc: symLen must be positive, got %d", symLen))
 	}
 	return c.newDecoder(symLen)
+}
+
+// NewDecoder implements core.Codec (the error-returning form of
+// NewPayloadDecoder).
+func (c *Code) NewDecoder(symLen int) (core.PayloadDecoder, error) {
+	if symLen <= 0 {
+		return nil, fmt.Errorf("ldpc: symbol length must be positive, got %d", symLen)
+	}
+	return c.newDecoder(symLen), nil
 }
 
 // Decoder is the incremental iterative decoder of Section 2.3.2: each
@@ -394,21 +403,29 @@ func (d *Decoder) receive(id int, payload []byte) bool {
 	if d.Done() || d.known[id] {
 		return d.Done()
 	}
-	d.markKnown(int32(id), payload)
+	var owned []byte
+	if d.symLen > 0 {
+		// The single copy on the receive path: the caller's payload is
+		// borrowed, the decoder's pooled copy is what propagation and
+		// Source work on.
+		owned = symbol.Clone(payload)
+	}
+	d.markKnown(int32(id), owned)
 	d.propagate()
 	return d.Done()
 }
 
-func (d *Decoder) markKnown(id int32, payload []byte) {
+// markKnown records variable id as known. In payload mode the decoder
+// takes ownership of owned (a pooled buffer of symLen bytes); it is
+// released by Close.
+func (d *Decoder) markKnown(id int32, owned []byte) {
 	d.known[id] = true
 	if int(id) < d.code.k {
 		d.srcKnown++
 	}
 	d.knownCount++
 	if d.symLen > 0 {
-		v := make([]byte, d.symLen)
-		copy(v, payload)
-		d.value[id] = v
+		d.value[id] = owned
 	}
 	d.stack = append(d.stack, id)
 }
@@ -427,7 +444,7 @@ func (d *Decoder) propagate() {
 			d.xorID[eq] ^= id
 			if d.symLen > 0 {
 				if d.acc[eq] == nil {
-					d.acc[eq] = make([]byte, d.symLen)
+					d.acc[eq] = symbol.Get(d.symLen)
 				}
 				gf256.Xor(d.acc[eq], d.value[id])
 			}
@@ -438,7 +455,14 @@ func (d *Decoder) propagate() {
 					if d.symLen > 0 {
 						// Remaining unknown equals the XOR of all known
 						// terms in the equation (sum of the row is zero).
+						// The retired equation's accumulator becomes the
+						// solved symbol's value — an ownership transfer,
+						// not a copy.
 						pv = d.acc[eq]
+						d.acc[eq] = nil
+						if pv == nil {
+							pv = symbol.Get(d.symLen)
+						}
 					}
 					d.markKnown(solved, pv)
 				}
@@ -481,3 +505,15 @@ func (d *Decoder) Source(i int) []byte {
 
 // Known reports whether variable id has been received or rebuilt.
 func (d *Decoder) Known(id int) bool { return d.known[id] }
+
+// Close implements core.PayloadDecoder: it returns every pooled buffer
+// (symbol values and live equation accumulators) to the symbol pool.
+// The decoder, and any slice Source returned, must not be used after
+// Close. Close is idempotent and a no-op for structural decoders.
+func (d *Decoder) Close() {
+	if d.symLen == 0 {
+		return
+	}
+	symbol.PutAll(d.value)
+	symbol.PutAll(d.acc)
+}

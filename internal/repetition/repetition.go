@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"fecperf/internal/core"
+	"fecperf/internal/symbol"
 )
 
 // Code is the degenerate no-FEC "code": k source packets, no parity.
@@ -64,3 +65,65 @@ func (r *receiver) Receive(id int) bool {
 func (r *receiver) Done() bool { return r.seen == len(r.got) }
 
 func (r *receiver) SourceRecovered() int { return r.seen }
+
+// Encode implements core.Codec. A repetition "code" has no parity at all
+// (n == k); redundancy comes from the scheduler sending packets several
+// times. It still validates its input so the codec surface behaves
+// uniformly across families.
+func (c *Code) Encode(src [][]byte) ([][]byte, error) {
+	if len(src) != c.layout.K {
+		return nil, fmt.Errorf("repetition: expected %d source payloads, got %d", c.layout.K, len(src))
+	}
+	if len(src) == 0 {
+		return nil, fmt.Errorf("repetition: no payloads")
+	}
+	symLen := len(src[0])
+	for i, s := range src {
+		if len(s) != symLen {
+			return nil, fmt.Errorf("repetition: payload %d has length %d, want %d", i, len(s), symLen)
+		}
+	}
+	return nil, nil
+}
+
+// NewDecoder implements core.Codec: done once every source packet has
+// arrived at least once.
+func (c *Code) NewDecoder(symLen int) (core.PayloadDecoder, error) {
+	if symLen <= 0 {
+		return nil, fmt.Errorf("repetition: symbol length must be positive, got %d", symLen)
+	}
+	return &payloadDecoder{symLen: symLen, vals: make([][]byte, c.layout.K)}, nil
+}
+
+type payloadDecoder struct {
+	symLen int
+	vals   [][]byte // pooled copies, one per source packet
+	seen   int
+}
+
+func (d *payloadDecoder) ReceivePayload(id int, payload []byte) bool {
+	if id < 0 || id >= len(d.vals) {
+		panic(fmt.Sprintf("repetition: packet id %d outside [0,%d)", id, len(d.vals)))
+	}
+	if len(payload) != d.symLen {
+		panic(fmt.Sprintf("repetition: payload length %d, want %d", len(payload), d.symLen))
+	}
+	if d.vals[id] == nil {
+		d.vals[id] = symbol.Clone(payload)
+		d.seen++
+	}
+	return d.Done()
+}
+
+func (d *payloadDecoder) Done() bool { return d.seen == len(d.vals) }
+
+func (d *payloadDecoder) SourceRecovered() int { return d.seen }
+
+func (d *payloadDecoder) Source(i int) []byte {
+	if i < 0 || i >= len(d.vals) {
+		panic(fmt.Sprintf("repetition: source index %d outside [0,%d)", i, len(d.vals)))
+	}
+	return d.vals[i]
+}
+
+func (d *payloadDecoder) Close() { symbol.PutAll(d.vals) }

@@ -1,0 +1,128 @@
+package rse
+
+// Old-vs-new encode tiers for the acceptance benchmark (k=32, 1 KiB
+// symbols): the new row-blocked pooled path against the byte-at-a-time
+// kernels it replaced. scripts/bench_codec.sh consumes the three
+// BenchmarkCodecEncodeK32* results to report the speedup.
+
+import (
+	"math/rand"
+	"testing"
+
+	"fecperf/internal/gf256"
+	"fecperf/internal/symbol"
+)
+
+const (
+	benchK      = 32
+	benchSymLen = 1024
+	benchRatio  = 1.5
+)
+
+func benchSource(b *testing.B) (*Code, [][]byte) {
+	b.Helper()
+	c, err := New(Params{K: benchK, Ratio: benchRatio})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	src := make([][]byte, benchK)
+	for i := range src {
+		src[i] = make([]byte, benchSymLen)
+		rng.Read(src[i])
+	}
+	return c, src
+}
+
+// BenchmarkCodecEncodeK32 is the new path: pooled parity buffers and the
+// four-row-blocked AddMul4 kernel.
+func BenchmarkCodecEncodeK32(b *testing.B) {
+	c, src := benchSource(b)
+	b.SetBytes(benchK * benchSymLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parity, err := c.Encode(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		symbol.PutAll(parity)
+	}
+}
+
+// oldEncode replicates the pre-codec-layer encode: freshly allocated
+// parity and one kernel pass per (row, source) pair.
+func oldEncode(c *Code, src [][]byte, kern func(dst, s []byte, coef byte)) [][]byte {
+	parity := make([][]byte, 0, c.layout.N-c.layout.K)
+	for _, bd := range c.blocks {
+		g := c.generator(bd.kb, bd.nb)
+		bsrc := src[bd.srcOff : bd.srcOff+bd.kb]
+		for r := 0; r < bd.nb-bd.kb; r++ {
+			d := make([]byte, benchSymLen)
+			row := g.Row(r)
+			for j, s := range bsrc {
+				kern(d, s, row[j])
+			}
+			parity = append(parity, d)
+		}
+	}
+	return parity
+}
+
+// BenchmarkCodecEncodeK32Table is the previous default: the full-table
+// byte-at-a-time kernel.
+func BenchmarkCodecEncodeK32Table(b *testing.B) {
+	c, src := benchSource(b)
+	b.SetBytes(benchK * benchSymLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oldEncode(c, src, gf256.AddMulTable)
+	}
+}
+
+// BenchmarkCodecEncodeK32Scalar is the portable scalar reference:
+// log/exp per byte, no product table.
+func BenchmarkCodecEncodeK32Scalar(b *testing.B) {
+	c, src := benchSource(b)
+	b.SetBytes(benchK * benchSymLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oldEncode(c, src, gf256.AddMulScalar)
+	}
+}
+
+// BenchmarkCodecDecodeK32 measures the incremental payload decoder on a
+// parity-heavy arrival pattern (half the sources lost).
+func BenchmarkCodecDecodeK32(b *testing.B) {
+	c, src := benchSource(b)
+	parity, err := c.Encode(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := append(append([][]byte{}, src...), parity...)
+	order := make([]int, 0, c.Layout().N)
+	for id := benchK / 2; id < c.Layout().N; id++ {
+		order = append(order, id)
+	}
+	b.SetBytes(benchK * benchSymLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec, err := c.NewDecoder(benchSymLen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := false
+		for _, id := range order {
+			if done = dec.ReceivePayload(id, all[id]); done {
+				break
+			}
+		}
+		if !done {
+			b.Fatal("decode incomplete")
+		}
+		dec.Close()
+	}
+}

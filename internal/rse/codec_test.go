@@ -1,0 +1,133 @@
+package rse
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+func testSymbols(t *testing.T, k, symLen int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	src := make([][]byte, k)
+	for i := range src {
+		src[i] = make([]byte, symLen)
+		rng.Read(src[i])
+	}
+	return src
+}
+
+// TestEncodeParallelMatchesSequential pins the determinism claim: the
+// goroutine fan-out over blocks must produce byte-identical parity. The
+// object is large enough (1 MiB, 8 blocks) to cross the parallel
+// threshold once GOMAXPROCS allows it.
+func TestEncodeParallelMatchesSequential(t *testing.T) {
+	c, err := New(Params{K: 1024, Ratio: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumBlocks() < 2 {
+		t.Fatalf("test geometry produced %d blocks, want several", c.NumBlocks())
+	}
+	src := testSymbols(t, 1024, 1024, 21)
+
+	old := runtime.GOMAXPROCS(1)
+	seq, err := c.Encode(src)
+	runtime.GOMAXPROCS(4)
+	par, parErr := c.Encode(src)
+	runtime.GOMAXPROCS(old)
+	if err != nil || parErr != nil {
+		t.Fatal(err, parErr)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("parity counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if !bytes.Equal(seq[i], par[i]) {
+			t.Fatalf("parity %d differs between sequential and parallel encode", i)
+		}
+	}
+}
+
+// TestPayloadDecoderPerBlock exercises the incremental decoder across
+// blocks: one block decodes from parity alone, the others from mixes,
+// and completed blocks must release state without waiting for the rest.
+func TestPayloadDecoderPerBlock(t *testing.T) {
+	c, err := New(Params{K: 200, Ratio: 2.5}) // 2 blocks of 100
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumBlocks() != 2 {
+		t.Fatalf("geometry: %d blocks, want 2", c.NumBlocks())
+	}
+	src := testSymbols(t, 200, 128, 22)
+	parity, err := c.Encode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([][]byte{}, src...), parity...)
+	l := c.Layout()
+
+	dec, err := c.NewDecoder(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dec.Close()
+
+	// Block 0: parity only (full inversion). Block 1: sources only.
+	b0, b1 := l.Blocks[0], l.Blocks[1]
+	for _, id := range b0.Parity[:len(b0.Source)] {
+		if dec.ReceivePayload(id, all[id]) {
+			t.Fatal("done before block 1 delivered")
+		}
+	}
+	if got := dec.SourceRecovered(); got != len(b0.Source) {
+		t.Fatalf("block 0 complete: SourceRecovered=%d, want %d", got, len(b0.Source))
+	}
+	done := false
+	for _, id := range b1.Source {
+		done = dec.ReceivePayload(id, all[id])
+	}
+	if !done {
+		t.Fatal("not done after both blocks decodable")
+	}
+	for i := 0; i < 200; i++ {
+		if !bytes.Equal(dec.Source(i), src[i]) {
+			t.Fatalf("source %d corrupted", i)
+		}
+	}
+	// Duplicates and extra parity after completion are no-ops.
+	if !dec.ReceivePayload(b0.Parity[0], all[b0.Parity[0]]) {
+		t.Fatal("completion forgotten")
+	}
+}
+
+// TestEncodeRatioOneBlock covers the zero-parity geometry the fuzzer
+// found: ratio 1 blocks have no generator and must encode to nothing.
+func TestEncodeRatioOneBlock(t *testing.T) {
+	c, err := New(Params{K: 10, Ratio: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := testSymbols(t, 10, 32, 23)
+	parity, err := c.Encode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parity) != 0 {
+		t.Fatalf("ratio-1 object produced %d parity symbols", len(parity))
+	}
+	dec, err := c.NewDecoder(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dec.Close()
+	done := false
+	for id := 0; id < 10; id++ {
+		done = dec.ReceivePayload(id, src[id])
+	}
+	if !done {
+		t.Fatal("all sources delivered but not done")
+	}
+}

@@ -17,12 +17,14 @@ package rse
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
 	"fecperf/internal/core"
 	"fecperf/internal/gf256"
 	"fecperf/internal/matrix"
+	"fecperf/internal/symbol"
 )
 
 // MaxBlock is the maximum number of encoding symbols per block permitted by
@@ -257,7 +259,8 @@ func (c *Code) generator(kb, nb int) *matrix.Matrix {
 
 // EncodeBlock computes the parity payloads of block bi from its source
 // payloads. src must hold exactly k_b equal-length slices; the returned
-// slice holds n_b-k_b parity payloads.
+// slice holds n_b-k_b parity payloads in pooled buffers owned by the
+// caller.
 func (c *Code) EncodeBlock(bi int, src [][]byte) ([][]byte, error) {
 	if bi < 0 || bi >= len(c.blocks) {
 		return nil, fmt.Errorf("rse: block %d outside [0,%d)", bi, len(c.blocks))
@@ -270,33 +273,78 @@ func (c *Code) EncodeBlock(bi int, src [][]byte) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := c.generator(bd.kb, bd.nb)
 	parity := make([][]byte, bd.nb-bd.kb)
 	for i := range parity {
-		parity[i] = make([]byte, symLen)
+		parity[i] = symbol.Get(symLen)
 	}
-	g.MulVec(parity, src)
+	c.encodeBlockInto(bd, src, parity)
 	return parity, nil
 }
 
+// encodeBlockInto fills parity (nb-kb slices) with the block's parity
+// symbols via the row-blocked matrix.MulVec kernel: four parity rows
+// advance per pass over each source symbol, so every source byte is
+// loaded once and feeds four multiply-accumulates.
+func (c *Code) encodeBlockInto(bd blockDef, src [][]byte, parity [][]byte) {
+	if bd.nb == bd.kb {
+		// Ratio 1 leaves a block with no parity; there is no generator
+		// to build (and Vandermonde-derived 0-row matrices don't exist).
+		return
+	}
+	c.generator(bd.kb, bd.nb).MulVec(parity, src)
+}
+
+// parallelEncodeMinBytes is the total source size below which Encode
+// stays sequential: goroutine fan-out only pays once there are several
+// blocks' worth of kernel work to hide the scheduling cost behind.
+const parallelEncodeMinBytes = 1 << 18
+
 // Encode FEC-encodes the whole object. src holds the K source payloads in
 // global-ID order; the result holds the N-K parity payloads in global parity
-// ID order (parity ID K+i is result[i]).
+// ID order (parity ID K+i is result[i]), in pooled buffers owned by the
+// caller (release with symbol.Put, or drop them to the GC).
+//
+// Blocks are independent, so segmented objects encode in parallel across
+// GOMAXPROCS goroutines once the object is large enough for the fan-out
+// to pay; the output is identical either way.
 func (c *Code) Encode(src [][]byte) ([][]byte, error) {
 	if len(src) != c.layout.K {
 		return nil, fmt.Errorf("rse: expected %d source payloads, got %d", c.layout.K, len(src))
 	}
-	if _, err := uniformLen(src); err != nil {
+	symLen, err := uniformLen(src)
+	if err != nil {
 		return nil, err
 	}
-	parity := make([][]byte, 0, c.layout.N-c.layout.K)
-	for bi, bd := range c.blocks {
-		p, err := c.EncodeBlock(bi, src[bd.srcOff:bd.srcOff+bd.kb])
-		if err != nil {
-			return nil, err
-		}
-		parity = append(parity, p...)
+	parity := make([][]byte, c.layout.N-c.layout.K)
+	for i := range parity {
+		parity[i] = symbol.Get(symLen)
 	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(c.blocks) {
+		workers = len(c.blocks)
+	}
+	if workers <= 1 || c.layout.K*symLen < parallelEncodeMinBytes {
+		for _, bd := range c.blocks {
+			c.encodeBlockInto(bd, src[bd.srcOff:bd.srcOff+bd.kb], parity[bd.parOff-c.layout.K:bd.parOff-c.layout.K+bd.nb-bd.kb])
+		}
+		return parity, nil
+	}
+	var wg sync.WaitGroup
+	blockCh := make(chan blockDef)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bd := range blockCh {
+				c.encodeBlockInto(bd, src[bd.srcOff:bd.srcOff+bd.kb], parity[bd.parOff-c.layout.K:bd.parOff-c.layout.K+bd.nb-bd.kb])
+			}
+		}()
+	}
+	for _, bd := range c.blocks {
+		blockCh <- bd
+	}
+	close(blockCh)
+	wg.Wait()
 	return parity, nil
 }
 

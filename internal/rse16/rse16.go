@@ -17,9 +17,11 @@ package rse16
 
 import (
 	"fmt"
+	"sync"
 
 	"fecperf/internal/core"
 	"fecperf/internal/gf65536"
+	"fecperf/internal/symbol"
 )
 
 // MaxBlock is the field-imposed limit on encoding symbols per block.
@@ -37,8 +39,10 @@ type Code struct {
 	k, n   int
 	layout core.Layout
 	// gen is the (n-k)×k parity generator (systematic form), built
-	// lazily: simulations never need it.
-	gen [][]uint16
+	// lazily under genOnce: simulations never need it, and concurrent
+	// encoders/decoders sharing one Code must not race the build.
+	genOnce sync.Once
+	gen     [][]uint16
 }
 
 // New builds the code.
@@ -114,26 +118,25 @@ func (r *receiver) SourceRecovered() int {
 // generator lazily builds the systematic parity generator: the bottom
 // n-k rows of V·V_top^-1 for V = Vandermonde(n, k) over GF(2^16).
 func (c *Code) generator() [][]uint16 {
-	if c.gen != nil {
-		return c.gen
-	}
-	// Build V (n×k) with rows alpha^i.
-	v := make([][]uint16, c.n)
-	for i := 0; i < c.n; i++ {
-		row := make([]uint16, c.k)
-		x := gf65536.Exp(i)
-		for j := 0; j < c.k; j++ {
-			row[j] = gf65536.Pow(x, j)
+	c.genOnce.Do(func() {
+		// Build V (n×k) with rows alpha^i.
+		v := make([][]uint16, c.n)
+		for i := 0; i < c.n; i++ {
+			row := make([]uint16, c.k)
+			x := gf65536.Exp(i)
+			for j := 0; j < c.k; j++ {
+				row[j] = gf65536.Pow(x, j)
+			}
+			v[i] = row
 		}
-		v[i] = row
-	}
-	topInv := invert(copyRows(v[:c.k]))
-	gen := make([][]uint16, c.n-c.k)
-	for i := range gen {
-		gen[i] = matVecRow(v[c.k+i], topInv)
-	}
-	c.gen = gen
-	return gen
+		topInv := invert(copyRows(v[:c.k]))
+		gen := make([][]uint16, c.n-c.k)
+		for i := range gen {
+			gen[i] = matVecRow(v[c.k+i], topInv)
+		}
+		c.gen = gen
+	})
+	return c.gen
 }
 
 // copyRows deep-copies a square matrix.
@@ -207,7 +210,7 @@ func toSymbols(p []byte) ([]uint16, error) {
 }
 
 func toBytes(s []uint16) []byte {
-	out := make([]byte, 2*len(s))
+	out := symbol.Get(2 * len(s))
 	for i, v := range s {
 		out[2*i] = byte(v >> 8)
 		out[2*i+1] = byte(v)
@@ -215,7 +218,8 @@ func toBytes(s []uint16) []byte {
 	return out
 }
 
-// Encode computes the n-k parity payloads from the k source payloads.
+// Encode computes the n-k parity payloads from the k source payloads,
+// in pooled buffers owned by the caller (core.Codec semantics).
 // All payloads must share one even length.
 func (c *Code) Encode(src [][]byte) ([][]byte, error) {
 	if len(src) != c.k {
@@ -247,6 +251,130 @@ func (c *Code) Encode(src [][]byte) ([][]byte, error) {
 		parity[i] = toBytes(acc)
 	}
 	return parity, nil
+}
+
+// NewDecoder implements core.Codec. The symbol length must be even
+// (payloads are sequences of 16-bit symbols).
+func (c *Code) NewDecoder(symLen int) (core.PayloadDecoder, error) {
+	if symLen <= 0 {
+		return nil, fmt.Errorf("rse16: symbol length must be positive, got %d", symLen)
+	}
+	if symLen%2 != 0 {
+		return nil, fmt.Errorf("rse16: symbol length %d is odd (payloads are 16-bit symbols)", symLen)
+	}
+	return &payloadDecoder{
+		code:   c,
+		symLen: symLen,
+		got:    make([]bool, c.n),
+		srcVal: make([][]byte, c.k),
+	}, nil
+}
+
+// payloadDecoder buffers pooled payload copies until any k distinct
+// symbols arrived (the code is MDS over the whole object), then solves
+// once and releases the parity buffers.
+type payloadDecoder struct {
+	code   *Code
+	symLen int
+	got    []bool
+	srcVal [][]byte // received/rebuilt source payloads by ID (pooled)
+	parIDs []int
+	parPay [][]byte // pooled parity copies aligned with parIDs
+	seen   int
+	srcRec int
+	done   bool
+}
+
+func (d *payloadDecoder) ReceivePayload(id int, payload []byte) bool {
+	if id < 0 || id >= d.code.n {
+		panic(fmt.Sprintf("rse16: packet id %d outside [0,%d)", id, d.code.n))
+	}
+	if len(payload) != d.symLen {
+		panic(fmt.Sprintf("rse16: payload length %d, want %d", len(payload), d.symLen))
+	}
+	if d.done || d.got[id] {
+		return d.done
+	}
+	d.got[id] = true
+	d.seen++
+	if id < d.code.k {
+		d.srcVal[id] = symbol.Clone(payload)
+		d.srcRec++
+	} else {
+		d.parIDs = append(d.parIDs, id)
+		d.parPay = append(d.parPay, symbol.Clone(payload))
+	}
+	if d.seen == d.code.k {
+		d.decode()
+	}
+	return d.done
+}
+
+// decode solves the single MDS block from the k buffered symbols.
+func (d *payloadDecoder) decode() {
+	if d.srcRec < d.code.k {
+		parAt := make(map[int]int, len(d.parIDs))
+		for i, id := range d.parIDs {
+			parAt[id] = i
+		}
+		gen := d.code.generator()
+		rows := make([][]uint16, 0, d.code.k)
+		rhs := make([][]uint16, 0, d.code.k)
+		for id := 0; id < d.code.n && len(rows) < d.code.k; id++ {
+			if !d.got[id] {
+				continue
+			}
+			row := make([]uint16, d.code.k)
+			var pay []byte
+			if id < d.code.k {
+				row[id] = 1
+				pay = d.srcVal[id]
+			} else {
+				copy(row, gen[id-d.code.k])
+				pay = d.parPay[parAt[id]]
+			}
+			s, err := toSymbols(pay)
+			if err != nil {
+				// Lengths were validated at ReceivePayload; unreachable.
+				panic(fmt.Sprintf("rse16: %v", err))
+			}
+			rows = append(rows, row)
+			rhs = append(rhs, s)
+		}
+		inv := invert(rows)
+		for i := 0; i < d.code.k; i++ {
+			if d.srcVal[i] != nil {
+				continue
+			}
+			acc := make([]uint16, d.symLen/2)
+			for t, coef := range inv[i] {
+				if coef != 0 {
+					gf65536.AddMul(acc, rhs[t], coef)
+				}
+			}
+			d.srcVal[i] = toBytes(acc)
+			d.srcRec++
+		}
+	}
+	symbol.PutAll(d.parPay)
+	d.parPay, d.parIDs = nil, nil
+	d.done = true
+}
+
+func (d *payloadDecoder) Done() bool { return d.done }
+
+func (d *payloadDecoder) SourceRecovered() int { return d.srcRec }
+
+func (d *payloadDecoder) Source(i int) []byte {
+	if i < 0 || i >= d.code.k {
+		panic(fmt.Sprintf("rse16: source index %d outside [0,%d)", i, d.code.k))
+	}
+	return d.srcVal[i]
+}
+
+func (d *payloadDecoder) Close() {
+	symbol.PutAll(d.srcVal)
+	symbol.PutAll(d.parPay)
 }
 
 // Decode rebuilds the k source payloads from any k received (id, payload)

@@ -16,10 +16,10 @@ import (
 	"fmt"
 	"math/rand"
 
+	"fecperf/internal/codes"
 	"fecperf/internal/core"
-	"fecperf/internal/ldpc"
-	"fecperf/internal/rse"
 	"fecperf/internal/sched"
+	"fecperf/internal/symbol"
 	"fecperf/internal/wire"
 )
 
@@ -49,13 +49,15 @@ type SenderConfig struct {
 // Object is an encoded object ready for transmission.
 type Object struct {
 	cfg     SenderConfig
-	code    core.Code
+	code    core.Codec
 	symbols [][]byte // k source + n-k parity payloads, indexed by packet ID
+	closed  bool
 }
 
 // EncodeObject splits data into symbols, FEC-encodes it and returns the
 // transmissible object. The object length is embedded so the receiver can
-// strip end-of-object padding.
+// strip end-of-object padding. The symbols live in pooled buffers; call
+// Close when the object will not be transmitted again.
 func EncodeObject(data []byte, cfg SenderConfig) (*Object, error) {
 	if cfg.PayloadSize <= 0 {
 		return nil, fmt.Errorf("session: payload size must be positive, got %d", cfg.PayloadSize)
@@ -70,7 +72,7 @@ func EncodeObject(data []byte, cfg SenderConfig) (*Object, error) {
 	k := (len(buf) + cfg.PayloadSize - 1) / cfg.PayloadSize
 	src := make([][]byte, k)
 	for i := range src {
-		src[i] = make([]byte, cfg.PayloadSize)
+		src[i] = symbol.Get(cfg.PayloadSize)
 		lo := i * cfg.PayloadSize
 		hi := lo + cfg.PayloadSize
 		if hi > len(buf) {
@@ -79,40 +81,27 @@ func EncodeObject(data []byte, cfg SenderConfig) (*Object, error) {
 		copy(src[i], buf[lo:hi])
 	}
 
-	code, parity, err := encodeWith(cfg.Family, k, cfg.Ratio, cfg.Seed, src)
+	code, err := codes.ForFamily(cfg.Family, k, cfg.Ratio, cfg.Seed)
 	if err != nil {
-		return nil, err
+		symbol.PutAll(src)
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	parity, err := code.Encode(src)
+	if err != nil {
+		symbol.PutAll(src)
+		return nil, fmt.Errorf("session: %w", err)
 	}
 	return &Object{cfg: cfg, code: code, symbols: append(src, parity...)}, nil
 }
 
-func encodeWith(f wire.CodeFamily, k int, ratio float64, seed int64, src [][]byte) (core.Code, [][]byte, error) {
-	switch f {
-	case wire.CodeRSE:
-		c, err := rse.New(rse.Params{K: k, Ratio: ratio})
-		if err != nil {
-			return nil, nil, err
-		}
-		parity, err := c.Encode(src)
-		return c, parity, err
-	case wire.CodeLDGM, wire.CodeLDGMStaircase, wire.CodeLDGMTriangle:
-		v := ldpc.Plain
-		switch f {
-		case wire.CodeLDGMStaircase:
-			v = ldpc.Staircase
-		case wire.CodeLDGMTriangle:
-			v = ldpc.Triangle
-		}
-		n := int(float64(k)*ratio + 0.5)
-		c, err := ldpc.New(ldpc.Params{K: k, N: n, Variant: v, Seed: seed})
-		if err != nil {
-			return nil, nil, err
-		}
-		parity, err := c.Encode(src)
-		return c, parity, err
-	default:
-		return nil, nil, fmt.Errorf("session: unsupported code family %v", f)
+// Close releases the object's pooled symbol buffers. The object cannot
+// be transmitted afterwards; Close is idempotent.
+func (o *Object) Close() {
+	if o.closed {
+		return
 	}
+	o.closed = true
+	symbol.PutAll(o.symbols)
 }
 
 // K returns the number of source symbols.
@@ -138,6 +127,9 @@ func (o *Object) NSent() int { return o.cfg.NSent }
 
 // Datagram serialises the datagram for packet id.
 func (o *Object) Datagram(id int) ([]byte, error) {
+	if o.closed {
+		return nil, fmt.Errorf("session: object %d is closed", o.cfg.ObjectID)
+	}
 	l := o.code.Layout()
 	if id < 0 || id >= l.N {
 		return nil, fmt.Errorf("session: packet id %d outside [0,%d)", id, l.N)
@@ -190,11 +182,7 @@ type objectState struct {
 	k, n    int
 	seed    int64
 	symLen  int
-	ldgmDec *ldpc.Decoder
-	rseCode *rse.Code
-	rseRx   core.Receiver
-	rseIDs  []int
-	rsePay  [][]byte
+	dec     core.PayloadDecoder
 	packets int
 }
 
@@ -217,8 +205,9 @@ func (r *Receiver) Ingest(datagram []byte) (objectID uint32, complete bool, data
 
 // IngestPacket processes an already-decoded packet. The packet's Payload
 // may alias a reused read buffer (wire.Decode aliases its input); the
-// receiver clones whatever it retains, so the caller's buffer is free for
-// reuse as soon as IngestPacket returns.
+// payload decoder copies what it retains into pooled buffers — the single
+// copy on the receive path — so the caller's buffer is free for reuse as
+// soon as IngestPacket returns.
 func (r *Receiver) IngestPacket(p *wire.Packet) (objectID uint32, complete bool, data []byte, err error) {
 	if _, ok := r.done[p.ObjectID]; ok {
 		return p.ObjectID, false, nil, nil
@@ -234,14 +223,15 @@ func (r *Receiver) IngestPacket(p *wire.Packet) (objectID uint32, complete bool,
 	if err := st.consistent(p); err != nil {
 		return p.ObjectID, false, nil, err
 	}
-	finished, err := st.add(p)
-	if err != nil || !finished {
-		return p.ObjectID, false, nil, err
+	st.packets++
+	if finished := st.dec.ReceivePayload(int(p.PacketID), p.Payload); !finished {
+		return p.ObjectID, false, nil, nil
 	}
 	raw, err := st.assemble()
 	if err != nil {
 		return p.ObjectID, false, nil, err
 	}
+	st.dec.Close()
 	delete(r.objects, p.ObjectID)
 	r.done[p.ObjectID] = raw
 	return p.ObjectID, true, raw, nil
@@ -254,10 +244,14 @@ func (r *Receiver) Object(id uint32) ([]byte, bool) {
 }
 
 // Forget drops all state for an object — in-flight reassembly and
-// completed data alike. Transport daemons use it to bound memory: evicted
-// objects simply start over if their datagrams keep arriving.
+// completed data alike, returning the reassembly buffers to the symbol
+// pool. Transport daemons use it to bound memory: evicted objects simply
+// start over if their datagrams keep arriving.
 func (r *Receiver) Forget(id uint32) {
-	delete(r.objects, id)
+	if st, ok := r.objects[id]; ok {
+		st.dec.Close()
+		delete(r.objects, id)
+	}
 	delete(r.done, id)
 }
 
@@ -290,79 +284,37 @@ func newObjectState(p *wire.Packet) (*objectState, error) {
 	if st.symLen == 0 {
 		return nil, fmt.Errorf("session: zero-length symbol")
 	}
-	switch p.Family {
-	case wire.CodeRSE:
-		c, err := rse.New(rse.Params{K: st.k, Ratio: float64(st.n) / float64(st.k)})
-		if err != nil {
-			return nil, err
-		}
-		if c.Layout().N != st.n {
-			return nil, fmt.Errorf("session: RSE geometry mismatch: rebuilt n=%d, wire n=%d", c.Layout().N, st.n)
-		}
-		st.rseCode = c
-		st.rseRx = c.NewReceiver()
-	case wire.CodeLDGM, wire.CodeLDGMStaircase, wire.CodeLDGMTriangle:
-		v := ldpc.Plain
-		switch p.Family {
-		case wire.CodeLDGMStaircase:
-			v = ldpc.Staircase
-		case wire.CodeLDGMTriangle:
-			v = ldpc.Triangle
-		}
-		c, err := ldpc.New(ldpc.Params{K: st.k, N: st.n, Variant: v, Seed: st.seed})
-		if err != nil {
-			return nil, err
-		}
-		st.ldgmDec = c.NewPayloadDecoder(st.symLen)
-	default:
-		return nil, fmt.Errorf("session: unsupported code family %v", p.Family)
+	code, err := codes.ForWire(p.Family, st.k, st.n, st.seed)
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
 	}
+	dec, err := code.NewDecoder(st.symLen)
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	st.dec = dec
 	return st, nil
 }
 
 func (st *objectState) consistent(p *wire.Packet) error {
 	if int(p.K) != st.k || int(p.N) != st.n || p.Seed != st.seed ||
-		p.Family != st.family || len(p.Payload) != st.symLen {
+		p.Family != st.family || len(p.Payload) != st.symLen ||
+		int(p.PacketID) >= st.n {
 		return fmt.Errorf("session: datagram inconsistent with object %d's OTI", p.ObjectID)
 	}
 	return nil
 }
 
-func (st *objectState) add(p *wire.Packet) (bool, error) {
-	st.packets++
-	// The packet's Payload aliases the caller's (possibly reused) read
-	// buffer; Clone before the decoder stashes it. This is the single
-	// ownership boundary — everything downstream holds its own copy.
-	p = p.Clone()
-	id := int(p.PacketID)
-	if st.ldgmDec != nil {
-		return st.ldgmDec.ReceivePayload(id, p.Payload), nil
-	}
-	// RSE: buffer payloads, decode per the MDS counting receiver.
-	st.rseIDs = append(st.rseIDs, id)
-	st.rsePay = append(st.rsePay, p.Payload)
-	return st.rseRx.Receive(id), nil
-}
-
+// assemble concatenates the recovered source symbols and strips the
+// length prefix. The decoder's buffers are only borrowed here; the
+// caller closes the decoder once the returned object is copied out.
 func (st *objectState) assemble() ([]byte, error) {
-	var symbols [][]byte
-	if st.ldgmDec != nil {
-		symbols = make([][]byte, st.k)
-		for i := 0; i < st.k; i++ {
-			symbols[i] = st.ldgmDec.Source(i)
-			if symbols[i] == nil {
-				return nil, fmt.Errorf("session: decoder claims done but source %d missing", i)
-			}
-		}
-	} else {
-		dec, err := st.rseCode.Decode(st.rseIDs, st.rsePay)
-		if err != nil {
-			return nil, err
-		}
-		symbols = dec
-	}
 	buf := make([]byte, 0, st.k*st.symLen)
-	for _, s := range symbols {
+	for i := 0; i < st.k; i++ {
+		s := st.dec.Source(i)
+		if s == nil {
+			return nil, fmt.Errorf("session: decoder claims done but source %d missing", i)
+		}
 		buf = append(buf, s...)
 	}
 	if len(buf) < lengthPrefix {

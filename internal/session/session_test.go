@@ -329,3 +329,101 @@ func TestObjectGeometryAccessors(t *testing.T) {
 		t.Fatal("Datagram(N) accepted")
 	}
 }
+
+func TestObjectClose(t *testing.T) {
+	obj := testObject(3000, 20)
+	enc, err := EncodeObject(obj, baseConfig(wire.CodeLDGMStaircase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Datagram(0); err != nil {
+		t.Fatal(err)
+	}
+	enc.Close()
+	enc.Close() // idempotent
+	if _, err := enc.Datagram(0); err == nil {
+		t.Fatal("Datagram succeeded on a closed object")
+	}
+	if err := enc.Send(rand.New(rand.NewSource(1)), func([]byte) error { return nil }); err == nil {
+		t.Fatal("Send succeeded on a closed object")
+	}
+}
+
+func TestForgetInFlightRestartsCleanly(t *testing.T) {
+	obj := testObject(4000, 21)
+	enc, err := EncodeObject(obj, baseConfig(wire.CodeLDGMTriangle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var datagrams [][]byte
+	if err := enc.Send(rand.New(rand.NewSource(2)), func(d []byte) error {
+		datagrams = append(datagrams, append([]byte(nil), d...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rx := NewReceiver()
+	// Feed half, evict (closing the pooled decoder state), then deliver
+	// everything: the object must start over and still decode exactly.
+	for _, d := range datagrams[:len(datagrams)/2] {
+		if _, _, _, err := rx.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rx.Forget(1)
+	if got := rx.PacketsIngested(1); got != 0 {
+		t.Fatalf("state survived Forget: %d packets", got)
+	}
+	var got []byte
+	for _, d := range datagrams {
+		_, complete, data, err := rx.Ingest(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if complete {
+			got = data
+		}
+	}
+	if !bytes.Equal(got, obj) {
+		t.Fatal("object corrupted after Forget/restart")
+	}
+}
+
+func TestSessionAllWireFamilies(t *testing.T) {
+	// The codec surface must make every wire family deliverable,
+	// including the two the session layer could not carry before
+	// (rse16 and no-fec).
+	obj := testObject(9000, 22)
+	for _, f := range []wire.CodeFamily{wire.CodeRSE16, wire.CodeNoFEC} {
+		cfg := baseConfig(f)
+		if f == wire.CodeNoFEC {
+			cfg.Ratio = 1.0
+		}
+		enc, err := EncodeObject(obj, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		rx := NewReceiver()
+		var got []byte
+		err = enc.Send(rand.New(rand.NewSource(3)), func(d []byte) error {
+			_, complete, data, err := rx.Ingest(d)
+			if complete {
+				got = data
+			}
+			return err
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if !bytes.Equal(got, obj) {
+			t.Fatalf("%v: reconstructed object differs", f)
+		}
+		enc.Close()
+	}
+	// rse16 carries 16-bit symbols: odd payload sizes must be rejected.
+	cfg := baseConfig(wire.CodeRSE16)
+	cfg.PayloadSize = 63
+	if _, err := EncodeObject(obj, cfg); err == nil {
+		t.Fatal("rse16 accepted an odd payload size")
+	}
+}

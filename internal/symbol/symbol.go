@@ -1,0 +1,132 @@
+// Package symbol provides the pooled symbol buffers the payload codec
+// layer allocates from. Every encode, decode and transport step in the
+// repository moves fixed-size symbol payloads around; allocating each one
+// with make() puts the garbage collector on the packet path. This package
+// replaces that with a size-classed free list built on sync.Pool.
+//
+// # Ownership contract
+//
+// A buffer obtained from Get (or Clone) is owned by exactly one holder at
+// a time. The owner may hand the buffer to another component only by
+// transferring ownership — after the handoff the previous holder must not
+// read, write or Put it. The final owner either calls Put, returning the
+// buffer for reuse, or simply drops it (an un-Put buffer is ordinary
+// garbage; nothing leaks). Put must never be called twice for the same
+// buffer and never on a buffer someone else still references: the next
+// Get may hand the same backing array to an unrelated caller.
+//
+// Concretely, in this repository:
+//
+//   - core.PayloadDecoder implementations copy every payload they retain
+//     into pooled buffers they own, and release them all in Close;
+//   - Codec.Encode returns parity symbols in pooled buffers owned by the
+//     caller (session.Object releases them in Close);
+//   - transport read buffers are plain reused slices — packets decoded
+//     from them alias the buffer, which is why decoders copy exactly once
+//     at the ownership boundary.
+package symbol
+
+import "sync"
+
+// Size classes are powers of two from 64 bytes to 64 KiB — below the
+// smallest class Get rounds up (a few wasted bytes beat a dedicated
+// class), above the largest it falls through to plain make (jumbo
+// buffers are rare enough that pooling them only pins memory).
+const (
+	minClassBits = 6  // 64 B
+	maxClassBits = 16 // 64 KiB
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+// MaxPooled is the largest buffer capacity the pool recycles.
+const MaxPooled = 1 << maxClassBits
+
+var classes [numClasses]sync.Pool
+
+// headers recycles the *[]byte boxes sync.Pool forces on us, so the
+// steady state of Get/Put allocates nothing at all: the box freed by a
+// Get is the box the next Put fills.
+var headers = sync.Pool{New: func() any { return new([]byte) }}
+
+// classFor returns the index of the smallest class holding n bytes, or
+// -1 when n exceeds MaxPooled.
+func classFor(n int) int {
+	if n > MaxPooled {
+		return -1
+	}
+	c := 0
+	for size := 1 << minClassBits; size < n; size <<= 1 {
+		c++
+	}
+	return c
+}
+
+// classOf returns the class whose buffers have exactly capacity c, or -1
+// when c is not a class size. Only exact matches are pooled: a foreign
+// slice with an odd capacity is dropped rather than corrupting a class.
+func classOf(c int) int {
+	if c < 1<<minClassBits || c > MaxPooled || c&(c-1) != 0 {
+		return -1
+	}
+	cl := 0
+	for size := 1 << minClassBits; size < c; size <<= 1 {
+		cl++
+	}
+	return cl
+}
+
+// Get returns a zeroed buffer of length n (capacity rounded up to the
+// size class). The caller owns it; see the package ownership contract.
+func Get(n int) []byte {
+	if n < 0 {
+		panic("symbol: negative length")
+	}
+	b := getRaw(n)
+	clear(b)
+	return b
+}
+
+// Clone returns a pooled copy of p. The caller owns the copy.
+func Clone(p []byte) []byte {
+	b := getRaw(len(p))
+	copy(b, p)
+	return b
+}
+
+func getRaw(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	if hp, _ := classes[c].Get().(*[]byte); hp != nil {
+		b := (*hp)[:n]
+		*hp = nil
+		headers.Put(hp)
+		return b
+	}
+	return make([]byte, n, 1<<(minClassBits+c))
+}
+
+// Put returns b to its size class for reuse. Buffers whose capacity is
+// not an exact class size (not allocated by this pool, or jumbo) are
+// ignored. Put(nil) is a no-op.
+func Put(b []byte) {
+	c := classOf(cap(b))
+	if c < 0 {
+		return
+	}
+	hp := headers.Get().(*[]byte)
+	*hp = b[:cap(b)]
+	classes[c].Put(hp)
+}
+
+// PutAll returns every non-nil buffer in bs to the pool and nils the
+// entries, guarding against accidental use after release.
+func PutAll(bs [][]byte) {
+	for i, b := range bs {
+		if b != nil {
+			Put(b)
+			bs[i] = nil
+		}
+	}
+}

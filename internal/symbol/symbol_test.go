@@ -1,0 +1,109 @@
+package symbol
+
+import (
+	"testing"
+)
+
+func TestGetLengthAndZeroing(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 1024, 4096, MaxPooled, MaxPooled + 1} {
+		b := Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d) returned len %d", n, len(b))
+		}
+		for i := range b {
+			if b[i] != 0 {
+				t.Fatalf("Get(%d) not zeroed at %d", n, i)
+			}
+		}
+		// Dirty it and recycle; the next Get of the same class must be
+		// zeroed again even if it reuses this buffer.
+		for i := range b {
+			b[i] = 0xff
+		}
+		Put(b)
+		b2 := Get(n)
+		for i := range b2 {
+			if b2[i] != 0 {
+				t.Fatalf("recycled Get(%d) not zeroed at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestClassRounding(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{1, 64}, {64, 64}, {65, 128}, {1000, 1024}, {1024, 1024}, {1025, 2048},
+	}
+	for _, c := range cases {
+		if got := cap(Get(c.n)); got != c.wantCap {
+			t.Errorf("Get(%d) cap = %d, want %d", c.n, got, c.wantCap)
+		}
+	}
+	if got := cap(Get(MaxPooled + 1)); got != MaxPooled+1 {
+		t.Errorf("jumbo Get cap = %d, want exact %d", got, MaxPooled+1)
+	}
+}
+
+func TestClone(t *testing.T) {
+	src := []byte{1, 2, 3, 4, 5}
+	c := Clone(src)
+	if string(c) != string(src) {
+		t.Fatalf("Clone = %v, want %v", c, src)
+	}
+	c[0] = 99
+	if src[0] != 1 {
+		t.Fatal("Clone aliases its source")
+	}
+	if c := Clone(nil); len(c) != 0 {
+		t.Fatalf("Clone(nil) len = %d", len(c))
+	}
+}
+
+func TestPutForeignCapacityIgnored(t *testing.T) {
+	// Odd capacities must not enter a class (they would corrupt the
+	// class-size invariant Get relies on).
+	Put(make([]byte, 100))          // cap 100: not a class size
+	Put(make([]byte, 0, MaxPooled)) // fine: exact class
+	Put(nil)
+	b := Get(100)
+	if cap(b) != 128 {
+		t.Fatalf("pool handed out a foreign-capacity buffer: cap=%d", cap(b))
+	}
+}
+
+func TestPutAll(t *testing.T) {
+	bs := [][]byte{Get(10), nil, Get(20)}
+	PutAll(bs)
+	for i, b := range bs {
+		if b != nil {
+			t.Fatalf("PutAll left entry %d non-nil", i)
+		}
+	}
+}
+
+func TestGetNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get(-1) did not panic")
+		}
+	}()
+	Get(-1)
+}
+
+// BenchmarkGetPut demonstrates the zero-allocation steady state: the
+// buffer and its sync.Pool box both recycle.
+func BenchmarkGetPut(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := Get(1024)
+		Put(buf)
+	}
+}
+
+func BenchmarkMakeBaseline(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := make([]byte, 1024)
+		_ = buf
+	}
+}

@@ -210,8 +210,9 @@ func (d *ReceiverDaemon) Run(ctx context.Context) error {
 }
 
 // handle ingests one datagram. The payload aliases the read buffer; the
-// session receiver clones whatever it keeps (wire.Packet.Clone), so the
-// buffer is reusable on return.
+// session receiver's payload decoder copies what it retains into pooled
+// symbol buffers (the receive path's single copy), so the buffer is
+// reusable on return.
 func (d *ReceiverDaemon) handle(datagram []byte) {
 	d.packetsSeen.Add(1)
 	d.bytesSeen.Add(uint64(len(datagram)))

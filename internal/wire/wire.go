@@ -48,6 +48,8 @@ const (
 	CodeLDGM
 	CodeLDGMStaircase
 	CodeLDGMTriangle
+	CodeRSE16
+	CodeNoFEC
 )
 
 // String returns the canonical code name.
@@ -61,6 +63,10 @@ func (c CodeFamily) String() string {
 		return "ldgm-staircase"
 	case CodeLDGMTriangle:
 		return "ldgm-triangle"
+	case CodeRSE16:
+		return "rse16"
+	case CodeNoFEC:
+		return "no-fec"
 	default:
 		return fmt.Sprintf("CodeFamily(%d)", uint8(c))
 	}
@@ -77,6 +83,10 @@ func FamilyByName(name string) (CodeFamily, error) {
 		return CodeLDGMStaircase, nil
 	case "ldgm-triangle":
 		return CodeLDGMTriangle, nil
+	case "rse16":
+		return CodeRSE16, nil
+	case "no-fec":
+		return CodeNoFEC, nil
 	default:
 		return CodeInvalid, fmt.Errorf("wire: unknown code family %q", name)
 	}
@@ -93,9 +103,10 @@ type Packet struct {
 }
 
 // Clone returns a deep copy of the packet. Decode returns packets whose
-// Payload aliases the input buffer; any consumer that outlives the buffer
-// (the session receiver, the transport daemon's reassembly state) must
-// Clone before stashing the packet.
+// Payload aliases the input buffer; any consumer that stashes the packet
+// beyond the buffer's reuse must Clone it first. (The session receiver
+// no longer needs this: its payload decoders copy what they retain into
+// pooled buffers, which is the receive path's single copy.)
 func (p *Packet) Clone() *Packet {
 	if p == nil {
 		return nil
@@ -119,7 +130,7 @@ var (
 // Validate checks the semantic invariants of the packet fields.
 func (p *Packet) Validate() error {
 	switch p.Family {
-	case CodeRSE, CodeLDGM, CodeLDGMStaircase, CodeLDGMTriangle:
+	case CodeRSE, CodeLDGM, CodeLDGMStaircase, CodeLDGMTriangle, CodeRSE16, CodeNoFEC:
 	default:
 		return fmt.Errorf("wire: invalid code family %d", p.Family)
 	}

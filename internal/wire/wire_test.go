@@ -108,7 +108,7 @@ func crcOf(b []byte) uint32 {
 }
 
 func TestFamilyNames(t *testing.T) {
-	for _, f := range []CodeFamily{CodeRSE, CodeLDGM, CodeLDGMStaircase, CodeLDGMTriangle} {
+	for _, f := range []CodeFamily{CodeRSE, CodeLDGM, CodeLDGMStaircase, CodeLDGMTriangle, CodeRSE16, CodeNoFEC} {
 		back, err := FamilyByName(f.String())
 		if err != nil || back != f {
 			t.Errorf("family %v round trip failed: %v", f, err)
