@@ -35,6 +35,13 @@ type (
 	PayloadDecoder = core.PayloadDecoder
 	// Scheduler produces a transmission order for one trial.
 	Scheduler = core.Scheduler
+	// Schedule is a streaming transmission order: O(1) memory, any
+	// position evaluable in O(1) via At, iterable via Cursor. See
+	// MaterializeSchedule for the []int bridge.
+	Schedule = core.Schedule
+	// ScheduleCursor iterates a Schedule; copying it forks the
+	// iteration state (mid-stream resume is free).
+	ScheduleCursor = core.Cursor
 	// Channel decides, per transmission, whether a packet is erased.
 	Channel = core.Channel
 	// Layout describes the packet-ID structure of an encoded object.
@@ -128,8 +135,21 @@ func TxModel5() Scheduler { return sched.TxModel5{} }
 // TxModel6 sends a random 20% of source packets plus all parity, shuffled.
 func TxModel6() Scheduler { return sched.TxModel6{} }
 
-// SchedulerByName resolves "tx1".."tx6".
+// SchedulerByName resolves a transmission-model name: "tx1".."tx6",
+// optionally parameterized — "tx6(frac=0.3)", "rx1(src=12)",
+// "repeat(x=3)", "carousel(inner=tx2,rounds=4)". Scheduler names
+// round-trip: ByName(s.Name()) reproduces s.
 func SchedulerByName(name string) (Scheduler, error) { return sched.ByName(name) }
+
+// MaterializeSchedule expands a streaming schedule into the explicit
+// []int transmission order — the bridge for tooling that wants the
+// whole sequence at once. Hot paths never need it: RunTrial and the
+// broadcast carousel consume schedules lazily.
+func MaterializeSchedule(s Schedule) []int { return sched.Materialize(s) }
+
+// ScheduleFromIDs wraps an explicit packet-id order as a Schedule, for
+// custom or externally computed transmission orders.
+func ScheduleFromIDs(ids []int) Schedule { return core.SliceSchedule(ids) }
 
 // RunPlan expands a declarative plan into measurement points and
 // executes them on the parallel experiment engine: trials split across
@@ -247,8 +267,9 @@ func EstimateGilbert(trace []bool) (p, q float64, err error) {
 	return channel.EstimateGilbert(trace)
 }
 
-// RunTrial simulates one reception of the given schedule through a channel.
-func RunTrial(schedule []int, ch Channel, rx Receiver, nsent int) TrialResult {
+// RunTrial simulates one reception of the given schedule through a
+// channel, evaluating the schedule lazily position by position.
+func RunTrial(schedule Schedule, ch Channel, rx Receiver, nsent int) TrialResult {
 	return core.RunTrial(schedule, ch, rx, nsent)
 }
 

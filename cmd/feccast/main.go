@@ -61,7 +61,7 @@ func runSend(args []string) error {
 	ratio := fs.Float64("ratio", 2.5, "FEC expansion ratio n/k")
 	payload := fs.Int("payload", 1024, "symbol payload bytes per datagram")
 	seed := fs.Int64("seed", 1, "seed for code construction and scheduling")
-	tx := fs.String("tx", "tx4", "transmission model tx1..tx6")
+	tx := fs.String("tx", "tx4", "transmission model tx1..tx6, parameterized forms tx6(frac=0.3), carousel(inner=tx4,rounds=3)")
 	rate := fs.Float64("rate", 5000, "packets per second (0 = unpaced)")
 	rounds := fs.Int("rounds", 0, "carousel rounds (0 = loop until interrupted)")
 	if err := fs.Parse(args); err != nil {
@@ -119,9 +119,10 @@ func runSend(args []string) error {
 	if err := s.Add(obj); err != nil {
 		return err
 	}
-	// The carousel retransmits the pre-encoded datagrams; the object's
-	// pooled symbol buffers are free to return to the pool already.
-	obj.Close()
+	// The carousel encodes datagrams lazily from the object's pooled
+	// symbol buffers every round — no resident pre-encoded copies — so
+	// the object stays open until the carousel stops.
+	defer s.Close()
 
 	fmt.Fprintf(os.Stderr, "broadcasting %s (%d bytes) as object %d to %s: k=%d n=%d %s %s @ %.0f pkt/s\n",
 		*file, len(data), *objID, *addr, obj.K(), obj.N(), *code, *tx, *rate)

@@ -71,6 +71,25 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+func TestRunParameterizedSchedulers(t *testing.T) {
+	// The -tx flag accepts the parameterized grammar end to end: the
+	// name travels through plan validation, checkpoint keys and the
+	// engine's by-name materialisation.
+	for _, tx := range []string{"tx6(frac=0.5)", "rx1(src=10)", "repeat(x=2)", "carousel(inner=tx2,rounds=2)"} {
+		var out, errs bytes.Buffer
+		if err := run(context.Background(), fastArgs("-tx", tx), &out, &errs); err != nil {
+			t.Fatalf("-tx %s: %v (stderr: %s)", tx, err, errs.String())
+		}
+		if !strings.Contains(out.String(), tx) {
+			t.Fatalf("-tx %s: header missing model:\n%s", tx, out.String())
+		}
+	}
+	var out, errs bytes.Buffer
+	if err := run(context.Background(), fastArgs("-tx", "tx6(frac=9)"), &out, &errs); err == nil {
+		t.Fatal("accepted out-of-range tx6 fraction")
+	}
+}
+
 func TestRunChannelFamilies(t *testing.T) {
 	for _, family := range []string{"bernoulli", "markov", "noloss"} {
 		var out, errs bytes.Buffer

@@ -11,7 +11,8 @@
 //     LDGM Staircase / LDGM Triangle codes with an incremental iterative
 //     decoder;
 //   - the paper's six packet transmission models (Tx_model_1..6), its
-//     reception model, and the no-FEC repetition baseline;
+//     reception model, and the no-FEC repetition baseline — all as
+//     streaming, O(1)-memory schedules (see Scheduling below);
 //   - the two-state Gilbert loss channel with its analytic companions
 //     (global loss probability, decoding-impossibility limits, parameter
 //     estimation from traces);
@@ -59,6 +60,36 @@
 // tests and the old-vs-new comparison in scripts/bench_codec.sh.
 // Segmented Reed-Solomon objects encode blocks in parallel across
 // GOMAXPROCS goroutines.
+//
+// # Scheduling
+//
+// A Scheduler turns an object's packet Layout into a transmission
+// order. Orders are streaming Schedule values, not materialised
+// slices: Len and At(i) evaluate any position in O(1) time and memory,
+// a Cursor iterates (and forks — copying a cursor forks the iteration
+// state), and Truncate takes a lazy prefix for the paper's n_sent
+// optimisation. Randomised models realise their shuffles as seeded
+// format-preserving permutations (Feistel networks with cycle-walking)
+// and the deterministic models (Tx_model_1, Tx_model_5's interleave
+// and proportional merge) are closed-form arithmetic, so drawing a
+// schedule allocates nothing however large the object.
+//
+// The determinism contract: a scheduler captures all randomness at
+// Schedule time (at most two 64-bit draws from its rng for the paper
+// models; the carousel draws its inner model's seeds per round); the returned
+// Schedule is a pure function of position and may be re-evaluated,
+// truncated, or seeked freely. The broadcast carousel exploits this
+// for deterministic mid-round resume: round r's order for object i
+// depends only on (seed, r, i), so a restarted sender configured with
+// BroadcasterConfig.StartRound/StartPos continues the exact datagram
+// sequence the original run would have produced.
+//
+// SchedulerByName resolves models by name, including parameterized
+// forms — "tx6(frac=0.3)", "rx1(src=12)", "repeat(x=3)",
+// "carousel(inner=tx2,rounds=4)" — and every scheduler's Name() parses
+// back (plans and checkpoints persist schedulers by name).
+// MaterializeSchedule bridges a streaming schedule to []int;
+// ScheduleFromIDs wraps an explicit order.
 //
 // # Transport
 //

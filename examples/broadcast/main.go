@@ -63,8 +63,10 @@ func main() {
 	}
 
 	// Single multicast transmission: every packet goes to every receiver,
-	// each channel deciding independently what survives.
-	for sent, id := range schedule {
+	// each channel deciding independently what survives. The schedule is
+	// never materialised — each position is computed as it is broadcast.
+	for sent := 0; sent < schedule.Len(); sent++ {
+		id := schedule.At(sent)
 		for _, r := range receivers {
 			if r.decodedAt > 0 {
 				continue

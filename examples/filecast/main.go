@@ -68,9 +68,10 @@ func main() {
 	if err := sender.Add(obj); err != nil {
 		log.Fatal(err)
 	}
-	// The carousel retransmits the pre-encoded datagrams; the object's
-	// pooled symbol buffers are free to return to the pool already.
-	obj.Close()
+	// The carousel encodes datagrams lazily from the object's pooled
+	// symbol buffers, so they are released (via the sender) only after
+	// the carousel stops.
+	defer sender.Close()
 	senderCtx, stopSender := context.WithCancel(ctx)
 	defer stopSender()
 	go sender.Run(senderCtx) //nolint:errcheck

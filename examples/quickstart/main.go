@@ -54,9 +54,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The schedule is streaming: O(1) memory however large the object,
+	// each position evaluated only as it is sent.
 	dec := code.NewPayloadDecoder(payload)
 	sent, received := 0, 0
-	for _, id := range schedule {
+	for cur := schedule.Cursor(); ; {
+		id, ok := cur.Next()
+		if !ok {
+			break
+		}
 		sent++
 		if ch.Lost() {
 			continue

@@ -130,14 +130,16 @@ type Channel interface {
 }
 
 // Scheduler produces the transmission order of packet IDs for one trial.
-// Randomised schedulers draw from rng so trials are reproducible.
+// Randomised schedulers draw their seeds from rng — all randomness is
+// captured at Schedule time, so the returned Schedule is a pure,
+// reproducible function of position.
 type Scheduler interface {
 	// Name identifies the transmission model, e.g. "tx2".
 	Name() string
-	// Schedule returns the sequence of packet IDs to transmit. It is
-	// usually a permutation of [0,N) but may be shorter (Tx_model_6 sends
-	// only a subset) or longer (repetition schemes send duplicates).
-	Schedule(l Layout, rng *rand.Rand) []int
+	// Schedule returns the lazy transmission order. It usually covers a
+	// permutation of [0,N) but may be shorter (Tx_model_6 sends only a
+	// subset) or longer (repetition schemes send duplicates).
+	Schedule(l Layout, rng *rand.Rand) Schedule
 }
 
 // TrialResult is the outcome of a single simulated reception.
@@ -162,18 +164,22 @@ func (r TrialResult) Inefficiency(k int) float64 {
 	return float64(r.NNecessary) / float64(k)
 }
 
-// RunTrial simulates one reception: it walks the schedule, asks the channel
-// which transmissions are erased, and feeds survivors to the receiver in
-// arrival order. nsent truncates the schedule when positive (the paper's
-// Section 6 transmission-stopping optimisation); pass 0 to send everything.
-func RunTrial(schedule []int, ch Channel, rx Receiver, nsent int) TrialResult {
-	if nsent <= 0 || nsent > len(schedule) {
-		nsent = len(schedule)
+// RunTrial simulates one reception: it walks the schedule lazily, asks
+// the channel which transmissions are erased, and feeds survivors to the
+// receiver in arrival order. The schedule is never materialised — each
+// position is evaluated as it is sent, so a trial's memory is the
+// receiver's, not the scheduler's. nsent truncates the schedule when
+// positive (the paper's Section 6 transmission-stopping optimisation);
+// pass 0 to send everything.
+func RunTrial(schedule Schedule, ch Channel, rx Receiver, nsent int) TrialResult {
+	if nsent <= 0 || nsent > schedule.Len() {
+		nsent = schedule.Len()
 	}
 	var res TrialResult
 	res.NSent = nsent
 	mem, _ := rx.(MemoryReporter)
-	for _, id := range schedule[:nsent] {
+	for i := 0; i < nsent; i++ {
+		id := schedule.At(i)
 		if ch.Lost() {
 			continue
 		}

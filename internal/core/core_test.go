@@ -118,7 +118,7 @@ func (lp *lossPattern) Lost() bool {
 }
 
 func TestRunTrialNoLoss(t *testing.T) {
-	sched := []int{0, 1, 2, 3, 4, 5}
+	sched := SliceSchedule([]int{0, 1, 2, 3, 4, 5})
 	rx := &countingReceiver{need: 4, k: 4}
 	res := RunTrial(sched, &lossPattern{}, rx, 0)
 	if !res.Decoded {
@@ -139,7 +139,7 @@ func TestRunTrialNoLoss(t *testing.T) {
 }
 
 func TestRunTrialWithLosses(t *testing.T) {
-	sched := []int{0, 1, 2, 3, 4, 5}
+	sched := SliceSchedule([]int{0, 1, 2, 3, 4, 5})
 	// Lose packets at positions 0 and 2; survivors are 1,3,4,5.
 	ch := &lossPattern{pat: []bool{true, false, true, false, false, false}}
 	rx := &countingReceiver{need: 3, k: 3}
@@ -150,7 +150,7 @@ func TestRunTrialWithLosses(t *testing.T) {
 }
 
 func TestRunTrialFailure(t *testing.T) {
-	sched := []int{0, 1, 2}
+	sched := SliceSchedule([]int{0, 1, 2})
 	rx := &countingReceiver{need: 4, k: 4}
 	res := RunTrial(sched, &lossPattern{}, rx, 0)
 	if res.Decoded {
@@ -165,7 +165,7 @@ func TestRunTrialFailure(t *testing.T) {
 }
 
 func TestRunTrialNSentTruncation(t *testing.T) {
-	sched := []int{0, 1, 2, 3, 4, 5}
+	sched := SliceSchedule([]int{0, 1, 2, 3, 4, 5})
 	rx := &countingReceiver{need: 2, k: 2}
 	res := RunTrial(sched, &lossPattern{}, rx, 3)
 	if res.NSent != 3 || res.NReceived != 3 {
@@ -174,7 +174,7 @@ func TestRunTrialNSentTruncation(t *testing.T) {
 }
 
 func TestRunTrialNSentOversizedClamped(t *testing.T) {
-	sched := []int{0, 1}
+	sched := SliceSchedule([]int{0, 1})
 	rx := &countingReceiver{need: 1, k: 1}
 	res := RunTrial(sched, &lossPattern{}, rx, 99)
 	if res.NSent != 2 {
@@ -185,7 +185,7 @@ func TestRunTrialNSentOversizedClamped(t *testing.T) {
 func TestRunTrialDuplicatesDoNotDoubleCount(t *testing.T) {
 	// A repetition schedule delivers the same IDs twice; the receiver
 	// decodes on distinct IDs but NReceived counts every arrival.
-	sched := []int{0, 0, 1, 1}
+	sched := SliceSchedule([]int{0, 0, 1, 1})
 	rx := &countingReceiver{need: 2, k: 2}
 	res := RunTrial(sched, &lossPattern{}, rx, 0)
 	if !res.Decoded {
@@ -197,22 +197,18 @@ func TestRunTrialDuplicatesDoNotDoubleCount(t *testing.T) {
 }
 
 // schedFunc adapts a function to the Scheduler interface for tests.
-type schedFunc func(l Layout, rng *rand.Rand) []int
+type schedFunc func(l Layout, rng *rand.Rand) Schedule
 
-func (schedFunc) Name() string                              { return "test" }
-func (f schedFunc) Schedule(l Layout, rng *rand.Rand) []int { return f(l, rng) }
+func (schedFunc) Name() string                                 { return "test" }
+func (f schedFunc) Schedule(l Layout, rng *rand.Rand) Schedule { return f(l, rng) }
 
 func TestSchedulerInterfaceUsable(t *testing.T) {
-	var s Scheduler = schedFunc(func(l Layout, _ *rand.Rand) []int {
-		out := make([]int, l.N)
-		for i := range out {
-			out[i] = i
-		}
-		return out
+	var s Scheduler = schedFunc(func(l Layout, _ *rand.Rand) Schedule {
+		return SequenceSchedule(0, l.N)
 	})
 	got := s.Schedule(singleBlockLayout(2, 4), rand.New(rand.NewSource(1)))
-	if len(got) != 4 {
-		t.Fatalf("schedule length %d, want 4", len(got))
+	if got.Len() != 4 {
+		t.Fatalf("schedule length %d, want 4", got.Len())
 	}
 }
 
@@ -229,7 +225,7 @@ func (m *memReceiver) BufferedSymbols() int {
 }
 
 func TestRunTrialTracksMaxBuffered(t *testing.T) {
-	sched := []int{0, 1, 2, 3, 4, 5}
+	sched := SliceSchedule([]int{0, 1, 2, 3, 4, 5})
 	rx := &memReceiver{countingReceiver{need: 4, k: 4}}
 	res := RunTrial(sched, &lossPattern{}, rx, 0)
 	// Peak just before decoding completed: 3 buffered symbols.
@@ -240,7 +236,7 @@ func TestRunTrialTracksMaxBuffered(t *testing.T) {
 
 func TestRunTrialNoMemoryReporter(t *testing.T) {
 	rx := &countingReceiver{need: 2, k: 2}
-	res := RunTrial([]int{0, 1}, &lossPattern{}, rx, 0)
+	res := RunTrial(SliceSchedule([]int{0, 1}), &lossPattern{}, rx, 0)
 	if res.MaxBuffered != 0 {
 		t.Fatalf("MaxBuffered = %d without MemoryReporter", res.MaxBuffered)
 	}

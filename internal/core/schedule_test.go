@@ -1,0 +1,397 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func materialize(s Schedule) []int { return s.AppendTo(nil) }
+
+func isPerm(ids []int, n int) bool {
+	if len(ids) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, id := range ids {
+		if id < 0 || id >= n || seen[id] {
+			return false
+		}
+		seen[id] = true
+	}
+	return true
+}
+
+func TestFeistelIsPermutation(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 16, 17, 100, 255, 256, 1000} {
+		for seed := uint64(0); seed < 5; seed++ {
+			f := newFeistel(n, seed)
+			seen := make([]bool, n)
+			for i := 0; i < n; i++ {
+				v := f.at(i)
+				if v < 0 || v >= n {
+					t.Fatalf("n=%d seed=%d: at(%d) = %d out of range", n, seed, i, v)
+				}
+				if seen[v] {
+					t.Fatalf("n=%d seed=%d: at(%d) = %d repeated", n, seed, i, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestFeistelSeedsDiffer(t *testing.T) {
+	const n = 500
+	a, b := newFeistel(n, 1), newFeistel(n, 2)
+	same := 0
+	for i := 0; i < n; i++ {
+		if a.at(i) == b.at(i) {
+			same++
+		}
+	}
+	// Two unrelated permutations of 500 agree at ~1 position on average.
+	if same > 25 {
+		t.Fatalf("seeds 1 and 2 agree at %d/%d positions", same, n)
+	}
+}
+
+func TestFeistelSpreadsFixedPoints(t *testing.T) {
+	// The identity check catches a degenerate round function: over many
+	// seeds the average fixed-point count of a random permutation is 1.
+	const n = 256
+	total := 0
+	for seed := uint64(0); seed < 50; seed++ {
+		f := newFeistel(n, seed)
+		for i := 0; i < n; i++ {
+			if f.at(i) == i {
+				total++
+			}
+		}
+	}
+	if avg := float64(total) / 50; avg > 3 {
+		t.Fatalf("average fixed points %.2f, want ≈1", avg)
+	}
+}
+
+func TestSequenceSchedule(t *testing.T) {
+	s := SequenceSchedule(3, 4)
+	if got := materialize(s); len(got) != 4 || got[0] != 3 || got[3] != 6 {
+		t.Fatalf("sequence = %v", got)
+	}
+}
+
+func TestShuffleScheduleIsOffsetPermutation(t *testing.T) {
+	s := ShuffleSchedule(10, 50, 7)
+	ids := materialize(s)
+	for i := range ids {
+		ids[i] -= 10
+	}
+	if !isPerm(ids, 50) {
+		t.Fatalf("shuffle not a permutation of [10,60): %v", ids)
+	}
+}
+
+func TestTakeShuffleIsUniqueSubset(t *testing.T) {
+	s := TakeShuffleSchedule(0, 40, 12, 3)
+	ids := materialize(s)
+	if len(ids) != 12 {
+		t.Fatalf("take length %d", len(ids))
+	}
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if id < 0 || id >= 40 || seen[id] {
+			t.Fatalf("bad subset %v", ids)
+		}
+		seen[id] = true
+	}
+}
+
+func TestConcatSchedulesInline(t *testing.T) {
+	s := ConcatSchedules(SequenceSchedule(0, 3), ShuffleSchedule(3, 4, 9))
+	if s.kind != kindParts || s.nparts != 2 {
+		t.Fatalf("simple concat fell back to kind %d", s.kind)
+	}
+	ids := materialize(s)
+	if !isPerm(ids, 7) {
+		t.Fatalf("concat = %v, want permutation of [0,7)", ids)
+	}
+	for i := 0; i < 3; i++ {
+		if ids[i] != i {
+			t.Fatalf("concat head %v", ids[:3])
+		}
+	}
+}
+
+func TestConcatSchedulesEmptySides(t *testing.T) {
+	a := SequenceSchedule(0, 3)
+	if got := materialize(ConcatSchedules(EmptySchedule(), a)); len(got) != 3 {
+		t.Fatalf("empty ++ a = %v", got)
+	}
+	if got := materialize(ConcatSchedules(a, EmptySchedule())); len(got) != 3 {
+		t.Fatalf("a ++ empty = %v", got)
+	}
+}
+
+func TestSubsetShuffleSchedule(t *testing.T) {
+	const k, nSrc, parity = 30, 7, 20
+	s := SubsetShuffleSchedule(k, nSrc, parity, 11, 12)
+	ids := materialize(s)
+	if len(ids) != nSrc+parity {
+		t.Fatalf("length %d", len(ids))
+	}
+	srcSeen, parSeen := map[int]bool{}, map[int]bool{}
+	for _, id := range ids {
+		switch {
+		case id < 0 || id >= k+parity:
+			t.Fatalf("id %d out of range", id)
+		case id < k:
+			if srcSeen[id] {
+				t.Fatalf("source %d repeated", id)
+			}
+			srcSeen[id] = true
+		default:
+			if parSeen[id] {
+				t.Fatalf("parity %d repeated", id)
+			}
+			parSeen[id] = true
+		}
+	}
+	if len(srcSeen) != nSrc || len(parSeen) != parity {
+		t.Fatalf("drew %d sources / %d parities, want %d / %d",
+			len(srcSeen), len(parSeen), nSrc, parity)
+	}
+}
+
+func TestRepeatSchedule(t *testing.T) {
+	s := RepeatSchedule(10, 3, 5)
+	count := map[int]int{}
+	for _, id := range materialize(s) {
+		count[id]++
+	}
+	for id := 0; id < 10; id++ {
+		if count[id] != 3 {
+			t.Fatalf("id %d appears %d times, want 3", id, count[id])
+		}
+	}
+}
+
+// referenceMerge is the original greedy largest-remainder merge the
+// closed form must reproduce element for element.
+func referenceMerge(na, nb int) []int {
+	out := make([]int, 0, na+nb)
+	ia, ib := 0, 0
+	for ia < na || ib < nb {
+		switch {
+		case ia == na:
+			out = append(out, na+ib)
+			ib++
+		case ib == nb:
+			out = append(out, ia)
+			ia++
+		case (ia+1)*nb <= (ib+1)*na:
+			out = append(out, ia)
+			ia++
+		default:
+			out = append(out, na+ib)
+			ib++
+		}
+	}
+	return out
+}
+
+func TestProportionalMergeMatchesReference(t *testing.T) {
+	for na := 0; na <= 32; na++ {
+		for nb := 0; nb <= 32; nb++ {
+			if na+nb == 0 {
+				continue
+			}
+			s := ProportionalMergeSchedule(na, nb)
+			got := materialize(s)
+			want := referenceMerge(na, nb)
+			if len(got) != len(want) {
+				t.Fatalf("na=%d nb=%d: len %d want %d", na, nb, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("na=%d nb=%d: position %d = %d, want %d (got %v want %v)",
+						na, nb, i, got[i], want[i], got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestProportionalMergeQuick(t *testing.T) {
+	f := func(naRaw, nbRaw uint16) bool {
+		na, nb := int(naRaw%2000), int(nbRaw%2000)
+		if na+nb == 0 {
+			return true
+		}
+		s := ProportionalMergeSchedule(na, nb)
+		want := referenceMerge(na, nb)
+		for i := range want {
+			if s.At(i) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// blockLayout builds a layout from per-block (source, parity) counts.
+func blockLayout(t *testing.T, shape [][2]int) Layout {
+	t.Helper()
+	var l Layout
+	for _, s := range shape {
+		l.K += s[0]
+		l.N += s[0] + s[1]
+	}
+	src, par := 0, l.K
+	for _, s := range shape {
+		var b Block
+		for i := 0; i < s[0]; i++ {
+			b.Source = append(b.Source, src)
+			src++
+		}
+		for i := 0; i < s[1]; i++ {
+			b.Parity = append(b.Parity, par)
+			par++
+		}
+		l.Blocks = append(l.Blocks, b)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("bad test layout: %v", err)
+	}
+	return l
+}
+
+func TestInterleaveMatchesReference(t *testing.T) {
+	shapes := [][][2]int{
+		{{3, 2}, {3, 2}, {3, 2}},           // equal blocks
+		{{3, 2}, {3, 2}, {2, 2}},           // FLUTE shape: big first
+		{{3, 2}, {2, 2}, {2, 2}},           // one big block
+		{{5, 3}},                           // single block
+		{{2, 2}, {3, 2}},                   // small first → fallback
+		{{3, 3}, {3, 2}, {3, 1}},           // three lengths → fallback
+		{{1, 0}, {1, 0}, {1, 0}, {1, 254}}, // extreme skew → fallback
+	}
+	for si, shape := range shapes {
+		l := blockLayout(t, shape)
+		s := InterleaveSchedule(l)
+		got := materialize(s)
+		want := materializeInterleave(l)
+		if len(got) != len(want) {
+			t.Fatalf("shape %d: len %d want %d", si, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shape %d: position %d = %d, want %d", si, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRoundsSchedule(t *testing.T) {
+	s := RoundsSchedule([]Schedule{
+		SequenceSchedule(0, 3),
+		ShuffleSchedule(0, 3, 4),
+		SequenceSchedule(0, 3),
+	})
+	ids := materialize(s)
+	if len(ids) != 9 {
+		t.Fatalf("rounds length %d", len(ids))
+	}
+	count := map[int]int{}
+	for _, id := range ids {
+		count[id]++
+	}
+	for id := 0; id < 3; id++ {
+		if count[id] != 3 {
+			t.Fatalf("id %d appears %d times across 3 rounds", id, count[id])
+		}
+	}
+}
+
+func TestRoundsScheduleUnevenLengths(t *testing.T) {
+	s := RoundsSchedule([]Schedule{
+		SequenceSchedule(0, 2),
+		SequenceSchedule(10, 3),
+		SequenceSchedule(20, 1),
+	})
+	want := []int{0, 1, 10, 11, 12, 20}
+	got := materialize(s)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTruncateIsLazyPrefix(t *testing.T) {
+	s := ShuffleSchedule(0, 100, 3)
+	full := materialize(s)
+	tr := s.Truncate(10)
+	if tr.Len() != 10 {
+		t.Fatalf("truncated length %d", tr.Len())
+	}
+	for i, id := range materialize(tr) {
+		if id != full[i] {
+			t.Fatalf("truncation changed position %d: %d vs %d", i, id, full[i])
+		}
+	}
+	zero, over := s.Truncate(0), s.Truncate(500)
+	if zero.Len() != 100 || over.Len() != 100 {
+		t.Fatal("Truncate(0) / Truncate(>len) must be no-ops")
+	}
+}
+
+func TestCursorMatchesAt(t *testing.T) {
+	s := SubsetShuffleSchedule(40, 9, 25, 1, 2)
+	cur := s.Cursor()
+	for i := 0; i < s.Len(); i++ {
+		id, ok := cur.Next()
+		if !ok {
+			t.Fatalf("cursor ended early at %d", i)
+		}
+		if id != s.At(i) {
+			t.Fatalf("cursor position %d = %d, At = %d", i, id, s.At(i))
+		}
+	}
+	if _, ok := cur.Next(); ok {
+		t.Fatal("cursor did not end")
+	}
+	cur.Seek(5)
+	if id, _ := cur.Next(); id != s.At(5) {
+		t.Fatal("Seek(5) did not resume at position 5")
+	}
+}
+
+func TestScheduleAtBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At past the end did not panic")
+		}
+	}()
+	s := SequenceSchedule(0, 3)
+	s.At(3)
+}
+
+func TestDeriveSeedDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := uint64(0); i < 100; i++ {
+		s := DeriveSeed(7, i)
+		if seen[s] {
+			t.Fatalf("DeriveSeed collision at stream %d", i)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(7, 1, 2) == DeriveSeed(7, 2, 1) {
+		t.Fatal("DeriveSeed is order-insensitive")
+	}
+}

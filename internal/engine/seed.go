@@ -1,30 +1,24 @@
 package engine
 
-import "hash/fnv"
+import (
+	"hash/fnv"
+
+	"fecperf/internal/core"
+)
 
 // DeriveSeed derives an independent RNG seed from a base seed and a
-// sequence of stream identifiers. Each step runs the splitmix64
-// finalizer over the accumulated state XOR the next identifier, so
-// nearby identifiers (trial 4 vs trial 5, grid cell (1,2) vs (2,1))
-// yield statistically unrelated seeds — unlike the additive offsets
-// (seed + t*7919, i*1_000_003 + j*29_989) the harness used before,
-// which put neighbouring cells on overlapping or correlated rand
-// streams.
+// sequence of stream identifiers, so nearby identifiers (trial 4 vs
+// trial 5, grid cell (1,2) vs (2,1)) yield statistically unrelated
+// seeds — unlike the additive offsets (seed + t*7919,
+// i*1_000_003 + j*29_989) the harness used before, which put
+// neighbouring cells on overlapping or correlated rand streams.
+//
+// The splitmix64 derivation itself now lives in core (core.DeriveSeed):
+// the transport carousel hashes per-round seeds with it too, which is
+// what makes mid-round carousel resume deterministic. This wrapper
+// keeps the engine's established call sites and byte-identical results.
 func DeriveSeed(base int64, parts ...uint64) int64 {
-	h := splitmix64(uint64(base))
-	for _, p := range parts {
-		h = splitmix64(h ^ p)
-	}
-	return int64(h)
-}
-
-// splitmix64 is the finalizer of Steele, Lea and Flood's SplitMix64
-// generator: an invertible avalanche mix whose outputs pass BigCrush.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
+	return core.DeriveSeed(base, parts...)
 }
 
 // hashString folds a string into a 64-bit stream identifier (FNV-1a);

@@ -7,31 +7,140 @@ import (
 	"fecperf/internal/core"
 )
 
+// The benchmarks compare the streaming schedules against the original
+// materialised implementations (kept below as the "old" baselines):
+// drawing a streaming schedule allocates nothing and costs O(1), where
+// the old path allocated and shuffled an O(n) slice per draw — per
+// trial, per carousel round, per sender object. scripts/bench_sched.sh
+// records both columns in BENCH_sched.json.
+
 func benchLayout() core.Layout {
 	return ldgmLayout(20000, 50000)
 }
 
-func benchSchedule(b *testing.B, s core.Scheduler) {
+var benchSink int
+
+// benchDraw measures drawing one streaming schedule (the per-trial /
+// per-round hot-path cost). Expect 0 allocs/op.
+func benchDraw(b *testing.B, s core.Scheduler) {
 	l := benchLayout()
-	rng := rand.New(rand.NewSource(1))
+	r := rand.New(rand.NewSource(1))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Schedule(l, rng)
+		sc := s.Schedule(l, r)
+		benchSink += sc.Len()
 	}
 }
 
-func BenchmarkScheduleTx1(b *testing.B) { benchSchedule(b, TxModel1{}) }
-func BenchmarkScheduleTx2(b *testing.B) { benchSchedule(b, TxModel2{}) }
-func BenchmarkScheduleTx4(b *testing.B) { benchSchedule(b, TxModel4{}) }
-func BenchmarkScheduleTx6(b *testing.B) { benchSchedule(b, TxModel6{}) }
+// benchWalk measures a draw plus a full sequential evaluation — the
+// whole per-trial schedule cost including At.
+func benchWalk(b *testing.B, s core.Scheduler) {
+	l := benchLayout()
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := s.Schedule(l, r)
+		for j := 0; j < sc.Len(); j++ {
+			benchSink += sc.At(j)
+		}
+	}
+}
 
-func BenchmarkScheduleTx5MultiBlock(b *testing.B) {
+func BenchmarkScheduleDrawTx1(b *testing.B) { benchDraw(b, TxModel1{}) }
+func BenchmarkScheduleDrawTx2(b *testing.B) { benchDraw(b, TxModel2{}) }
+func BenchmarkScheduleDrawTx4(b *testing.B) { benchDraw(b, TxModel4{}) }
+func BenchmarkScheduleDrawTx6(b *testing.B) { benchDraw(b, TxModel6{}) }
+
+func BenchmarkScheduleWalkTx2(b *testing.B) { benchWalk(b, TxModel2{}) }
+func BenchmarkScheduleWalkTx4(b *testing.B) { benchWalk(b, TxModel4{}) }
+func BenchmarkScheduleWalkTx6(b *testing.B) { benchWalk(b, TxModel6{}) }
+
+func BenchmarkScheduleWalkTx5MultiBlock(b *testing.B) {
 	l := rseLayout(196, 102, 153)
-	rng := rand.New(rand.NewSource(1))
+	r := rand.New(rand.NewSource(1))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		TxModel5{}.Schedule(l, rng)
+		sc := TxModel5{}.Schedule(l, r)
+		for j := 0; j < sc.Len(); j++ {
+			benchSink += sc.At(j)
+		}
 	}
 }
+
+// --- old materialised baselines -------------------------------------
+
+// oldScheduler is the pre-streaming implementation shape: build the
+// full []int order up front.
+type oldScheduler func(l core.Layout, rng *rand.Rand) []int
+
+func oldSequentialSource(l core.Layout) []int {
+	out := make([]int, l.K)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func oldSequentialParity(l core.Layout) []int {
+	out := make([]int, l.N-l.K)
+	for i := range out {
+		out[i] = l.K + i
+	}
+	return out
+}
+
+func oldShuffled(ids []int, rng *rand.Rand) []int {
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	return ids
+}
+
+func oldTx2(l core.Layout, rng *rand.Rand) []int {
+	return append(oldSequentialSource(l), oldShuffled(oldSequentialParity(l), rng)...)
+}
+
+func oldTx4(l core.Layout, rng *rand.Rand) []int {
+	out := make([]int, l.N)
+	for i := range out {
+		out[i] = i
+	}
+	return oldShuffled(out, rng)
+}
+
+func oldTx6(l core.Layout, rng *rand.Rand) []int {
+	nSrc := int(0.20*float64(l.K) + 0.5)
+	src := oldShuffled(oldSequentialSource(l), rng)[:nSrc]
+	return oldShuffled(append(src, oldSequentialParity(l)...), rng)
+}
+
+func benchOldDraw(b *testing.B, s oldScheduler) {
+	l := benchLayout()
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink += len(s(l, r))
+	}
+}
+
+func benchOldWalk(b *testing.B, s oldScheduler) {
+	l := benchLayout()
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, id := range s(l, r) {
+			benchSink += id
+		}
+	}
+}
+
+func BenchmarkScheduleDrawOldTx2(b *testing.B) { benchOldDraw(b, oldTx2) }
+func BenchmarkScheduleDrawOldTx4(b *testing.B) { benchOldDraw(b, oldTx4) }
+func BenchmarkScheduleDrawOldTx6(b *testing.B) { benchOldDraw(b, oldTx6) }
+
+func BenchmarkScheduleWalkOldTx2(b *testing.B) { benchOldWalk(b, oldTx2) }
+func BenchmarkScheduleWalkOldTx4(b *testing.B) { benchOldWalk(b, oldTx4) }
+func BenchmarkScheduleWalkOldTx6(b *testing.B) { benchOldWalk(b, oldTx6) }

@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestByNamePlainModels(t *testing.T) {
+	for _, name := range []string{"tx1", "tx2", "tx3", "tx4", "tx5", "tx6"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("ByName accepted bogus model")
+	}
+}
+
+func TestByNameParameterized(t *testing.T) {
+	cases := []struct {
+		in   string
+		want interface{}
+	}{
+		{"tx6(frac=0.3)", TxModel6{SourceFraction: 0.3}},
+		{"rx1(src=12)", RxModel1{SourceCount: 12}},
+		{"repeat(x=3)", Repeat{Times: 3}},
+		{"carousel(inner=tx2,rounds=4)", Carousel{Inner: TxModel2{}, Rounds: 4}},
+		{"carousel(rounds=4,inner=tx2)", Carousel{Inner: TxModel2{}, Rounds: 4}},
+		{"carousel(inner=tx6(frac=0.5),rounds=3)", Carousel{Inner: TxModel6{SourceFraction: 0.5}, Rounds: 3}},
+		{" tx6( frac = 0.3 ) ", TxModel6{SourceFraction: 0.3}},
+	}
+	for _, c := range cases {
+		got, err := ByName(c.in)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ByName(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestByNameRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"tx6(frac=2)",         // fraction out of range
+		"tx6(frac=x)",         // not a number
+		"tx6(bogus=1)",        // unknown parameter
+		"tx1(x=1)",            // plain model with parameters
+		"rx1",                 // rx1 requires src
+		"rx1(src=-1)",         // negative count
+		"repeat(x=0)",         // zero repetitions
+		"carousel(rounds=0)",  // zero rounds
+		"tx6(frac=0.3",        // unbalanced parens
+		"tx6(frac)",           // no value
+		"tx6(frac=1,frac=1)",  // duplicate key
+		"carousel(inner=nah)", // unknown inner model
+	}
+	for _, name := range bad {
+		if _, err := ByName(name); err == nil {
+			t.Errorf("ByName(%q) succeeded, want error", name)
+		}
+	}
+}
+
+func TestByNameRoundTripsNames(t *testing.T) {
+	// Every scheduler's Name() must parse back to an equivalent
+	// scheduler — plans and checkpoints persist schedulers by name.
+	scheds := []interface {
+		Name() string
+	}{
+		TxModel1{}, TxModel2{}, TxModel3{}, TxModel4{}, TxModel5{},
+		TxModel6{}, TxModel6{SourceFraction: 0.35},
+		RxModel1{SourceCount: 9}, Repeat{Times: 4},
+		Carousel{Inner: TxModel2{}, Rounds: 5},
+		Carousel{Inner: TxModel6{SourceFraction: 0.4}, Rounds: 3},
+	}
+	for _, s := range scheds {
+		back, err := ByName(s.Name())
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", s.Name(), err)
+		}
+		if back.Name() != s.Name() {
+			t.Fatalf("round trip %q → %q", s.Name(), back.Name())
+		}
+	}
+}
+
+func TestByNameErrorListsModels(t *testing.T) {
+	_, err := ByName("nope")
+	if err == nil || !strings.Contains(err.Error(), "tx6(frac=F)") {
+		t.Fatalf("error %v does not list the parameter syntax", err)
+	}
+}

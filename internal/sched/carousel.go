@@ -17,7 +17,10 @@ import (
 // Carousel repeats an inner transmission model for a number of rounds.
 // Each round draws a fresh schedule from the inner model, so randomised
 // models re-randomise between rounds (matching ALC session behaviour,
-// where each pass over the object may reorder packets).
+// where each pass over the object may reorder packets). The combined
+// schedule stays streaming: it stores one O(1) sub-schedule per round,
+// and any position — e.g. a receiver resuming in round r — is random
+// access.
 type Carousel struct {
 	// Inner is the per-round transmission model (nil = TxModel4).
 	Inner core.Scheduler
@@ -25,9 +28,10 @@ type Carousel struct {
 	Rounds int
 }
 
-// Name implements core.Scheduler.
+// Name implements core.Scheduler, in the parameterized form ByName
+// parses back.
 func (c Carousel) Name() string {
-	return fmt.Sprintf("carousel(%s×%d)", c.inner().Name(), c.rounds())
+	return fmt.Sprintf("carousel(inner=%s,rounds=%d)", c.inner().Name(), c.rounds())
 }
 
 func (c Carousel) inner() core.Scheduler {
@@ -45,15 +49,15 @@ func (c Carousel) rounds() int {
 }
 
 // Schedule implements core.Scheduler.
-func (c Carousel) Schedule(l core.Layout, rng *rand.Rand) []int {
+func (c Carousel) Schedule(l core.Layout, rng *rand.Rand) core.Schedule {
 	r := c.rounds()
 	if r < 1 {
 		panic(fmt.Sprintf("sched: carousel rounds %d < 1", r))
 	}
 	inner := c.inner()
-	var out []int
-	for i := 0; i < r; i++ {
-		out = append(out, inner.Schedule(l, rng)...)
+	rounds := make([]core.Schedule, r)
+	for i := range rounds {
+		rounds[i] = inner.Schedule(l, rng)
 	}
-	return out
+	return core.RoundsSchedule(rounds)
 }

@@ -16,6 +16,15 @@
 // motivation experiment. Schedulers are pure: they derive a transmission
 // order from a layout and a per-trial random source, so every trial can
 // re-randomise independently and reproducibly.
+//
+// Every model returns a streaming core.Schedule — an O(1)-memory rule
+// evaluable at any position — rather than a materialised []int: shuffles
+// are seeded Feistel permutations, Tx_model_5 is closed-form arithmetic,
+// subsets and repetitions compose permutations. Every model captures
+// its randomness up front — at most two 64-bit seeds drawn from rng
+// (the Carousel draws its inner model's seeds once per round) — so a
+// schedule can be re-evaluated, truncated, or resumed mid-order without
+// replaying the generator. Use Materialize to bridge back to []int.
 package sched
 
 import (
@@ -25,27 +34,12 @@ import (
 	"fecperf/internal/core"
 )
 
-// sequentialSource returns 0..K-1.
-func sequentialSource(l core.Layout) []int {
-	out := make([]int, l.K)
-	for i := range out {
-		out[i] = i
-	}
-	return out
-}
-
-// sequentialParity returns K..N-1.
-func sequentialParity(l core.Layout) []int {
-	out := make([]int, l.N-l.K)
-	for i := range out {
-		out[i] = l.K + i
-	}
-	return out
-}
-
-func shuffled(ids []int, rng *rand.Rand) []int {
-	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
-	return ids
+// Materialize expands a streaming schedule into the []int order the
+// paper's original harness worked with — the bridge for tests, goldens
+// and external tooling. Streaming schedules exist so the hot paths
+// never need this.
+func Materialize(s core.Schedule) []int {
+	return s.AppendTo(make([]int, 0, s.Len()))
 }
 
 // TxModel1 sends all source packets sequentially, then all parity packets
@@ -55,9 +49,10 @@ type TxModel1 struct{}
 // Name implements core.Scheduler.
 func (TxModel1) Name() string { return "tx1" }
 
-// Schedule implements core.Scheduler.
-func (TxModel1) Schedule(l core.Layout, _ *rand.Rand) []int {
-	return append(sequentialSource(l), sequentialParity(l)...)
+// Schedule implements core.Scheduler. Source ids are 0..K-1 and parity
+// ids K..N-1, so the whole model is the identity order on [0,N).
+func (TxModel1) Schedule(l core.Layout, _ *rand.Rand) core.Schedule {
+	return core.SequenceSchedule(0, l.N)
 }
 
 // TxModel2 sends source packets sequentially, then parity packets in a
@@ -68,8 +63,11 @@ type TxModel2 struct{}
 func (TxModel2) Name() string { return "tx2" }
 
 // Schedule implements core.Scheduler.
-func (TxModel2) Schedule(l core.Layout, rng *rand.Rand) []int {
-	return append(sequentialSource(l), shuffled(sequentialParity(l), rng)...)
+func (TxModel2) Schedule(l core.Layout, rng *rand.Rand) core.Schedule {
+	return core.ConcatSchedules(
+		core.SequenceSchedule(0, l.K),
+		core.ShuffleSchedule(l.K, l.N-l.K, rng.Uint64()),
+	)
 }
 
 // TxModel3 sends all parity packets sequentially, then the source packets
@@ -81,8 +79,11 @@ type TxModel3 struct{}
 func (TxModel3) Name() string { return "tx3" }
 
 // Schedule implements core.Scheduler.
-func (TxModel3) Schedule(l core.Layout, rng *rand.Rand) []int {
-	return append(sequentialParity(l), shuffled(sequentialSource(l), rng)...)
+func (TxModel3) Schedule(l core.Layout, rng *rand.Rand) core.Schedule {
+	return core.ConcatSchedules(
+		core.SequenceSchedule(l.K, l.N-l.K),
+		core.ShuffleSchedule(0, l.K, rng.Uint64()),
+	)
 }
 
 // TxModel4 sends every packet in one fully random order — the paper's
@@ -93,12 +94,8 @@ type TxModel4 struct{}
 func (TxModel4) Name() string { return "tx4" }
 
 // Schedule implements core.Scheduler.
-func (TxModel4) Schedule(l core.Layout, rng *rand.Rand) []int {
-	out := make([]int, l.N)
-	for i := range out {
-		out[i] = i
-	}
-	return shuffled(out, rng)
+func (TxModel4) Schedule(l core.Layout, rng *rand.Rand) core.Schedule {
+	return core.ShuffleSchedule(0, l.N, rng.Uint64())
 }
 
 // TxModel5 is packet interleaving (Section 4.7). For multi-block codes
@@ -107,68 +104,19 @@ func (TxModel4) Schedule(l core.Layout, rng *rand.Rand) []int {
 // and so on. For single-block codes (LDGM-*) the paper's adaptation mixes
 // one source packet with n/k - 1 parity packets; we realise that with an
 // exact proportional merge of the sequential source and parity streams.
+// Both shapes are deterministic and evaluate in closed form at any
+// position.
 type TxModel5 struct{}
 
 // Name implements core.Scheduler.
 func (TxModel5) Name() string { return "tx5" }
 
 // Schedule implements core.Scheduler.
-func (TxModel5) Schedule(l core.Layout, _ *rand.Rand) []int {
+func (TxModel5) Schedule(l core.Layout, _ *rand.Rand) core.Schedule {
 	if len(l.Blocks) > 1 {
-		return interleaveBlocks(l)
+		return core.InterleaveSchedule(l)
 	}
-	return proportionalMerge(sequentialSource(l), sequentialParity(l))
-}
-
-// interleaveBlocks emits one symbol per block per round: all the first
-// symbols, then all the second symbols, etc. Within a block, source
-// symbols come before parity symbols, matching the ESI order of the codec.
-func interleaveBlocks(l core.Layout) []int {
-	maxLen := 0
-	for _, b := range l.Blocks {
-		if n := len(b.Source) + len(b.Parity); n > maxLen {
-			maxLen = n
-		}
-	}
-	out := make([]int, 0, l.N)
-	for round := 0; round < maxLen; round++ {
-		for _, b := range l.Blocks {
-			switch {
-			case round < len(b.Source):
-				out = append(out, b.Source[round])
-			case round < len(b.Source)+len(b.Parity):
-				out = append(out, b.Parity[round-len(b.Source)])
-			}
-		}
-	}
-	return out
-}
-
-// proportionalMerge interleaves two streams so that after every prefix the
-// emitted counts match the global s:p proportion as closely as possible
-// (largest-remainder walk, a Bresenham line between the two stream counts).
-func proportionalMerge(a, b []int) []int {
-	out := make([]int, 0, len(a)+len(b))
-	ia, ib := 0, 0
-	na, nb := len(a), len(b)
-	// errAcc tracks na*ib - nb*ia; emit from the stream lagging its quota.
-	for ia < na || ib < nb {
-		switch {
-		case ia == na:
-			out = append(out, b[ib])
-			ib++
-		case ib == nb:
-			out = append(out, a[ia])
-			ia++
-		case (ia+1)*nb <= (ib+1)*na:
-			out = append(out, a[ia])
-			ia++
-		default:
-			out = append(out, b[ib])
-			ib++
-		}
-	}
-	return out
+	return core.ProportionalMergeSchedule(l.K, l.N-l.K)
 }
 
 // TxModel6 sends a random fraction of the source packets plus all parity
@@ -180,22 +128,30 @@ type TxModel6 struct {
 	SourceFraction float64
 }
 
-// Name implements core.Scheduler.
-func (t TxModel6) Name() string { return "tx6" }
+func (t TxModel6) fraction() float64 {
+	if t.SourceFraction == 0 {
+		return 0.20
+	}
+	return t.SourceFraction
+}
+
+// Name implements core.Scheduler. Non-default fractions render in the
+// parameterized form ByName parses, so names round-trip.
+func (t TxModel6) Name() string {
+	if t.SourceFraction == 0 {
+		return "tx6"
+	}
+	return fmt.Sprintf("tx6(frac=%g)", t.SourceFraction)
+}
 
 // Schedule implements core.Scheduler.
-func (t TxModel6) Schedule(l core.Layout, rng *rand.Rand) []int {
-	frac := t.SourceFraction
-	if frac == 0 {
-		frac = 0.20
-	}
+func (t TxModel6) Schedule(l core.Layout, rng *rand.Rand) core.Schedule {
+	frac := t.fraction()
 	if frac < 0 || frac > 1 {
 		panic(fmt.Sprintf("sched: tx6 source fraction %g outside [0,1]", frac))
 	}
 	nSrc := int(frac*float64(l.K) + 0.5)
-	src := shuffled(sequentialSource(l), rng)[:nSrc]
-	out := append(src, sequentialParity(l)...)
-	return shuffled(out, rng)
+	return core.SubsetShuffleSchedule(l.K, nSrc, l.N-l.K, rng.Uint64(), rng.Uint64())
 }
 
 // RxModel1 is the reception model of Section 5.1: the receiver first
@@ -211,12 +167,14 @@ type RxModel1 struct {
 func (r RxModel1) Name() string { return fmt.Sprintf("rx1(src=%d)", r.SourceCount) }
 
 // Schedule implements core.Scheduler.
-func (r RxModel1) Schedule(l core.Layout, rng *rand.Rand) []int {
+func (r RxModel1) Schedule(l core.Layout, rng *rand.Rand) core.Schedule {
 	if r.SourceCount < 0 || r.SourceCount > l.K {
 		panic(fmt.Sprintf("sched: rx1 source count %d outside [0,%d]", r.SourceCount, l.K))
 	}
-	src := shuffled(sequentialSource(l), rng)[:r.SourceCount]
-	return append(src, shuffled(sequentialParity(l), rng)...)
+	return core.ConcatSchedules(
+		core.TakeShuffleSchedule(0, l.K, r.SourceCount, rng.Uint64()),
+		core.ShuffleSchedule(l.K, l.N-l.K, rng.Uint64()),
+	)
 }
 
 // Repeat is the no-FEC scheme of Section 4.2 (Figure 7): every source
@@ -228,8 +186,9 @@ type Repeat struct {
 	Times int
 }
 
-// Name implements core.Scheduler.
-func (r Repeat) Name() string { return fmt.Sprintf("repeat×%d", r.times()) }
+// Name implements core.Scheduler, in the parameterized form ByName
+// parses back.
+func (r Repeat) Name() string { return fmt.Sprintf("repeat(x=%d)", r.times()) }
 
 func (r Repeat) times() int {
 	if r.Times == 0 {
@@ -239,37 +198,12 @@ func (r Repeat) times() int {
 }
 
 // Schedule implements core.Scheduler.
-func (r Repeat) Schedule(l core.Layout, rng *rand.Rand) []int {
+func (r Repeat) Schedule(l core.Layout, rng *rand.Rand) core.Schedule {
 	t := r.times()
 	if t < 1 {
 		panic(fmt.Sprintf("sched: repetition factor %d < 1", t))
 	}
-	out := make([]int, 0, l.K*t)
-	for rep := 0; rep < t; rep++ {
-		out = append(out, sequentialSource(l)...)
-	}
-	return shuffled(out, rng)
-}
-
-// ByName returns the transmission model with the given short name
-// ("tx1".."tx6"), as used by the CLI tools.
-func ByName(name string) (core.Scheduler, error) {
-	switch name {
-	case "tx1":
-		return TxModel1{}, nil
-	case "tx2":
-		return TxModel2{}, nil
-	case "tx3":
-		return TxModel3{}, nil
-	case "tx4":
-		return TxModel4{}, nil
-	case "tx5":
-		return TxModel5{}, nil
-	case "tx6":
-		return TxModel6{}, nil
-	default:
-		return nil, fmt.Errorf("sched: unknown transmission model %q", name)
-	}
+	return core.RepeatSchedule(l.K, t, rng.Uint64())
 }
 
 // All returns the six transmission models in paper order.

@@ -57,13 +57,19 @@ func isPermutation(ids []int, n int) bool {
 
 func rng() *rand.Rand { return rand.New(rand.NewSource(1)) }
 
+// draw materialises one schedule for assertion-style tests.
+func draw(s core.Scheduler, l core.Layout, r *rand.Rand) []int {
+	sc := s.Schedule(l, r)
+	return Materialize(sc)
+}
+
 func TestAllModelsProducePermutations(t *testing.T) {
 	l := ldgmLayout(40, 100)
 	for _, s := range All() {
 		if s.Name() == "tx6" {
 			continue // tx6 sends a subset by design
 		}
-		ids := s.Schedule(l, rng())
+		ids := draw(s, l, rng())
 		if !isPermutation(ids, l.N) {
 			t.Errorf("%s: schedule is not a permutation of [0,%d)", s.Name(), l.N)
 		}
@@ -72,7 +78,7 @@ func TestAllModelsProducePermutations(t *testing.T) {
 
 func TestTx1Order(t *testing.T) {
 	l := ldgmLayout(5, 12)
-	ids := TxModel1{}.Schedule(l, rng())
+	ids := draw(TxModel1{}, l, rng())
 	for i, id := range ids {
 		if id != i {
 			t.Fatalf("tx1 position %d = %d, want %d", i, id, i)
@@ -82,7 +88,7 @@ func TestTx1Order(t *testing.T) {
 
 func TestTx2SourceSequentialParityRandom(t *testing.T) {
 	l := ldgmLayout(50, 125)
-	ids := TxModel2{}.Schedule(l, rng())
+	ids := draw(TxModel2{}, l, rng())
 	for i := 0; i < 50; i++ {
 		if ids[i] != i {
 			t.Fatalf("tx2: source position %d = %d", i, ids[i])
@@ -105,7 +111,7 @@ func TestTx2SourceSequentialParityRandom(t *testing.T) {
 
 func TestTx3ParityFirst(t *testing.T) {
 	l := ldgmLayout(50, 125)
-	ids := TxModel3{}.Schedule(l, rng())
+	ids := draw(TxModel3{}, l, rng())
 	for i := 0; i < 75; i++ {
 		if ids[i] != 50+i {
 			t.Fatalf("tx3: parity position %d = %d, want %d", i, ids[i], 50+i)
@@ -120,8 +126,8 @@ func TestTx3ParityFirst(t *testing.T) {
 
 func TestTx4IsShuffledPermutation(t *testing.T) {
 	l := ldgmLayout(100, 250)
-	a := TxModel4{}.Schedule(l, rand.New(rand.NewSource(1)))
-	b := TxModel4{}.Schedule(l, rand.New(rand.NewSource(2)))
+	a := draw(TxModel4{}, l, rand.New(rand.NewSource(1)))
+	b := draw(TxModel4{}, l, rand.New(rand.NewSource(2)))
 	if !isPermutation(a, 250) || !isPermutation(b, 250) {
 		t.Fatal("tx4 not a permutation")
 	}
@@ -139,7 +145,7 @@ func TestTx4IsShuffledPermutation(t *testing.T) {
 
 func TestTx5BlockInterleaving(t *testing.T) {
 	l := rseLayout(4, 3, 2) // 4 blocks, 3 source + 2 parity each
-	ids := TxModel5{}.Schedule(l, rng())
+	ids := draw(TxModel5{}, l, rng())
 	if !isPermutation(ids, l.N) {
 		t.Fatal("tx5 not a permutation")
 	}
@@ -180,7 +186,7 @@ func TestTx5UnevenBlocks(t *testing.T) {
 			{Source: []int{3, 4}, Parity: []int{7, 8}},
 		},
 	}
-	ids := TxModel5{}.Schedule(l, rng())
+	ids := draw(TxModel5{}, l, rng())
 	if !isPermutation(ids, 9) {
 		t.Fatalf("tx5 uneven blocks: %v not a permutation", ids)
 	}
@@ -190,7 +196,7 @@ func TestTx5LDGMProportionalMix(t *testing.T) {
 	// Single block, ratio 2.5: after any prefix, parity count should be
 	// within 2 of 1.5× source count.
 	l := ldgmLayout(100, 250)
-	ids := TxModel5{}.Schedule(l, rng())
+	ids := draw(TxModel5{}, l, rng())
 	if !isPermutation(ids, 250) {
 		t.Fatal("tx5 (ldgm) not a permutation")
 	}
@@ -210,7 +216,7 @@ func TestTx5LDGMProportionalMix(t *testing.T) {
 
 func TestTx6SubsetAndComposition(t *testing.T) {
 	l := ldgmLayout(100, 250)
-	ids := TxModel6{}.Schedule(l, rng())
+	ids := draw(TxModel6{}, l, rng())
 	wantLen := 20 + 150 // 20% source + all parity
 	if len(ids) != wantLen {
 		t.Fatalf("tx6 length %d, want %d", len(ids), wantLen)
@@ -235,9 +241,12 @@ func TestTx6SubsetAndComposition(t *testing.T) {
 
 func TestTx6CustomFraction(t *testing.T) {
 	l := ldgmLayout(100, 250)
-	ids := TxModel6{SourceFraction: 0.5}.Schedule(l, rng())
+	ids := draw(TxModel6{SourceFraction: 0.5}, l, rng())
 	if len(ids) != 50+150 {
 		t.Fatalf("tx6(0.5) length %d, want 200", len(ids))
+	}
+	if got := (TxModel6{SourceFraction: 0.5}).Name(); got != "tx6(frac=0.5)" {
+		t.Fatalf("Name = %q", got)
 	}
 }
 
@@ -253,7 +262,7 @@ func TestTx6BadFractionPanics(t *testing.T) {
 func TestRxModel1(t *testing.T) {
 	l := ldgmLayout(100, 250)
 	r := RxModel1{SourceCount: 7}
-	ids := r.Schedule(l, rng())
+	ids := draw(r, l, rng())
 	if len(ids) != 7+150 {
 		t.Fatalf("rx1 length %d, want 157", len(ids))
 	}
@@ -283,7 +292,7 @@ func TestRxModel1BoundsPanics(t *testing.T) {
 
 func TestRepeatSchedule(t *testing.T) {
 	l := ldgmLayout(10, 10)
-	ids := Repeat{}.Schedule(l, rng())
+	ids := draw(Repeat{}, l, rng())
 	if len(ids) != 20 {
 		t.Fatalf("repeat×2 length %d, want 20", len(ids))
 	}
@@ -296,23 +305,8 @@ func TestRepeatSchedule(t *testing.T) {
 			t.Fatalf("id %d sent %d times, want 2", id, count[id])
 		}
 	}
-	if got := (Repeat{Times: 3}).Name(); got != "repeat×3" {
+	if got := (Repeat{Times: 3}).Name(); got != "repeat(x=3)" {
 		t.Fatalf("Name = %q", got)
-	}
-}
-
-func TestByName(t *testing.T) {
-	for _, name := range []string{"tx1", "tx2", "tx3", "tx4", "tx5", "tx6"} {
-		s, err := ByName(name)
-		if err != nil {
-			t.Fatalf("ByName(%q): %v", name, err)
-		}
-		if s.Name() != name {
-			t.Fatalf("ByName(%q).Name() = %q", name, s.Name())
-		}
-	}
-	if _, err := ByName("bogus"); err == nil {
-		t.Fatal("ByName accepted bogus model")
 	}
 }
 
@@ -325,7 +319,7 @@ func TestPropertySchedulesCoverAllParity(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		for _, s := range All() {
 			count := map[int]int{}
-			for _, id := range s.Schedule(l, r) {
+			for _, id := range draw(s, l, r) {
 				count[id]++
 			}
 			for id := k; id < n; id++ {
@@ -341,32 +335,36 @@ func TestPropertySchedulesCoverAllParity(t *testing.T) {
 	}
 }
 
-func TestProportionalMergeEdgeCases(t *testing.T) {
-	if got := proportionalMerge(nil, []int{1, 2}); len(got) != 2 {
-		t.Fatal("empty first stream mishandled")
-	}
-	if got := proportionalMerge([]int{1, 2}, nil); len(got) != 2 {
-		t.Fatal("empty second stream mishandled")
-	}
-	got := proportionalMerge([]int{0, 1, 2}, []int{10, 11, 12})
-	if !isPermutationOf(got, []int{0, 1, 2, 10, 11, 12}) {
-		t.Fatalf("merge lost elements: %v", got)
+func TestMaterializeMatchesCursor(t *testing.T) {
+	l := ldgmLayout(30, 75)
+	for _, s := range All() {
+		sc := s.Schedule(l, rng())
+		ids := Materialize(sc)
+		cur := sc.Cursor()
+		for i, want := range ids {
+			got, ok := cur.Next()
+			if !ok || got != want {
+				t.Fatalf("%s: cursor position %d = (%d, %v), want %d", s.Name(), i, got, ok, want)
+			}
+		}
+		if _, ok := cur.Next(); ok {
+			t.Fatalf("%s: cursor outlived materialized order", s.Name())
+		}
 	}
 }
 
-func isPermutationOf(got, want []int) bool {
-	if len(got) != len(want) {
-		return false
-	}
-	c := map[int]int{}
-	for _, v := range got {
-		c[v]++
-	}
-	for _, v := range want {
-		c[v]--
-		if c[v] < 0 {
-			return false
+func TestSchedulesAreRepeatable(t *testing.T) {
+	// A drawn schedule is a pure function of position: re-evaluating or
+	// re-materialising it never changes it (randomness is captured at
+	// draw time, not at evaluation time).
+	l := ldgmLayout(40, 100)
+	for _, s := range All() {
+		sc := s.Schedule(l, rng())
+		a, b := Materialize(sc), Materialize(sc)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: schedule changed between evaluations at %d", s.Name(), i)
+			}
 		}
 	}
-	return true
 }

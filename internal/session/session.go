@@ -125,8 +125,17 @@ func (o *Object) Scheduler() core.Scheduler { return o.cfg.Scheduler }
 // (0 = send everything), the Section-6 n_sent optimisation.
 func (o *Object) NSent() int { return o.cfg.NSent }
 
-// Datagram serialises the datagram for packet id.
+// Datagram serialises the datagram for packet id into a fresh buffer.
 func (o *Object) Datagram(id int) ([]byte, error) {
+	return o.AppendDatagram(id, nil)
+}
+
+// AppendDatagram appends the encoded datagram for packet id to dst and
+// returns the result — the allocation-free path for carousels that
+// re-encode every round through one scratch buffer instead of keeping
+// every datagram resident. The payload is read at encode time, so the
+// object must not be Closed while senders still encode from it.
+func (o *Object) AppendDatagram(id int, dst []byte) ([]byte, error) {
 	if o.closed {
 		return nil, fmt.Errorf("session: object %d is closed", o.cfg.ObjectID)
 	}
@@ -143,22 +152,32 @@ func (o *Object) Datagram(id int) ([]byte, error) {
 		Seed:     o.cfg.Seed,
 		Payload:  o.symbols[id],
 	}
-	return p.Encode()
+	return p.AppendEncode(dst)
 }
 
-// Send schedules the object's packets and hands each datagram to emit, in
-// transmission order. emit returning an error aborts the transmission.
-func (o *Object) Send(rng *rand.Rand, emit func([]byte) error) error {
+// Schedule draws one transmission order for the object — the configured
+// scheduler (default Tx_model_4) over the object's layout, truncated to
+// the configured NSent. The schedule is streaming: O(1) memory, any
+// position evaluable directly, so senders iterate it without ever
+// materialising the order.
+func (o *Object) Schedule(rng *rand.Rand) core.Schedule {
 	s := o.cfg.Scheduler
 	if s == nil {
 		s = sched.TxModel4{}
 	}
-	schedule := s.Schedule(o.code.Layout(), rng)
-	nsent := o.cfg.NSent
-	if nsent <= 0 || nsent > len(schedule) {
-		nsent = len(schedule)
-	}
-	for _, id := range schedule[:nsent] {
+	return s.Schedule(o.code.Layout(), rng).Truncate(o.cfg.NSent)
+}
+
+// Send schedules the object's packets and hands each datagram to emit, in
+// transmission order. emit returning an error aborts the transmission.
+// Each datagram is freshly allocated; emit may retain it.
+func (o *Object) Send(rng *rand.Rand, emit func([]byte) error) error {
+	schedule := o.Schedule(rng)
+	for cur := schedule.Cursor(); ; {
+		id, ok := cur.Next()
+		if !ok {
+			return nil
+		}
 		d, err := o.Datagram(id)
 		if err != nil {
 			return err
@@ -167,7 +186,6 @@ func (o *Object) Send(rng *rand.Rand, emit func([]byte) error) error {
 			return err
 		}
 	}
-	return nil
 }
 
 // Receiver reconstructs objects from datagrams. One receiver can track

@@ -34,7 +34,9 @@ var ErrClosed = net.ErrClosed
 type Conn interface {
 	// Send transmits one datagram. Like UDP, delivery is best-effort:
 	// packets may be dropped (full receiver queues, lossy channels)
-	// without an error.
+	// without an error. Send must not retain datagram after returning
+	// (both backends copy), so callers may reuse the buffer — the
+	// carousel sender encodes every packet through one scratch buffer.
 	Send(datagram []byte) error
 	// Recv blocks for the next datagram and copies it into buf,
 	// returning its length. Datagrams longer than buf are truncated,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"fecperf/internal/core"
@@ -25,8 +26,18 @@ type SenderConfig struct {
 	// unknown channels). Each round draws a fresh schedule, so
 	// randomised models re-randomise between rounds.
 	Scheduler core.Scheduler
-	// Seed fixes the scheduling randomness.
+	// Seed fixes the scheduling randomness. Round r's schedule for
+	// object i depends only on (Seed, r, i) — not on carousel history —
+	// so any (round, position) is reproducible; see StartRound.
 	Seed int64
+	// StartRound and StartPos resume a carousel mid-stream: Run begins
+	// at round StartRound, position StartPos within that round, and
+	// emits exactly the packet sequence a run from (0,0) would have
+	// produced from that point on. Schedules are random-access, so
+	// resuming costs nothing — the use case is a restarted sender (or a
+	// receiver-driven seek) continuing a deterministic carousel.
+	StartRound int
+	StartPos   int
 	// OnRound, when set, is called after each completed carousel round
 	// with the 0-based round index (for progress logs).
 	OnRound func(round int)
@@ -48,12 +59,27 @@ type SenderStats struct {
 // joining mid-stream sees a statistically uniform packet mix — the
 // regime the paper's Tx_model_4 analysis covers.
 //
+// The steady-state round loop allocates nothing: schedules are
+// streaming (O(1) rules, drawn by value into each object's slot) and
+// datagrams are encoded per send into one reused scratch buffer — a
+// many-object carousel holds its symbol payloads once, in the session
+// objects, not a second time as pre-encoded datagrams.
+//
 // Configure and Add objects before Run; Run may be called once. Stats is
-// safe to call concurrently with Run.
+// safe to call concurrently with Run. The sender reads object payloads
+// lazily at send time, so added objects must stay open while the
+// carousel runs; Close the sender when done — it waits for an in-flight
+// Run to return (cancel its context first) before releasing the
+// objects' buffers.
 type Sender struct {
 	conn Conn
 	cfg  SenderConfig
 	objs []*senderObject
+
+	// runMu is held by Run for its whole duration; Close takes it, so
+	// releasing the objects' pooled buffers synchronizes with the round
+	// loop that encodes from them.
+	runMu sync.Mutex
 
 	packets atomic.Uint64
 	bytes   atomic.Uint64
@@ -61,10 +87,11 @@ type Sender struct {
 }
 
 type senderObject struct {
+	obj       *session.Object
 	layout    core.Layout
 	scheduler core.Scheduler
-	nsent     int      // per-round schedule truncation (0 = all)
-	datagrams [][]byte // pre-encoded, indexed by packet ID
+	nsent     int           // per-round schedule truncation (0 = all)
+	sched     core.Schedule // current round's order, redrawn each round
 }
 
 // NewSender returns a sender writing to conn.
@@ -72,31 +99,47 @@ func NewSender(conn Conn, cfg SenderConfig) *Sender {
 	return &Sender{conn: conn, cfg: cfg}
 }
 
-// Add registers an encoded object with the carousel, pre-encoding all of
-// its datagrams (the carousel retransmits them every round, so paying
-// the header encode once is the hot-path win).
+// Add registers an encoded object with the carousel. Datagrams are
+// encoded lazily, round by round, through a shared scratch buffer —
+// nothing is pre-encoded or cached — so the object must remain open
+// (not Closed) until the carousel stops.
 func (s *Sender) Add(obj *session.Object) error {
-	so := &senderObject{
+	if obj.N() <= 0 {
+		return fmt.Errorf("transport: object %d has no packets", obj.ObjectID())
+	}
+	// Surface encoding problems (e.g. an already-closed object) at Add
+	// time rather than mid-carousel.
+	if _, err := obj.AppendDatagram(0, nil); err != nil {
+		return fmt.Errorf("transport: adding object %d: %w", obj.ObjectID(), err)
+	}
+	s.objs = append(s.objs, &senderObject{
+		obj:       obj,
 		layout:    obj.Layout(),
 		scheduler: obj.Scheduler(),
 		nsent:     obj.NSent(),
-		datagrams: make([][]byte, obj.N()),
-	}
-	for id := range so.datagrams {
-		d, err := obj.Datagram(id)
-		if err != nil {
-			return fmt.Errorf("transport: pre-encoding object %d: %w", obj.ObjectID(), err)
-		}
-		so.datagrams[id] = d
-	}
-	s.objs = append(s.objs, so)
+	})
 	return nil
+}
+
+// Close releases every added object's pooled symbol buffers. It
+// synchronizes with Run: if the carousel is still in flight, Close
+// blocks until Run returns, so cancel Run's context first (an infinite
+// carousel never returns on its own). The sender cannot transmit
+// afterwards.
+func (s *Sender) Close() {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	for _, o := range s.objs {
+		o.obj.Close()
+	}
 }
 
 // Run drives the carousel until the configured rounds complete or ctx is
 // cancelled. Cancellation is a graceful shutdown: Run stops between
 // packets and returns ctx.Err().
 func (s *Sender) Run(ctx context.Context) error {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 	if len(s.objs) == 0 {
 		return fmt.Errorf("transport: sender has no objects")
 	}
@@ -104,41 +147,55 @@ func (s *Sender) Run(ctx context.Context) error {
 	if defaultSched == nil {
 		defaultSched = sched.TxModel4{}
 	}
-	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	startRound := s.cfg.StartRound
+	if startRound < 0 {
+		startRound = 0
+	}
+	// One O(1)-seed generator, reseeded per (round, object) from a
+	// splitmix64 hash: schedules depend only on those coordinates,
+	// never on how much of the carousel ran before — the resume
+	// contract.
+	rng := rand.New(&core.SplitMixSource{})
 	p := newPacer(s.cfg.Rate, s.cfg.Burst)
+	scratch := make([]byte, 0, 2048)
 
-	for round := 0; s.cfg.Rounds <= 0 || round < s.cfg.Rounds; round++ {
-		schedules := make([][]int, len(s.objs))
+	for round := startRound; s.cfg.Rounds <= 0 || round < s.cfg.Rounds; round++ {
 		for i, o := range s.objs {
 			sc := o.scheduler
 			if sc == nil {
 				sc = defaultSched
 			}
-			schedules[i] = sc.Schedule(o.layout, rng)
+			rng.Seed(core.DeriveSeed(s.cfg.Seed, uint64(round), uint64(i)))
 			// Honour the object's Section-6 n_sent truncation, exactly
 			// as session.Object.Send does for a single pass.
-			if o.nsent > 0 && o.nsent < len(schedules[i]) {
-				schedules[i] = schedules[i][:o.nsent]
-			}
+			o.sched = sc.Schedule(o.layout, rng).Truncate(o.nsent)
+		}
+		pos := 0
+		if round == startRound && s.cfg.StartPos > 0 {
+			pos = s.cfg.StartPos
 		}
 		// Round-robin interleave across objects: one packet from each
 		// in turn, objects with longer schedules trailing off last.
-		for pos, remaining := 0, len(s.objs); remaining > 0; pos++ {
+		for remaining := len(s.objs); remaining > 0; pos++ {
 			remaining = 0
-			for i, o := range s.objs {
-				if pos >= len(schedules[i]) {
+			for _, o := range s.objs {
+				if pos >= o.sched.Len() {
 					continue
 				}
 				remaining++
 				if err := p.wait(ctx); err != nil {
 					return err
 				}
-				d := o.datagrams[schedules[i][pos]]
-				if err := s.conn.Send(d); err != nil {
+				var err error
+				scratch, err = o.obj.AppendDatagram(o.sched.At(pos), scratch[:0])
+				if err != nil {
+					return fmt.Errorf("transport: encoding object %d: %w", o.obj.ObjectID(), err)
+				}
+				if err := s.conn.Send(scratch); err != nil {
 					return fmt.Errorf("transport: send: %w", err)
 				}
 				s.packets.Add(1)
-				s.bytes.Add(uint64(len(d)))
+				s.bytes.Add(uint64(len(scratch)))
 			}
 		}
 		s.rounds.Add(1)

@@ -1,0 +1,68 @@
+#!/usr/bin/env sh
+# Runs the scheduling benchmarks and emits BENCH_sched.json — the perf
+# record for the streaming-schedule refactor: old (materialised
+# Fisher–Yates) vs new (streaming Feistel) schedule draw and full-walk
+# costs on the paper-scale layout (k=20000, n=50000), plus the sender
+# carousel round loop. The headline columns are allocs/op: drawing a
+# streaming schedule and running a steady-state sender round must both
+# report 0. Usage:
+#
+#   scripts/bench_sched.sh [benchtime] [output.json]
+#
+# benchtime defaults to 2s per benchmark; output defaults to
+# BENCH_sched.json in the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-2s}"
+OUT="${2:-BENCH_sched.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkScheduleDraw(Old)?Tx4$|BenchmarkScheduleWalk(Old)?Tx4$' \
+    -benchtime "$BENCHTIME" -count 1 ./internal/sched | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkSenderRound$' \
+    -benchtime "$BENCHTIME" -count 1 ./internal/transport | tee -a "$RAW"
+
+awk -v out="$OUT" '
+function grab(line,    i) {
+    for (i = 1; i <= NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+}
+/^BenchmarkScheduleDrawTx4/    { grab(); dn_ns = ns; dn_b = bytes; dn_a = allocs }
+/^BenchmarkScheduleDrawOldTx4/ { grab(); do_ns = ns; do_b = bytes; do_a = allocs }
+/^BenchmarkScheduleWalkTx4/    { grab(); wn_ns = ns; wn_a = allocs }
+/^BenchmarkScheduleWalkOldTx4/ { grab(); wo_ns = ns; wo_a = allocs }
+/^BenchmarkSenderRound/        { grab(); sr_ns = ns; sr_b = bytes; sr_a = allocs }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+END {
+    if (dn_ns == "" || do_ns == "" || wn_ns == "" || wo_ns == "" || sr_ns == "") {
+        print "bench_sched: missing benchmark output" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n" > out
+    printf "  \"benchmark\": \"sched\",\n" >> out
+    printf "  \"cpu\": \"%s\",\n", cpu >> out
+    printf "  \"layout\": \"ldgm k=20000 n=50000 (draw/walk), 2-object carousel (sender round)\",\n" >> out
+    printf "  \"schedule_draw_tx4_old_ns\": %s,\n", do_ns >> out
+    printf "  \"schedule_draw_tx4_old_bytes\": %s,\n", do_b >> out
+    printf "  \"schedule_draw_tx4_old_allocs\": %s,\n", do_a >> out
+    printf "  \"schedule_draw_tx4_new_ns\": %s,\n", dn_ns >> out
+    printf "  \"schedule_draw_tx4_new_bytes\": %s,\n", dn_b >> out
+    printf "  \"schedule_draw_tx4_new_allocs\": %s,\n", dn_a >> out
+    printf "  \"schedule_draw_speedup\": %.1f,\n", do_ns / dn_ns >> out
+    printf "  \"schedule_walk_tx4_old_ns\": %s,\n", wo_ns >> out
+    printf "  \"schedule_walk_tx4_old_allocs\": %s,\n", wo_a >> out
+    printf "  \"schedule_walk_tx4_new_ns\": %s,\n", wn_ns >> out
+    printf "  \"schedule_walk_tx4_new_allocs\": %s,\n", wn_a >> out
+    printf "  \"schedule_walk_speedup\": %.2f,\n", wo_ns / wn_ns >> out
+    printf "  \"sender_round_ns\": %s,\n", sr_ns >> out
+    printf "  \"sender_round_bytes\": %s,\n", sr_b >> out
+    printf "  \"sender_round_allocs\": %s\n", sr_a >> out
+    printf "}\n" >> out
+}' "$RAW"
+
+echo "wrote $OUT"

@@ -50,7 +50,14 @@ func ListenBroadcast(addr string) (TransportConn, error) { return transport.List
 func NewLoopback() *Loopback { return transport.NewLoopback() }
 
 // NewBroadcaster returns a carousel sender writing to conn; Add encoded
-// objects (EncodeForDelivery) before Run.
+// objects (EncodeForDelivery) before Run. The carousel encodes
+// datagrams lazily from the objects' pooled symbol buffers — nothing
+// is held pre-encoded — so added objects must stay open while the
+// carousel runs. Call the sender's Close when done: it blocks until an
+// in-flight Run returns (cancel its context first), then releases the
+// objects' buffers.
+// BroadcasterConfig.StartRound/StartPos resume an interrupted carousel
+// mid-round, reproducing the original datagram sequence exactly.
 func NewBroadcaster(conn TransportConn, cfg BroadcasterConfig) *Broadcaster {
 	return transport.NewSender(conn, cfg)
 }
