@@ -2,21 +2,32 @@
 // transmission models, and receives them back — the deployable face of
 // the fecperf library.
 //
-//	feccast send -addr 239.1.2.3:9900 -file big.iso -code ldgm-staircase -ratio 2.5 -rate 8000
+// Whole objects held in memory ride the carousel (send/recv); files of
+// any size — including larger than RAM — stream as chunked object
+// trains (cast/collect). Every subcommand accepts the library's
+// one-line configuration spec, so the exact scenario a simulation or
+// an engine plan describes runs on the air unchanged:
+//
+//	feccast send -addr 239.1.2.3:9900 -file big.iso -spec "codec=ldgm-staircase(ratio=2.5),sched=tx4,rate=8000"
 //	feccast recv -addr 239.1.2.3:9900 -out ./downloads -count 1
+//	feccast cast -addr 239.1.2.3:9900 -file huge.img -spec "codec=rse(k=256,ratio=1.5),rate=8000,object=7"
+//	feccast collect -addr :9900 -out huge.img -spec "object=7"
 //
 // The sender runs a carousel: every round it re-schedules the object's
 // packets with the chosen transmission model and pushes them at the
 // configured rate, so receivers may join at any time and still complete
 // (the paper's FLUTE/ALC late-join property). The receiver daemon
 // reassembles any number of interleaved objects and writes each to disk
-// as it decodes.
+// as it decodes. The caster instead streams a train of chunks with
+// bounded memory, sealed by a trailing manifest the collector verifies
+// end to end.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"os/signal"
@@ -25,10 +36,8 @@ import (
 	"syscall"
 	"time"
 
-	"fecperf/internal/sched"
-	"fecperf/internal/session"
+	"fecperf"
 	"fecperf/internal/transport"
-	"fecperf/internal/wire"
 )
 
 func main() {
@@ -40,15 +49,19 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: feccast <send|recv> [flags]\nRun 'feccast send -h' or 'feccast recv -h' for flags")
+		return fmt.Errorf("usage: feccast <send|recv|cast|collect> [flags]\nRun 'feccast <subcommand> -h' for flags")
 	}
 	switch args[0] {
 	case "send":
 		return runSend(args[1:])
 	case "recv":
 		return runRecv(args[1:])
+	case "cast":
+		return runCast(args[1:])
+	case "collect":
+		return runCollect(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want send or recv)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want send, recv, cast or collect)", args[0])
 	}
 }
 
@@ -64,6 +77,7 @@ func runSend(args []string) error {
 	tx := fs.String("tx", "tx4", "transmission model tx1..tx6, parameterized forms tx6(frac=0.3), carousel(inner=tx4,rounds=3)")
 	rate := fs.Float64("rate", 5000, "packets per second (0 = unpaced)")
 	rounds := fs.Int("rounds", 0, "carousel rounds (0 = loop until interrupted)")
+	specLine := fs.String("spec", "", `one-line configuration spec overriding the flags above, e.g. "codec=rse(ratio=1.5,seed=7),sched=tx4,rate=8000,object=3"`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,11 +87,17 @@ func runSend(args []string) error {
 	if *objID > math.MaxUint32 {
 		return fmt.Errorf("send: -object %d exceeds the wire format's 32-bit object ID", *objID)
 	}
-	family, err := wire.FamilyByName(*code)
-	if err != nil {
-		return err
-	}
-	scheduler, err := sched.ByName(*tx)
+	// The individual flags form the base configuration; -spec overlays
+	// whatever keys it names.
+	cfg, err := fecperf.NewConfig(
+		fecperf.WithCodec(fmt.Sprintf("%s(ratio=%g,seed=%d)", *code, *ratio, *seed)),
+		fecperf.WithScheduler(*tx),
+		fecperf.WithPayloadSize(*payload),
+		fecperf.WithBaseObjectID(uint32(*objID)),
+		fecperf.WithSeed(*seed),
+		fecperf.WithRate(*rate),
+		fecperf.WithSpec(*specLine),
+	)
 	if err != nil {
 		return err
 	}
@@ -85,17 +105,18 @@ func runSend(args []string) error {
 	if err != nil {
 		return err
 	}
-	obj, err := session.EncodeObject(data, session.SenderConfig{
-		ObjectID:    uint32(*objID),
-		Family:      family,
-		Ratio:       *ratio,
-		PayloadSize: *payload,
-		Seed:        *seed,
-	})
+	obj, err := fecperf.NewObject(data,
+		fecperf.WithCodecSpec(cfg.Codec),
+		fecperf.WithSchedulerInstance(cfg.Scheduler),
+		fecperf.WithPayloadSize(cfg.PayloadSize),
+		fecperf.WithBaseObjectID(cfg.BaseObjectID),
+		fecperf.WithSeed(cfg.Seed),
+		fecperf.WithNSent(cfg.NSent),
+	)
 	if err != nil {
 		return err
 	}
-	conn, err := transport.DialUDP(*addr)
+	conn, err := fecperf.Dial(*addr)
 	if err != nil {
 		return err
 	}
@@ -104,12 +125,17 @@ func runSend(args []string) error {
 	// OnRound reads the sender's own stats; the closure captures the
 	// variable before assignment, which is safe because Run (the only
 	// caller of OnRound) starts afterwards.
-	var s *transport.Sender
-	s = transport.NewSender(conn, transport.SenderConfig{
-		Rate:      *rate,
-		Rounds:    *rounds,
-		Scheduler: scheduler,
-		Seed:      *seed,
+	carouselRounds := cfg.Rounds
+	if carouselRounds == 0 {
+		carouselRounds = *rounds
+	}
+	var s *fecperf.Broadcaster
+	s = fecperf.NewBroadcaster(conn, fecperf.BroadcasterConfig{
+		Rate:      cfg.Rate,
+		Burst:     cfg.Burst,
+		Rounds:    carouselRounds,
+		Scheduler: cfg.Scheduler,
+		Seed:      cfg.Seed,
 		OnRound: func(round int) {
 			st := s.Stats()
 			fmt.Fprintf(os.Stderr, "round %d done: %d packets / %d bytes on the wire\n",
@@ -124,8 +150,8 @@ func runSend(args []string) error {
 	// the object stays open until the carousel stops.
 	defer s.Close()
 
-	fmt.Fprintf(os.Stderr, "broadcasting %s (%d bytes) as object %d to %s: k=%d n=%d %s %s @ %.0f pkt/s\n",
-		*file, len(data), *objID, *addr, obj.K(), obj.N(), *code, *tx, *rate)
+	fmt.Fprintf(os.Stderr, "broadcasting %s (%d bytes) as object %d to %s: k=%d n=%d codec=%s @ %.0f pkt/s\n",
+		*file, len(data), cfg.BaseObjectID, *addr, obj.K(), obj.N(), cfg.Codec.Name(), cfg.Rate)
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
@@ -149,7 +175,7 @@ func runRecv(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	conn, err := transport.ListenUDP(*addr)
+	conn, err := fecperf.Listen(*addr)
 	if err != nil {
 		return err
 	}
@@ -166,7 +192,7 @@ func runRecv(args []string) error {
 	defer reached()
 
 	var decoded, saveFailed atomic.Int64
-	d := transport.NewReceiverDaemon(conn, transport.ReceiverConfig{
+	d := fecperf.NewReceiverDaemon(conn, fecperf.ReceiverDaemonConfig{
 		MTU: *mtu,
 		OnComplete: func(id uint32, data []byte) {
 			name := filepath.Join(*out, fmt.Sprintf("object-%d.bin", id))
@@ -184,22 +210,7 @@ func runRecv(args []string) error {
 	fmt.Fprintf(os.Stderr, "listening on %s\n", conn.LocalAddr())
 
 	if *statsEvery > 0 {
-		go func() {
-			t := time.NewTicker(*statsEvery)
-			defer t.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-t.C:
-					st := d.Stats()
-					fmt.Fprintf(os.Stderr,
-						"stats: seen=%d ingested=%d bad=%d late=%d inconsistent=%d truncated=%d decoded=%d evicted=%d\n",
-						st.PacketsSeen, st.PacketsIngested, st.PacketsBad, st.PacketsLate,
-						st.PacketsInconsistent, st.PacketsTruncated, st.ObjectsDecoded, st.ObjectsEvicted)
-				}
-			}
-		}()
+		go reportStats(ctx, *statsEvery, d.Stats)
 	}
 
 	err = d.Run(ctx)
@@ -218,4 +229,133 @@ func runRecv(args []string) error {
 		return nil
 	}
 	return err
+}
+
+func reportStats(ctx context.Context, every time.Duration, stats func() transport.Stats) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			st := stats()
+			fmt.Fprintf(os.Stderr,
+				"stats: seen=%d ingested=%d bad=%d late=%d inconsistent=%d truncated=%d decoded=%d evicted=%d\n",
+				st.PacketsSeen, st.PacketsIngested, st.PacketsBad, st.PacketsLate,
+				st.PacketsInconsistent, st.PacketsTruncated, st.ObjectsDecoded, st.ObjectsEvicted)
+		}
+	}
+}
+
+func runCast(args []string) error {
+	fs := flag.NewFlagSet("feccast cast", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9900", "destination host:port (multicast groups work)")
+	file := fs.String("file", "", `file to stream ("-" = stdin; required)`)
+	specLine := fs.String("spec", "", `one-line configuration spec, e.g. "codec=rse(k=256,ratio=1.5),sched=tx4,rate=8000,object=7,window=4,rounds=2"`)
+	progress := fs.Bool("progress", false, "report per-window progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("cast: -file is required")
+	}
+	var src io.Reader
+	if *file == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	conn, err := fecperf.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	opts := []fecperf.Option{fecperf.WithSpec(*specLine)}
+	if *progress {
+		opts = append(opts, fecperf.WithCastProgress(func(p fecperf.CastProgress) {
+			fmt.Fprintf(os.Stderr, "cast: %d chunks / %d bytes read\n", p.ChunksCast, p.BytesRead)
+		}))
+	}
+	caster, err := fecperf.NewCaster(conn, src, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "casting %s to %s (spec %q)\n", *file, *addr, *specLine)
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	err = caster.Run(ctx)
+	st := caster.Stats()
+	fmt.Fprintf(os.Stderr, "cast %d chunks (%d bytes) in %d packets / %d bytes on the wire\n",
+		st.ChunksCast, st.BytesRead, st.PacketsSent, st.BytesSent)
+	return err
+}
+
+func runCollect(args []string) error {
+	fs := flag.NewFlagSet("feccast collect", flag.ContinueOnError)
+	addr := fs.String("addr", ":9900", "listen host:port (multicast groups are joined)")
+	out := fs.String("out", "", `output file ("-" = stdout; required)`)
+	timeout := fs.Duration("timeout", 0, "give up after this long (0 = no limit)")
+	specLine := fs.String("spec", "", `one-line configuration spec, e.g. "object=7,payload=1024,pending=64"`)
+	progress := fs.Bool("progress", false, "report per-chunk progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("collect: -out is required")
+	}
+	var dst io.Writer
+	if *out == "-" {
+		dst = os.Stdout
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	conn, err := fecperf.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	opts := []fecperf.Option{fecperf.WithSpec(*specLine)}
+	if *progress {
+		opts = append(opts, fecperf.WithCollectProgress(func(p fecperf.CollectProgress) {
+			total := "?"
+			if p.ChunksTotal >= 0 {
+				total = fmt.Sprint(p.ChunksTotal)
+			}
+			fmt.Fprintf(os.Stderr, "collect: %d/%s chunks / %d bytes\n", p.ChunksWritten, total, p.BytesWritten)
+		}))
+	}
+	col, err := fecperf.NewCollector(conn, dst, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "collecting on %s (spec %q)\n", conn.LocalAddr(), *specLine)
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	err = col.Run(ctx)
+	p := col.Progress()
+	fmt.Fprintf(os.Stderr, "collected %d chunks / %d bytes (receiver stats %+v)\n",
+		p.ChunksWritten, p.BytesWritten, col.Stats())
+	if err != nil {
+		return fmt.Errorf("collect: %w", err)
+	}
+	return nil
 }

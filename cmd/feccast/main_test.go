@@ -97,6 +97,62 @@ func TestSendRecvOverLocalhostUDP(t *testing.T) {
 	}
 }
 
+// TestCastCollectOverLocalhostUDP drives the streaming CLI path end to
+// end: a collector bound to an ephemeral port, a caster streaming a
+// multi-chunk file at it, the whole configuration as one spec string.
+func TestCastCollectOverLocalhostUDP(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "stream.bin")
+	dst := filepath.Join(dir, "collected.bin")
+	content := bytes.Repeat([]byte("stream me through a spec! "), 20000) // ~500 KiB
+	if err := os.WriteFile(src, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := freeUDPAddr(t)
+	// Rounds=3 covers kernel-level UDP drops under CI load; the spec
+	// string is the whole configuration, shared by both ends.
+	castSpec := "codec=rse(k=64,ratio=2),sched=tx4,payload=1024,rate=8000,object=7,window=4,rounds=3,seed=5"
+	collectSpec := "object=7,payload=1024,pending=64"
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var collectErr error
+	go func() {
+		defer wg.Done()
+		collectErr = run([]string{"collect", "-addr", addr, "-out", dst,
+			"-timeout", "60s", "-spec", collectSpec})
+	}()
+	waitForListener(t, addr)
+
+	if err := run([]string{"cast", "-addr", addr, "-file", src, "-spec", castSpec}); err != nil {
+		t.Fatalf("cast: %v", err)
+	}
+	wg.Wait()
+	if collectErr != nil {
+		t.Fatalf("collect: %v", collectErr)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("collected %d bytes differ from cast %d bytes", len(got), len(content))
+	}
+}
+
+func TestCastRejectsBadSpec(t *testing.T) {
+	for _, spec := range []string{
+		"codec=bogus(k=3)",
+		"codec=rse(k=64),shed=tx4",
+		"rate=abc",
+	} {
+		if err := run([]string{"cast", "-file", "-", "-spec", spec}); err == nil {
+			t.Errorf("cast -spec %q succeeded, want error", spec)
+		}
+	}
+}
+
 func TestSendRejectsOversizedObjectID(t *testing.T) {
 	if err := run([]string{"send", "-file", "x", "-object", "4294967297"}); err == nil {
 		t.Fatal("object ID > uint32 accepted")

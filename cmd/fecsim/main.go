@@ -15,6 +15,12 @@
 // markov, noloss), and -resume FILE checkpoints completed grid cells to
 // a JSON-lines file — interrupting the run (Ctrl-C) and starting it
 // again with the same flags resumes without recomputing finished cells.
+//
+// -spec accepts the library's unified one-line configuration (the same
+// grammar cmd/feccast and fecperf.Simulate take) and overlays the
+// individual flags:
+//
+//	fecsim -spec "codec=ldgm-staircase(k=20000,ratio=2.5),sched=tx2,channel=gilbert,trials=100,seed=7"
 package main
 
 import (
@@ -27,9 +33,11 @@ import (
 	"strconv"
 	"strings"
 
+	"fecperf"
 	"fecperf/internal/channel"
 	"fecperf/internal/engine"
 	"fecperf/internal/sim"
+	"fecperf/internal/spec"
 )
 
 func main() {
@@ -59,9 +67,62 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		chName   = fs.String("channel", "gilbert", "channel family: "+strings.Join(channel.FamilyNames(), ", "))
 		resume   = fs.String("resume", "", "checkpoint file: completed cells are appended and restored on restart")
 		progress = fs.Bool("progress", false, "report per-cell completion on stderr")
+		specLine = fs.String("spec", "", `one-line configuration spec overriding the flags above, e.g. "codec=ldgm-staircase(k=20000,ratio=2.5),sched=tx2,channel=gilbert,trials=100,seed=7"`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *specLine != "" {
+		// The spec overlays the individual flags: the same line that
+		// configures a live cast (cmd/feccast) or a Go Simulate call
+		// selects this sweep's code, model and scale. The channel key's
+		// family picks the axis family — its (p, q), if any, are
+		// superseded by the sweep grid.
+		cfg, err := fecperf.ParseSpec(*specLine)
+		if err != nil {
+			return err
+		}
+		if cfg.Codec.Family != "" {
+			*codeName = cfg.Codec.Family
+			if cfg.Codec.K != 0 {
+				*k = cfg.Codec.K
+			}
+			if cfg.Codec.Ratio != 0 {
+				*ratio = cfg.Codec.Ratio
+			}
+		}
+		if cfg.Scheduler != nil {
+			*txName = cfg.Scheduler.Name()
+		}
+		if cfg.Channel != nil {
+			// Take the family from the spec line's own channel value:
+			// factories like markov render a Name that is not a
+			// parseable spec.
+			_, params, err := spec.Split("cfg(" + strings.TrimSpace(*specLine) + ")")
+			if err != nil {
+				return err
+			}
+			base, _, err := spec.Split(params["channel"])
+			if err != nil {
+				return err
+			}
+			if base == "no-loss" {
+				base = "noloss"
+			}
+			*chName = base
+		}
+		if cfg.Trials != 0 {
+			*trials = cfg.Trials
+		}
+		if cfg.Seed != 0 {
+			*seed = cfg.Seed
+		}
+		if cfg.NSent != 0 {
+			*nsent = cfg.NSent
+		}
+		if cfg.Workers != 0 {
+			*workers = cfg.Workers
+		}
 	}
 
 	grid, err := parseGrid(*gridSpec)

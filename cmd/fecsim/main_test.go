@@ -90,6 +90,45 @@ func TestRunParameterizedSchedulers(t *testing.T) {
 	}
 }
 
+func TestRunSpecOverridesFlags(t *testing.T) {
+	// One unified spec line configures the whole sweep; flags it names
+	// are superseded, flags it omits (here the grid) survive.
+	var out, errs bytes.Buffer
+	err := run(context.Background(), fastArgs(
+		"-spec", "codec=rse(k=40,ratio=1.5),sched=tx5,channel=gilbert,trials=2,seed=9"),
+		&out, &errs)
+	if err != nil {
+		t.Fatalf("run -spec: %v (stderr: %s)", err, errs.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "rse") || !strings.Contains(got, "tx5") ||
+		!strings.Contains(got, "k=40") || !strings.Contains(got, "trials=2") {
+		t.Fatalf("spec keys did not reach the sweep header:\n%s", got)
+	}
+
+	// Channel families whose factory Name is not a parseable spec
+	// (markov, no-loss) still select the right sweep family.
+	for specChannel, family := range map[string]string{
+		"markov(p=0.01,q=0.5)": "channel=markov",
+		"noloss":               "channel=noloss",
+	} {
+		out.Reset()
+		if err := run(context.Background(), fastArgs("-spec", "channel="+specChannel), &out, &errs); err != nil {
+			t.Fatalf("-spec channel=%s: %v", specChannel, err)
+		}
+		if !strings.Contains(out.String(), family) {
+			t.Fatalf("-spec channel=%s: header missing %q:\n%s", specChannel, family, out.String())
+		}
+	}
+
+	if err := run(context.Background(), fastArgs("-spec", "codec=bogus(k=3)"), &out, &errs); err == nil {
+		t.Fatal("accepted bogus codec spec")
+	}
+	if err := run(context.Background(), fastArgs("-spec", "shed=tx4"), &out, &errs); err == nil {
+		t.Fatal("accepted unknown spec key")
+	}
+}
+
 func TestRunChannelFamilies(t *testing.T) {
 	for _, family := range []string{"bernoulli", "markov", "noloss"} {
 		var out, errs bytes.Buffer

@@ -1,0 +1,228 @@
+package fecperf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	lines := []string{
+		"",
+		"codec=rse(k=64,ratio=1.5)",
+		"codec=rse(k=64,ratio=1.5,seed=7),sched=tx4,channel=gilbert(p=0.01,q=0.5),rate=5000",
+		"codec=ldgm-staircase(k=20000,ratio=2.5,seed=1),sched=tx6(frac=0.3),trials=100,workers=8",
+		"codec=no-fec(k=8),sched=repeat(x=3),channel=bernoulli(p=0.05)",
+		"payload=1024,object=42,window=8,rounds=3,seed=-5,nsent=1200,pending=16,burst=64",
+		"sched=carousel(inner=tx6(frac=0.5),rounds=3)",
+	}
+	for _, line := range lines {
+		c, err := ParseSpec(line)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", line, err)
+		}
+		rendered := c.Spec()
+		back, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q).Spec() = %q does not re-parse: %v", line, rendered, err)
+		}
+		if back.Spec() != rendered {
+			t.Errorf("spec drift: %q -> %q -> %q", line, rendered, back.Spec())
+		}
+	}
+}
+
+func TestParseSpecFields(t *testing.T) {
+	c, err := ParseSpec("codec=rse(k=64,ratio=1.5),sched=tx2,channel=gilbert(p=0.01,q=0.79),rate=5000,trials=20,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Codec.Family != "rse" || c.Codec.K != 64 || c.Codec.Ratio != 1.5 {
+		t.Errorf("codec = %+v", c.Codec)
+	}
+	if c.Scheduler == nil || c.Scheduler.Name() != "tx2" {
+		t.Errorf("scheduler = %v", c.Scheduler)
+	}
+	if c.Channel == nil || c.Channel.Name() != "gilbert(p=0.01,q=0.79)" {
+		t.Errorf("channel = %v", c.Channel)
+	}
+	if c.Rate != 5000 || c.Trials != 20 || c.Seed != 9 {
+		t.Errorf("scalars: %+v", c)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, line := range []string{
+		"codec=bogus(k=3)",
+		"codec=rse(k=64),shed=tx4", // typo key
+		"rate=abc",
+		"object=-1",
+		"sched=tx9",
+		"channel=gilbert(p=2,q=1)",
+		"codec=rse(k=64,ratio=1.5", // unbalanced
+	} {
+		if _, err := ParseSpec(line); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestOptionsComposeWithSpec(t *testing.T) {
+	c, err := NewConfig(
+		WithSpec("codec=rse(k=64,ratio=1.5),rate=1000,seed=3"),
+		WithRate(2000),       // later option wins
+		WithScheduler("tx5"), // adds a field the spec left unset
+		WithChannel("bernoulli(p=0.1)"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rate != 2000 {
+		t.Errorf("Rate = %g, want the later option's 2000", c.Rate)
+	}
+	if c.Codec.K != 64 || c.Seed != 3 {
+		t.Errorf("spec fields lost: %+v", c)
+	}
+	if c.Scheduler.Name() != "tx5" || c.Channel.Name() != "bernoulli(p=0.1)" {
+		t.Errorf("added fields missing: %+v", c)
+	}
+
+	// The reverse order: the spec overlays only its own keys.
+	c, err = NewConfig(WithRate(2000), WithSpec("rate=1000,seed=3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rate != 1000 || c.Seed != 3 {
+		t.Errorf("WithSpec after WithRate: %+v", c)
+	}
+}
+
+func TestSimulateMatchesDeprecatedMeasure(t *testing.T) {
+	// The new spec-driven Simulate must reproduce the deprecated
+	// Measure exactly: same code, scheduler, channel, trials, seed.
+	code, err := NewCode("ldgm-staircase", 500, 2.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Measure(Measurement{
+		Code: code, Scheduler: TxModel2(),
+		P: 0.01, Q: 0.79, Trials: 10, Seed: 7, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Simulate(WithSpec(
+		"codec=ldgm-staircase(k=500,ratio=2.5,seed=11),sched=tx2,channel=gilbert(p=0.01,q=0.79),trials=10,seed=7,workers=2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("Simulate = %+v, Measure = %+v", got, want)
+	}
+}
+
+func TestSimulateDefaults(t *testing.T) {
+	// No scheduler, no channel: tx4 over the perfect channel. Every
+	// trial then needs exactly the ideal packet count.
+	agg, err := Simulate(WithCodec("rse(k=20,ratio=1.5)"), WithTrials(5), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Failures != 0 {
+		t.Errorf("perfect channel produced %d failures", agg.Failures)
+	}
+	if _, err := Simulate(); err == nil || !strings.Contains(err.Error(), "codec") {
+		t.Errorf("Simulate without codec: err = %v", err)
+	}
+	if _, err := Simulate(WithCodec("rse(ratio=1.5)")); err == nil {
+		t.Error("Simulate without k succeeded")
+	}
+}
+
+func TestSimulateRatioDefaultMatchesDelivery(t *testing.T) {
+	// A spec that omits ratio must mean the same code in simulation as
+	// on the delivery path: the shared 1.5 default, never a silent
+	// zero-parity code.
+	implicit, err := Simulate(WithCodec("rse(k=20)"), WithTrials(3), WithSeed(2),
+		WithChannel("bernoulli(p=0.1)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Simulate(WithCodec("rse(k=20,ratio=1.5)"), WithTrials(3), WithSeed(2),
+		WithChannel("bernoulli(p=0.1)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit != explicit {
+		t.Errorf("implicit ratio %+v != explicit 1.5 %+v", implicit, explicit)
+	}
+	obj, err := NewObject(make([]byte, 4096), WithCodec("rse(k=20)"), WithPayloadSize(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	if want := int(float64(obj.K())*1.5 + 0.5); obj.N() != want {
+		t.Errorf("NewObject implicit ratio: n = %d for k = %d, want %d (ratio 1.5)", obj.N(), obj.K(), want)
+	}
+}
+
+func TestNewObjectSpec(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	obj, err := NewObject(data, WithSpec("codec=rse(ratio=1.5),object=9,payload=16"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	if obj.ObjectID() != 9 {
+		t.Errorf("ObjectID = %d, want 9", obj.ObjectID())
+	}
+	rx := NewDeliveryReceiver()
+	var got []byte
+	for id := 0; id < obj.N(); id++ {
+		d, err := obj.Datagram(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, done, data, err := rx.Ingest(d); err != nil {
+			t.Fatal(err)
+		} else if done {
+			got = data
+			break
+		}
+	}
+	if string(got) != string(data) {
+		t.Errorf("round trip = %q", got)
+	}
+}
+
+func TestExperimentIDsSorted(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("ExperimentIDs not strictly sorted: %q before %q", ids[i-1], ids[i])
+		}
+	}
+}
+
+func FuzzConfigSpec(f *testing.F) {
+	f.Add("codec=rse(k=64,ratio=1.5),sched=tx4,channel=gilbert(p=0.01,q=0.5),rate=5000")
+	f.Add("payload=1024,object=42,window=8")
+	f.Add("sched=carousel(inner=tx6(frac=0.5),rounds=3)")
+	f.Add("codec=,sched=,channel=")
+	f.Fuzz(func(t *testing.T, line string) {
+		c, err := ParseSpec(line)
+		if err != nil {
+			return
+		}
+		rendered := c.Spec()
+		back, err := ParseSpec(rendered)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q).Spec() = %q does not re-parse: %v", line, rendered, err)
+		}
+		if back.Spec() != rendered {
+			t.Fatalf("spec drift: %q -> %q -> %q", line, rendered, back.Spec())
+		}
+	})
+}

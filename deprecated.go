@@ -1,0 +1,90 @@
+package fecperf
+
+// Deprecated facade names, kept as thin wrappers over the unified API
+// so downstream code keeps compiling. New code should use the
+// spec-driven constructors (NewObject, NewCaster/NewCollector, Dial,
+// Listen, Simulate); see the migration table in the README.
+
+import (
+	"fmt"
+
+	"fecperf/internal/channel"
+	"fecperf/internal/session"
+	"fecperf/internal/sim"
+)
+
+// EncodeForDelivery FEC-encodes a byte object for datagram transmission.
+//
+// Deprecated: use NewObject, which takes the unified Config options
+// ("codec=...,object=...,payload=..." specs); for objects larger than
+// memory use NewCaster.
+func EncodeForDelivery(data []byte, cfg DeliveryConfig) (*DeliveryObject, error) {
+	return session.EncodeObject(data, cfg)
+}
+
+// DialBroadcast returns a sending UDP endpoint for addr ("host:port";
+// multicast group addresses work without joining).
+//
+// Deprecated: use Dial.
+func DialBroadcast(addr string) (TransportConn, error) { return Dial(addr) }
+
+// ListenBroadcast returns a receiving UDP endpoint bound to addr,
+// joining the group when addr is multicast.
+//
+// Deprecated: use Listen.
+func ListenBroadcast(addr string) (TransportConn, error) { return Listen(addr) }
+
+// Measurement describes one measurement point for Measure: a code and a
+// scheduler facing a Gilbert(p, q) channel.
+//
+// Deprecated: use Simulate with options — WithCodec, WithScheduler,
+// WithChannel("gilbert(p=…,q=…)"), WithTrials, WithSeed, WithNSent,
+// WithWorkers — or one ParseSpec line.
+type Measurement struct {
+	Code      Code
+	Scheduler Scheduler
+	// P and Q are the Gilbert transition probabilities.
+	P, Q float64
+	// Trials is the number of receptions (0 = 100, the paper's count).
+	Trials int
+	// Seed fixes all randomness.
+	Seed int64
+	// NSent optionally truncates transmissions (Section 6 optimisation).
+	NSent int
+	// Workers splits the trials across goroutines (0 = sequential);
+	// the aggregate is identical for every worker count.
+	Workers int
+}
+
+// Measure runs repeated reception trials at one channel point and returns
+// the paper's aggregate (mean inefficiency ratio, failure count,
+// n_received/k).
+//
+// Deprecated: use Simulate, which accepts any code family, scheduler
+// and channel as one serializable spec line.
+func Measure(m Measurement) (Aggregate, error) {
+	if m.Code == nil || m.Scheduler == nil {
+		return Aggregate{}, fmt.Errorf("fecperf: Measurement requires Code and Scheduler")
+	}
+	if err := channel.ValidateGilbert(m.P, m.Q); err != nil {
+		return Aggregate{}, err
+	}
+	return sim.Run(sim.Config{
+		Code:      m.Code,
+		Scheduler: m.Scheduler,
+		Channel:   channel.GilbertFactory{P: m.P, Q: m.Q},
+		Trials:    m.Trials,
+		Seed:      m.Seed,
+		NSent:     m.NSent,
+		Workers:   m.Workers,
+	}), nil
+}
+
+// NewGilbertImpairment returns a seeded Gilbert channel suitable for
+// Loopback.Receiver.
+//
+// Deprecated: use NewImpairment("gilbert(p=…,q=…)", seed), which
+// accepts every channel family by spec.
+func NewGilbertImpairment(p, q float64, seed int64) (Channel, error) {
+	return NewGilbertChannel(p, q, seed)
+}

@@ -70,18 +70,12 @@ func main() {
 	fmt.Printf("n_sent: %d of %d packets (%.1f%% of the full transmission saved)\n",
 		nsent, nTotal, 100*float64(nTotal-nsent)/float64(nTotal))
 
-	code, err := fecperf.NewCode(best.Tuple.Code, k, best.Tuple.Ratio, 7)
-	if err != nil {
-		log.Fatal(err)
-	}
-	s, err := fecperf.SchedulerByName(best.Tuple.TxModel)
-	if err != nil {
-		log.Fatal(err)
-	}
-	agg, err := fecperf.Measure(fecperf.Measurement{
-		Code: code, Scheduler: s, P: p, Q: q,
-		Trials: 50, Seed: 99, NSent: nsent,
-	})
+	// The winning tuple becomes one serializable spec line — the same
+	// line cmd/feccast would broadcast with.
+	spec := fmt.Sprintf("codec=%s(k=%d,ratio=%g,seed=7),sched=%s,channel=gilbert(p=%g,q=%g),trials=50,seed=99,nsent=%d",
+		best.Tuple.Code, k, best.Tuple.Ratio, best.Tuple.TxModel, p, q, nsent)
+	fmt.Printf("validation spec: %s\n", spec)
+	agg, err := fecperf.Simulate(fecperf.WithSpec(spec))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,16 +1,18 @@
-// Filecast: a complete FLUTE-like file broadcast over the transport
-// subsystem's in-memory lossy backend.
+// Filecast: a complete FLUTE-like file transfer over the transport
+// subsystem's in-memory lossy backend, entirely through the public
+// spec-driven facade.
 //
-// A carousel sender FEC-encodes a file-sized object with LDGM Triangle,
-// re-schedules it every round with Tx_model_4 (the paper's
-// recommendation for unknown channels) and streams it at a fixed packet
-// rate. Two receiver daemons listen on the same broadcast, each behind
-// its own Gilbert loss process — one light, one bursty. Receiver B even
-// joins mid-carousel: every datagram carries the FEC Object Transmission
-// Information, so it bootstraps from nothing and still completes.
+// A Caster streams a 4 MiB "file" as a train of FEC-encoded chunks —
+// bounded memory however large the file — and two Collectors, each
+// behind its own Gilbert loss process (one light, one bursty), rebuild
+// it byte-for-byte, verified by the train manifest's stream CRC. The
+// whole configuration is ONE spec line shared by every party; swap
+// NewLoopback for Dial/Listen (see cmd/feccast cast/collect) and the
+// same code runs over real UDP.
 //
-// Swap NewLoopback for DialBroadcast/ListenBroadcast (see cmd/feccast)
-// and the same code runs over real UDP.
+// For the whole-object carousel (late joiners bootstrap mid-broadcast
+// from any datagram) see NewBroadcaster / NewReceiverDaemon and
+// examples/broadcast.
 package main
 
 import (
@@ -19,88 +21,92 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
-	"time"
+	"sync"
 
-	"fecperf/internal/channel"
-	"fecperf/internal/sched"
-	"fecperf/internal/session"
-	"fecperf/internal/transport"
-	"fecperf/internal/wire"
+	"fecperf"
 )
 
 func main() {
-	// The "file": 256 KiB of pseudo-random content.
+	// The shared scenario: 256 KiB chunks of Reed-Solomon at ratio 2,
+	// Tx_model_4 scheduling (the paper's recommendation for unknown
+	// channels), object train 7.
+	const spec = "codec=rse(k=256,ratio=2,seed=42),sched=tx4,payload=1024,object=7,window=4,rounds=2,seed=9"
+
+	// The "file": 4 MiB of pseudo-random content, hashed on the fly.
 	rng := rand.New(rand.NewSource(1))
-	file := make([]byte, 256<<10)
+	file := make([]byte, 4<<20)
 	rng.Read(file)
 
-	obj, err := session.EncodeObject(file, session.SenderConfig{
-		ObjectID:    7,
-		Family:      wire.CodeLDGMTriangle,
-		Ratio:       2.5,
-		PayloadSize: 1024,
-		Seed:        42,
-	})
+	hub := fecperf.NewLoopback()
+	defer hub.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type rxSide struct {
+		name string
+		col  *fecperf.Collector
+		out  *bytes.Buffer
+		err  error
+	}
+	newSide := func(name, channelSpec string, seed int64) *rxSide {
+		impairment, err := fecperf.NewImpairment(channelSpec, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		side := &rxSide{name: name, out: &bytes.Buffer{}}
+		side.col, err = fecperf.NewCollector(hub.Receiver(impairment, 1<<16), side.out,
+			fecperf.WithSpec(spec))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return side
+	}
+	sides := []*rxSide{
+		newSide("receiver-A (light loss)", "gilbert(p=0.01,q=0.7)", 100),
+		newSide("receiver-B (bursty loss)", "gilbert(p=0.05,q=0.3)", 101),
+	}
+
+	var wg sync.WaitGroup
+	for _, s := range sides {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.err = s.col.Run(ctx)
+		}()
+	}
+
+	// The caster reads the file as a stream: nothing is ever held
+	// beyond the 4-chunk window, so a 4 GiB file would cast the same.
+	caster, err := fecperf.NewCaster(hub.Sender(), bytes.NewReader(file),
+		fecperf.WithSpec(spec),
+		fecperf.WithCastProgress(func(p fecperf.CastProgress) {
+			if p.Done {
+				fmt.Printf("caster: %d bytes read, train sealed\n", p.BytesRead)
+			}
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("object: %d bytes → k=%d source + %d parity symbols of 1024 B\n",
-		len(file), obj.K(), obj.N()-obj.K())
-
-	hub := transport.NewLoopback()
-	defer hub.Close()
-
-	// Receiver A is there from the start, behind light random loss.
-	chanA := channel.NewGilbert(0.01, 0.7, rand.New(rand.NewSource(100)))
-	daemonA := transport.NewReceiverDaemon(hub.Receiver(chanA, 1<<16), transport.ReceiverConfig{})
-
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
-	defer cancel()
-	go daemonA.Run(ctx) //nolint:errcheck
-
-	// The carousel: infinite rounds, paced at 20k packets/s, stopped by
-	// cancelling its context once both receivers are done.
-	sender := transport.NewSender(hub.Sender(), transport.SenderConfig{
-		Rate:      20000,
-		Scheduler: sched.TxModel4{},
-		Seed:      9,
-	})
-	if err := sender.Add(obj); err != nil {
+	if err := caster.Run(ctx); err != nil {
 		log.Fatal(err)
 	}
-	// The carousel encodes datagrams lazily from the object's pooled
-	// symbol buffers, so they are released (via the sender) only after
-	// the carousel stops.
-	defer sender.Close()
-	senderCtx, stopSender := context.WithCancel(ctx)
-	defer stopSender()
-	go sender.Run(senderCtx) //nolint:errcheck
+	st := caster.Stats()
+	fmt.Printf("caster: %d chunks in %d datagrams (%d bytes on the wire)\n",
+		st.ChunksCast, st.PacketsSent, st.BytesSent)
 
-	// Receiver B joins two seconds of carousel later, behind bursty
-	// loss — the paper's late-join scenario.
-	time.Sleep(2 * time.Second)
-	chanB := channel.NewGilbert(0.08, 0.3, rand.New(rand.NewSource(101)))
-	daemonB := transport.NewReceiverDaemon(hub.Receiver(chanB, 1<<16), transport.ReceiverConfig{})
-	go daemonB.Run(ctx) //nolint:errcheck
-	fmt.Println("receiver-B joined mid-carousel")
-
-	report := func(name string, d *transport.ReceiverDaemon) {
-		data, err := d.WaitObject(ctx, 7)
-		if err != nil {
-			log.Fatalf("%s: %v (stats %+v)", name, err, d.Stats())
+	wg.Wait()
+	for _, s := range sides {
+		if s.err != nil {
+			log.Fatalf("%s: %v (stats %+v)", s.name, s.err, s.col.Stats())
 		}
-		st := d.Stats()
 		status := "corrupted!"
-		if bytes.Equal(data, file) {
+		if bytes.Equal(s.out.Bytes(), file) {
 			status = "verified byte-for-byte"
 		}
+		rxStats := s.col.Stats()
 		fmt.Printf("%-26s complete after %d ingested datagrams (inefficiency %.4f) — %s\n",
-			name, st.PacketsIngested, float64(st.PacketsIngested)/float64(obj.K()), status)
+			s.name, rxStats.PacketsIngested,
+			float64(rxStats.PacketsIngested)/float64(len(file)/1024), status)
 	}
-	report("receiver-A (light loss)", daemonA)
-	report("receiver-B (bursty, late)", daemonB)
-
-	stopSender()
-	st := sender.Stats()
-	fmt.Printf("sender pushed %d datagrams in %d full rounds\n", st.PacketsSent, st.Rounds)
 }

@@ -26,10 +26,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ldgm, err := fecperf.NewCode("ldgm-triangle", k, ratio, 42)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	fmt.Printf("channel: gilbert p=%g q=%g → %.1f%% loss in ~%.0f-packet bursts\n",
 		p, q, 100*fecperf.GlobalLoss(p, q), 1/q)
@@ -38,21 +34,24 @@ func main() {
 
 	type entry struct {
 		label string
-		code  fecperf.Code
-		s     fecperf.Scheduler
+		codec string
+		sched string
 	}
 	entries := []entry{
-		{"RSE, sequential (tx1)", rseCode, fecperf.TxModel1()},
-		{"RSE, interleaved (tx5)", rseCode, fecperf.TxModel5()},
-		{"LDGM Triangle, random (tx4)", ldgm, fecperf.TxModel4()},
+		{"RSE, sequential (tx1)", fmt.Sprintf("rse(k=%d,ratio=%g)", k, ratio), "tx1"},
+		{"RSE, interleaved (tx5)", fmt.Sprintf("rse(k=%d,ratio=%g)", k, ratio), "tx5"},
+		{"LDGM Triangle, random (tx4)", fmt.Sprintf("ldgm-triangle(k=%d,ratio=%g,seed=42)", k, ratio), "tx4"},
 	}
 
 	const trials = 50
 	fmt.Printf("%-30s %12s %14s\n", "scheme", "decoded", "inefficiency")
 	for _, e := range entries {
-		agg, err := fecperf.Measure(fecperf.Measurement{
-			Code: e.code, Scheduler: e.s, P: p, Q: q, Trials: trials, Seed: 5,
-		})
+		agg, err := fecperf.Simulate(
+			fecperf.WithCodec(e.codec),
+			fecperf.WithScheduler(e.sched),
+			fecperf.WithChannel(fmt.Sprintf("gilbert(p=%g,q=%g)", p, q)),
+			fecperf.WithTrials(trials),
+			fecperf.WithSeed(5))
 		if err != nil {
 			log.Fatal(err)
 		}

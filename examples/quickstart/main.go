@@ -10,7 +10,6 @@ import (
 	"math/rand"
 
 	"fecperf"
-	"fecperf/internal/ldpc"
 )
 
 func main() {
@@ -30,10 +29,9 @@ func main() {
 		rng.Read(source[i])
 	}
 
-	// 2. FEC-encode with LDGM Staircase (one big block, fast XOR encode).
-	code, err := fecperf.NewLDGM(ldpc.Params{
-		K: k, N: int(k * ratio), Variant: fecperf.LDGMStaircase, Seed: 42,
-	})
+	// 2. FEC-encode with LDGM Staircase (one big block, fast XOR encode),
+	//    the codec resolved from one spec string.
+	code, err := fecperf.CodecByName(fmt.Sprintf("ldgm-staircase(k=%d,ratio=%g,seed=42)", k, ratio))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +54,11 @@ func main() {
 	}
 	// The schedule is streaming: O(1) memory however large the object,
 	// each position evaluated only as it is sent.
-	dec := code.NewPayloadDecoder(payload)
+	dec, err := code.NewDecoder(payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dec.Close()
 	sent, received := 0, 0
 	for cur := schedule.Cursor(); ; {
 		id, ok := cur.Next()

@@ -1,0 +1,691 @@
+package fecperf
+
+// The unified facade core: every public constructor in this package —
+// streaming delivery (NewCaster/NewCollector), single objects
+// (NewObject), simulation (Simulate) and the CLI tools built on them —
+// is configured the same way, by a Config assembled from functional
+// options, a one-line spec string, or both. The spec grammar is the
+// repository-wide one (internal/spec): comma-separated key=value pairs
+// whose values may themselves be parameterized specs, so a whole
+// send/receive/simulate configuration serializes to one line,
+//
+//	codec=rse(k=64,ratio=1.5),sched=tx4,channel=gilbert(p=0.01,q=0.5),rate=5000
+//
+// and round-trips through Config.Spec — usable identically from Go
+// code, cmd/* flags and engine plans.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fecperf/internal/channel"
+	"fecperf/internal/codes"
+	"fecperf/internal/core"
+	"fecperf/internal/engine"
+	"fecperf/internal/experiments"
+	"fecperf/internal/ldpc"
+	"fecperf/internal/recommend"
+	"fecperf/internal/rse"
+	"fecperf/internal/sched"
+	"fecperf/internal/sim"
+	"fecperf/internal/spec"
+	"fecperf/internal/symbol"
+	"fecperf/internal/transport"
+)
+
+// Core abstractions, aliased so facade users interoperate with every
+// subsystem without conversion.
+type (
+	// Code is an FEC code instance: a layout plus a receiver factory.
+	Code = core.Code
+	// Receiver is an incremental decoder fed packets in arrival order.
+	Receiver = core.Receiver
+	// Codec is the payload-carrying half of a code: encode k source
+	// symbols to n-k parity, mint incremental payload decoders. All
+	// families (rse, rse16, the ldgm variants, no-fec) implement it.
+	Codec = core.Codec
+	// PayloadDecoder consumes payload packets one at a time and exposes
+	// the recovered source symbols. See the buffer-ownership contract on
+	// the interface: payloads passed in are borrowed, slices returned by
+	// Source live until Close.
+	PayloadDecoder = core.PayloadDecoder
+	// CodecSpec is the serializable configuration of one codec:
+	// family, k, expansion ratio and construction seed. Its Name
+	// round-trips through ParseCodecSpec.
+	CodecSpec = codes.Spec
+	// Scheduler produces a transmission order for one trial.
+	Scheduler = core.Scheduler
+	// Schedule is a streaming transmission order: O(1) memory, any
+	// position evaluable in O(1) via At, iterable via Cursor. See
+	// MaterializeSchedule for the []int bridge.
+	Schedule = core.Schedule
+	// ScheduleCursor iterates a Schedule; copying it forks the
+	// iteration state (mid-stream resume is free).
+	ScheduleCursor = core.Cursor
+	// Channel decides, per transmission, whether a packet is erased.
+	Channel = core.Channel
+	// ChannelFactory mints one fresh Channel per trial or receiver;
+	// gilbert/bernoulli/noloss factories round-trip their Name through
+	// ChannelByName.
+	ChannelFactory = channel.Factory
+	// Layout describes the packet-ID structure of an encoded object.
+	Layout = core.Layout
+	// TrialResult is the outcome of a single simulated reception.
+	TrialResult = core.TrialResult
+	// Aggregate summarises the repeated trials of one measurement point.
+	Aggregate = sim.Aggregate
+	// Grid is a (p, q) sweep result.
+	Grid = sim.Grid
+	// Report is a rendered experiment outcome.
+	Report = experiments.Report
+	// ExperimentOptions scales an experiment run.
+	ExperimentOptions = experiments.Options
+	// Tuple is a (code, transmission model, expansion ratio) candidate.
+	Tuple = recommend.Tuple
+	// Plan declares a cartesian scenario space for the experiment engine.
+	Plan = engine.Plan
+	// Point is one serializable work unit of an expanded plan.
+	Point = engine.Point
+	// PointResult pairs a point with its measured aggregate.
+	PointResult = engine.PointResult
+	// ChannelSpec is a serializable loss-channel description for plans.
+	ChannelSpec = engine.ChannelSpec
+	// PlanOptions tunes a RunPlan call: workers, progress callback,
+	// streaming results channel and checkpoint path.
+	PlanOptions = engine.Options
+	// PlanProgress describes one completed point of a running plan.
+	PlanProgress = engine.Progress
+)
+
+// Config is the one configuration every top-level constructor consumes.
+// Zero fields mean "the constructor's default". Assemble it with
+// functional options (WithCodec, WithScheduler, ...), parse it from a
+// one-line spec (ParseSpec / WithSpec), and serialize it back with
+// Spec; the two forms are equivalent and compose (later options
+// override earlier ones).
+type Config struct {
+	// Codec is the FEC codec configuration (spec key "codec", e.g.
+	// codec=rse(k=64,ratio=1.5,seed=7)).
+	Codec CodecSpec
+	// Scheduler orders transmissions (key "sched", e.g. sched=tx4 or
+	// sched=carousel(inner=tx2,rounds=3)).
+	Scheduler Scheduler
+	// Channel is the loss process — the simulated channel in Simulate,
+	// the loopback impairment in live runs (key "channel", e.g.
+	// channel=gilbert(p=0.01,q=0.5)).
+	Channel ChannelFactory
+	// PayloadSize is the symbol size in bytes (key "payload").
+	PayloadSize int
+	// Rate limits transmission in packets per second (key "rate");
+	// Burst is the token-bucket depth (key "burst").
+	Rate  float64
+	Burst int
+	// BaseObjectID tags delivery objects; a cast train's manifest rides
+	// at this ID, chunk i at BaseObjectID+1+i (key "object").
+	BaseObjectID uint32
+	// Window bounds how many chunks a Caster keeps encoded and on the
+	// air at once (key "window").
+	Window int
+	// Rounds is the carousel rounds per Caster window group, or the
+	// Broadcaster's total rounds (key "rounds").
+	Rounds int
+	// Seed fixes scheduling, channel and trial randomness; the codec's
+	// construction seed is Codec.Seed, defaulting to this one (key
+	// "seed").
+	Seed int64
+	// NSent truncates transmissions — the paper's Section-6 n_sent
+	// optimisation (key "nsent").
+	NSent int
+	// Trials is the reception count for Simulate (key "trials").
+	Trials int
+	// Workers bounds Simulate's parallelism (key "workers").
+	Workers int
+	// MaxPending bounds a Collector's out-of-order chunk buffer (key
+	// "pending").
+	MaxPending int
+	// OnCastProgress and OnCollectProgress observe streaming transfers.
+	// Callbacks are Go-only: they do not serialize into Spec.
+	OnCastProgress    func(CastProgress)
+	OnCollectProgress func(CollectProgress)
+}
+
+// Option mutates a Config; every top-level constructor accepts a list.
+type Option func(*Config) error
+
+// WithSpec applies a whole one-line configuration spec. Keys present in
+// the line overwrite the corresponding Config fields; everything else
+// is left as previously set, so WithSpec composes with the other
+// options in argument order.
+func WithSpec(line string) Option {
+	return func(c *Config) error {
+		parsed, err := ParseSpec(line)
+		if err != nil {
+			return err
+		}
+		parsed.overlay(c)
+		return nil
+	}
+}
+
+// WithCodec selects the FEC codec by spec, e.g. "rse(k=64,ratio=1.5)".
+func WithCodec(codecSpec string) Option {
+	return func(c *Config) error {
+		s, err := codes.ParseSpec(codecSpec)
+		if err != nil {
+			return err
+		}
+		c.Codec = s
+		return nil
+	}
+}
+
+// WithCodecSpec selects the FEC codec by structured spec.
+func WithCodecSpec(s CodecSpec) Option {
+	return func(c *Config) error {
+		c.Codec = s
+		return nil
+	}
+}
+
+// WithScheduler selects the transmission model by name, e.g. "tx4",
+// "tx6(frac=0.3)", "carousel(inner=tx2,rounds=4)".
+func WithScheduler(name string) Option {
+	return func(c *Config) error {
+		s, err := sched.ByName(name)
+		if err != nil {
+			return err
+		}
+		c.Scheduler = s
+		return nil
+	}
+}
+
+// WithSchedulerInstance installs a Scheduler value directly (custom
+// schedulers; note Config.Spec serializes it via its Name, which must
+// then parse back through SchedulerByName to round-trip).
+func WithSchedulerInstance(s Scheduler) Option {
+	return func(c *Config) error {
+		c.Scheduler = s
+		return nil
+	}
+}
+
+// WithChannel selects the loss process by spec, e.g.
+// "gilbert(p=0.01,q=0.5)", "bernoulli(p=0.05)", "noloss".
+func WithChannel(channelSpec string) Option {
+	return func(c *Config) error {
+		f, err := channel.ParseName(channelSpec)
+		if err != nil {
+			return err
+		}
+		c.Channel = f
+		return nil
+	}
+}
+
+// WithChannelFactory installs a ChannelFactory value directly.
+func WithChannelFactory(f ChannelFactory) Option {
+	return func(c *Config) error {
+		c.Channel = f
+		return nil
+	}
+}
+
+// WithPayloadSize sets the symbol size in bytes.
+func WithPayloadSize(n int) Option {
+	return func(c *Config) error {
+		c.PayloadSize = n
+		return nil
+	}
+}
+
+// WithRate limits transmission in packets per second (0 = unpaced).
+func WithRate(packetsPerSecond float64) Option {
+	return func(c *Config) error {
+		c.Rate = packetsPerSecond
+		return nil
+	}
+}
+
+// WithBurst sets the pacer's token-bucket depth in packets.
+func WithBurst(n int) Option {
+	return func(c *Config) error {
+		c.Burst = n
+		return nil
+	}
+}
+
+// WithBaseObjectID sets the delivery object ID (a cast train's base).
+func WithBaseObjectID(id uint32) Option {
+	return func(c *Config) error {
+		c.BaseObjectID = id
+		return nil
+	}
+}
+
+// WithWindow bounds how many chunks a Caster holds encoded at once.
+func WithWindow(n int) Option {
+	return func(c *Config) error {
+		c.Window = n
+		return nil
+	}
+}
+
+// WithRounds sets carousel rounds (per Caster window group).
+func WithRounds(n int) Option {
+	return func(c *Config) error {
+		c.Rounds = n
+		return nil
+	}
+}
+
+// WithSeed fixes all randomness not covered by the codec spec's seed.
+func WithSeed(seed int64) Option {
+	return func(c *Config) error {
+		c.Seed = seed
+		return nil
+	}
+}
+
+// WithNSent truncates transmissions (Section 6's n_sent optimisation).
+func WithNSent(n int) Option {
+	return func(c *Config) error {
+		c.NSent = n
+		return nil
+	}
+}
+
+// WithTrials sets Simulate's reception count.
+func WithTrials(n int) Option {
+	return func(c *Config) error {
+		c.Trials = n
+		return nil
+	}
+}
+
+// WithWorkers bounds Simulate's worker pool (0 = sequential).
+func WithWorkers(n int) Option {
+	return func(c *Config) error {
+		c.Workers = n
+		return nil
+	}
+}
+
+// WithMaxPending bounds a Collector's out-of-order chunk buffer.
+func WithMaxPending(n int) Option {
+	return func(c *Config) error {
+		c.MaxPending = n
+		return nil
+	}
+}
+
+// WithCastProgress observes a running cast.
+func WithCastProgress(fn func(CastProgress)) Option {
+	return func(c *Config) error {
+		c.OnCastProgress = fn
+		return nil
+	}
+}
+
+// WithCollectProgress observes a running collect.
+func WithCollectProgress(fn func(CollectProgress)) Option {
+	return func(c *Config) error {
+		c.OnCollectProgress = fn
+		return nil
+	}
+}
+
+// NewConfig assembles a Config from options, applied in order.
+func NewConfig(opts ...Option) (Config, error) {
+	var c Config
+	for _, o := range opts {
+		if err := o(&c); err != nil {
+			return Config{}, err
+		}
+	}
+	return c, nil
+}
+
+// configKeys are the spec keys ParseSpec accepts, in the canonical
+// render order of Config.Spec.
+var configKeys = []string{
+	"codec", "sched", "channel", "payload", "rate", "burst",
+	"object", "window", "rounds", "seed", "nsent", "trials",
+	"workers", "pending",
+}
+
+// ParseSpec parses a one-line configuration spec — comma-separated
+// key=value pairs, values themselves specs — into a Config:
+//
+//	codec=rse(k=64,ratio=1.5),sched=tx4,channel=gilbert(p=0.01,q=0.5),rate=5000
+//
+// Unknown keys and malformed values are errors. The empty line is the
+// zero Config. ParseSpec(c.Spec()) reproduces c for every Config whose
+// scheduler and channel names round-trip (all built-ins except trace
+// and markov channels, whose factories cannot render their state).
+func ParseSpec(line string) (Config, error) {
+	var c Config
+	trimmed := strings.TrimSpace(line)
+	if trimmed == "" {
+		return c, nil
+	}
+	_, params, err := spec.Split("cfg(" + trimmed + ")")
+	if err != nil {
+		return c, fmt.Errorf("fecperf: spec %q: %w", line, err)
+	}
+	if bad := params.Unknown(configKeys...); bad != nil {
+		return c, fmt.Errorf("fecperf: spec %q has unknown keys %v (have %v)", line, bad, configKeys)
+	}
+	if v, ok := params["codec"]; ok {
+		if c.Codec, err = codes.ParseSpec(v); err != nil {
+			return Config{}, err
+		}
+	}
+	if v, ok := params["sched"]; ok {
+		if c.Scheduler, err = sched.ByName(v); err != nil {
+			return Config{}, err
+		}
+	}
+	if v, ok := params["channel"]; ok {
+		if c.Channel, err = channel.ParseName(v); err != nil {
+			return Config{}, err
+		}
+	}
+	fail := func(err error) (Config, error) {
+		return Config{}, fmt.Errorf("fecperf: spec %q: %w", line, err)
+	}
+	var e error
+	if c.PayloadSize, _, e = params.Int("payload"); e != nil {
+		return fail(e)
+	}
+	if c.Rate, _, e = params.Float("rate"); e != nil {
+		return fail(e)
+	}
+	if c.Burst, _, e = params.Int("burst"); e != nil {
+		return fail(e)
+	}
+	if c.BaseObjectID, _, e = params.Uint32("object"); e != nil {
+		return fail(e)
+	}
+	if c.Window, _, e = params.Int("window"); e != nil {
+		return fail(e)
+	}
+	if c.Rounds, _, e = params.Int("rounds"); e != nil {
+		return fail(e)
+	}
+	if c.Seed, _, e = params.Int64("seed"); e != nil {
+		return fail(e)
+	}
+	if c.NSent, _, e = params.Int("nsent"); e != nil {
+		return fail(e)
+	}
+	if c.Trials, _, e = params.Int("trials"); e != nil {
+		return fail(e)
+	}
+	if c.Workers, _, e = params.Int("workers"); e != nil {
+		return fail(e)
+	}
+	if c.MaxPending, _, e = params.Int("pending"); e != nil {
+		return fail(e)
+	}
+	return c, nil
+}
+
+// Spec renders the Config as the canonical one-line spec: only non-zero
+// fields appear, in configKeys order. Callbacks do not serialize.
+func (c Config) Spec() string {
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	if c.Codec.Family != "" {
+		add("codec", c.Codec.Name())
+	}
+	if c.Scheduler != nil {
+		add("sched", c.Scheduler.Name())
+	}
+	if c.Channel != nil {
+		add("channel", c.Channel.Name())
+	}
+	if c.PayloadSize != 0 {
+		add("payload", strconv.Itoa(c.PayloadSize))
+	}
+	if c.Rate != 0 {
+		add("rate", strconv.FormatFloat(c.Rate, 'g', -1, 64))
+	}
+	if c.Burst != 0 {
+		add("burst", strconv.Itoa(c.Burst))
+	}
+	if c.BaseObjectID != 0 {
+		add("object", strconv.FormatUint(uint64(c.BaseObjectID), 10))
+	}
+	if c.Window != 0 {
+		add("window", strconv.Itoa(c.Window))
+	}
+	if c.Rounds != 0 {
+		add("rounds", strconv.Itoa(c.Rounds))
+	}
+	if c.Seed != 0 {
+		add("seed", strconv.FormatInt(c.Seed, 10))
+	}
+	if c.NSent != 0 {
+		add("nsent", strconv.Itoa(c.NSent))
+	}
+	if c.Trials != 0 {
+		add("trials", strconv.Itoa(c.Trials))
+	}
+	if c.Workers != 0 {
+		add("workers", strconv.Itoa(c.Workers))
+	}
+	if c.MaxPending != 0 {
+		add("pending", strconv.Itoa(c.MaxPending))
+	}
+	return strings.Join(parts, ",")
+}
+
+// overlay copies src's non-zero fields onto dst.
+func (c Config) overlay(dst *Config) {
+	if c.Codec.Family != "" {
+		dst.Codec = c.Codec
+	}
+	if c.Scheduler != nil {
+		dst.Scheduler = c.Scheduler
+	}
+	if c.Channel != nil {
+		dst.Channel = c.Channel
+	}
+	if c.PayloadSize != 0 {
+		dst.PayloadSize = c.PayloadSize
+	}
+	if c.Rate != 0 {
+		dst.Rate = c.Rate
+	}
+	if c.Burst != 0 {
+		dst.Burst = c.Burst
+	}
+	if c.BaseObjectID != 0 {
+		dst.BaseObjectID = c.BaseObjectID
+	}
+	if c.Window != 0 {
+		dst.Window = c.Window
+	}
+	if c.Rounds != 0 {
+		dst.Rounds = c.Rounds
+	}
+	if c.Seed != 0 {
+		dst.Seed = c.Seed
+	}
+	if c.NSent != 0 {
+		dst.NSent = c.NSent
+	}
+	if c.Trials != 0 {
+		dst.Trials = c.Trials
+	}
+	if c.Workers != 0 {
+		dst.Workers = c.Workers
+	}
+	if c.MaxPending != 0 {
+		dst.MaxPending = c.MaxPending
+	}
+	if c.OnCastProgress != nil {
+		dst.OnCastProgress = c.OnCastProgress
+	}
+	if c.OnCollectProgress != nil {
+		dst.OnCollectProgress = c.OnCollectProgress
+	}
+}
+
+// codecSeed is the construction seed the codec uses: its own spec's
+// seed, defaulting to the config-level one.
+func (c Config) codecSeed() int64 {
+	if c.Codec.Seed != 0 {
+		return c.Codec.Seed
+	}
+	return c.Seed
+}
+
+// codecRatio resolves the effective expansion ratio for delivery: an
+// explicit ratio wins; no-fec defaults to 1 (it carries no parity);
+// everything else to the transport default.
+func (c Config) codecRatio() float64 {
+	if c.Codec.Ratio != 0 {
+		return c.Codec.Ratio
+	}
+	if c.Codec.Family == "no-fec" {
+		return 1
+	}
+	return 0 // let the constructor's default apply
+}
+
+// resolvedRatio is codecRatio with the constructor default applied —
+// the one value both the delivery path and Simulate use, so a spec
+// line describes the same code on the air and in simulation.
+func (c Config) resolvedRatio() float64 {
+	if r := c.codecRatio(); r != 0 {
+		return r
+	}
+	return transport.DefaultRatio
+}
+
+// --- Codecs and codes ---
+
+// CodeNames lists the identifiers accepted by NewCode: "rse", "ldgm",
+// "ldgm-staircase", "ldgm-triangle".
+var CodeNames = experiments.CodeNames
+
+// NewCode builds an FEC code by family name for k source packets and the
+// given FEC expansion ratio n/k. The seed fixes the pseudo-random LDGM
+// construction (it is ignored by RSE).
+func NewCode(name string, k int, ratio float64, seed int64) (Code, error) {
+	return experiments.MakeCode(name, k, ratio, seed)
+}
+
+// CodecNames lists the identifiers accepted by NewCodec and the codec
+// spec grammar: "rse", "rse16", "ldgm", "ldgm-staircase",
+// "ldgm-triangle", "no-fec".
+var CodecNames = codes.CodecNames
+
+// NewCodec builds a payload-carrying codec by family name: the encode /
+// incremental-decode surface the delivery session and transport run on.
+// Parity buffers returned by Encode are pooled; hand them back with
+// ReleaseSymbol when done, or let the garbage collector take them.
+func NewCodec(name string, k int, ratio float64, seed int64) (Codec, error) {
+	return codes.MakeCodec(name, k, ratio, seed)
+}
+
+// CodecByName resolves a fully parameterized codec spec, e.g.
+// "rse(k=64,ratio=1.5,seed=7)" — the codec-side twin of
+// SchedulerByName and ChannelByName.
+func CodecByName(codecSpec string) (Codec, error) { return codes.ByName(codecSpec) }
+
+// ParseCodecSpec parses a codec spec string into its structured form
+// without building the codec; CodecSpec.Name renders it back.
+func ParseCodecSpec(codecSpec string) (CodecSpec, error) { return codes.ParseSpec(codecSpec) }
+
+// ReleaseSymbol returns a pooled symbol buffer (from Codec.Encode) to
+// the symbol pool. The buffer must not be used afterwards.
+func ReleaseSymbol(b []byte) { symbol.Put(b) }
+
+// NewRSE builds the Reed-Solomon erasure code with FLUTE-style blocking.
+func NewRSE(k int, ratio float64) (*rse.Code, error) {
+	return rse.New(rse.Params{K: k, Ratio: ratio})
+}
+
+// NewLDGM builds one of the large-block codes with full parameter control.
+func NewLDGM(p ldpc.Params) (*ldpc.Code, error) { return ldpc.New(p) }
+
+// LDGM variants, re-exported for NewLDGM.
+const (
+	LDGMPlain     = ldpc.Plain
+	LDGMStaircase = ldpc.Staircase
+	LDGMTriangle  = ldpc.Triangle
+)
+
+// --- Schedulers ---
+
+// The six transmission models of the paper, plus the reception model.
+
+// TxModel1 sends source sequentially, then parity sequentially.
+func TxModel1() Scheduler { return sched.TxModel1{} }
+
+// TxModel2 sends source sequentially, then parity randomly.
+func TxModel2() Scheduler { return sched.TxModel2{} }
+
+// TxModel3 sends parity sequentially, then source randomly.
+func TxModel3() Scheduler { return sched.TxModel3{} }
+
+// TxModel4 sends everything in a fully random order.
+func TxModel4() Scheduler { return sched.TxModel4{} }
+
+// TxModel5 interleaves blocks (RSE) or source/parity streams (LDGM).
+func TxModel5() Scheduler { return sched.TxModel5{} }
+
+// TxModel6 sends a random 20% of source packets plus all parity, shuffled.
+func TxModel6() Scheduler { return sched.TxModel6{} }
+
+// SchedulerByName resolves a transmission-model name: "tx1".."tx6",
+// optionally parameterized — "tx6(frac=0.3)", "rx1(src=12)",
+// "repeat(x=3)", "carousel(inner=tx2,rounds=4)". Scheduler names
+// round-trip: ByName(s.Name()) reproduces s.
+func SchedulerByName(name string) (Scheduler, error) { return sched.ByName(name) }
+
+// ChannelByName resolves a parameterized channel spec into a factory:
+// "gilbert(p=0.01,q=0.5)", "bernoulli(p=0.05)", "markov(p=0.01,q=0.5)",
+// "noloss". Gilbert, Bernoulli and no-loss names round-trip.
+func ChannelByName(channelSpec string) (ChannelFactory, error) {
+	return channel.ParseName(channelSpec)
+}
+
+// MaterializeSchedule expands a streaming schedule into the explicit
+// []int transmission order — the bridge for tooling that wants the
+// whole sequence at once. Hot paths never need it: RunTrial and the
+// broadcast carousel consume schedules lazily.
+func MaterializeSchedule(s Schedule) []int { return sched.Materialize(s) }
+
+// ScheduleFromIDs wraps an explicit packet-id order as a Schedule, for
+// custom or externally computed transmission orders.
+func ScheduleFromIDs(ids []int) Schedule { return core.SliceSchedule(ids) }
+
+// --- Transport endpoints ---
+
+// TransportConn is a datagram endpoint (UDP or in-memory loopback).
+type TransportConn = transport.Conn
+
+// ErrTransportClosed is returned by transport endpoints after Close.
+var ErrTransportClosed = transport.ErrClosed
+
+// Dial returns a sending UDP endpoint for addr ("host:port"; multicast
+// group addresses work without joining).
+func Dial(addr string) (TransportConn, error) { return transport.DialUDP(addr) }
+
+// Listen returns a receiving UDP endpoint bound to addr, joining the
+// group when addr is multicast.
+func Listen(addr string) (TransportConn, error) { return transport.ListenUDP(addr) }
+
+// Loopback is the in-memory broadcast medium for live-impairment runs
+// without sockets.
+type Loopback = transport.Loopback
+
+// NewLoopback returns an empty in-memory broadcast medium. Attach
+// receivers (each optionally behind a Channel impairment), then create
+// sender endpoints with its Sender method.
+func NewLoopback() *Loopback { return transport.NewLoopback() }

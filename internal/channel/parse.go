@@ -1,0 +1,85 @@
+package channel
+
+// Parameterized channel spec resolution — the channel-side instance of
+// the shared spec grammar (internal/spec). Where ByName maps a bare
+// family name to a grid-coordinate constructor for sweeps, ParseName
+// resolves a fully parameterized spec to one concrete Factory:
+//
+//	gilbert(p=0.01,q=0.5)  — two-state Gilbert
+//	bernoulli(p=0.05)      — IID loss
+//	markov(p=0.01,q=0.5)   — the three-state model of ThreeStateSpec
+//	noloss | no-loss       — the perfect channel
+//
+// Gilbert, Bernoulli and no-loss factories round-trip: for those,
+// ParseName(f.Name()) reproduces f. (The Markov factory's Name reports
+// its state count, not its grid coordinates, so it does not.)
+
+import (
+	"fmt"
+
+	"fecperf/internal/spec"
+)
+
+// SpecNames lists the forms ParseName accepts.
+func SpecNames() []string {
+	return []string{"gilbert(p=P,q=Q)", "bernoulli(p=P)", "markov(p=P,q=Q)", "noloss"}
+}
+
+// ParseName resolves a parameterized channel spec into a Factory. See
+// the file comment for the accepted grammar.
+func ParseName(name string) (Factory, error) {
+	base, params, err := spec.Split(name)
+	if err != nil {
+		return nil, fmt.Errorf("channel: spec %q: %w", name, err)
+	}
+	float := func(key string, def float64) (float64, error) {
+		v, ok, err := params.Float(key)
+		if err != nil {
+			return 0, fmt.Errorf("channel: spec %q: %w", name, err)
+		}
+		if !ok {
+			return def, nil
+		}
+		return v, nil
+	}
+	switch base {
+	case "gilbert", "markov":
+		if bad := params.Unknown("p", "q"); bad != nil {
+			return nil, fmt.Errorf("channel: %s has no parameters %v (want p, q)", base, bad)
+		}
+		p, err := float("p", 0)
+		if err != nil {
+			return nil, err
+		}
+		q, err := float("q", 1)
+		if err != nil {
+			return nil, err
+		}
+		if err := ValidateGilbert(p, q); err != nil {
+			return nil, err
+		}
+		if base == "markov" {
+			return MarkovFactory{Spec: ThreeStateSpec(p, q)}, nil
+		}
+		return GilbertFactory{P: p, Q: q}, nil
+	case "bernoulli":
+		if bad := params.Unknown("p"); bad != nil {
+			return nil, fmt.Errorf("channel: bernoulli has no parameters %v (want p)", bad)
+		}
+		p, err := float("p", 0)
+		if err != nil {
+			return nil, err
+		}
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("channel: bernoulli p=%g outside [0,1]", p)
+		}
+		return BernoulliFactory{P: p}, nil
+	case "noloss", "no-loss":
+		if len(params) != 0 {
+			return nil, fmt.Errorf("channel: %s takes no parameters", base)
+		}
+		return NoLossFactory{}, nil
+	default:
+		return nil, fmt.Errorf("channel: unknown channel spec %q (have %v)", name, SpecNames())
+	}
+}

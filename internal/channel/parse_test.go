@@ -1,0 +1,67 @@
+package channel
+
+import (
+	"testing"
+)
+
+func TestParseName(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Factory
+	}{
+		{"gilbert(p=0.01,q=0.5)", GilbertFactory{P: 0.01, Q: 0.5}},
+		{"gilbert", GilbertFactory{P: 0, Q: 1}},
+		{"bernoulli(p=0.05)", BernoulliFactory{P: 0.05}},
+		{"noloss", NoLossFactory{}},
+		{"no-loss", NoLossFactory{}},
+	}
+	for _, c := range cases {
+		got, err := ParseName(c.in)
+		if err != nil {
+			t.Fatalf("ParseName(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseName(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+	if f, err := ParseName("markov(p=0.01,q=0.5)"); err != nil {
+		t.Fatalf("ParseName(markov): %v", err)
+	} else if _, ok := f.(MarkovFactory); !ok {
+		t.Errorf("ParseName(markov) = %#v, want MarkovFactory", f)
+	}
+}
+
+func TestParseNameRoundTrip(t *testing.T) {
+	for _, f := range []Factory{
+		GilbertFactory{P: 0.01, Q: 0.79},
+		GilbertFactory{P: 0.25, Q: 0.25},
+		BernoulliFactory{P: 0.1},
+		NoLossFactory{},
+	} {
+		back, err := ParseName(f.Name())
+		if err != nil {
+			t.Fatalf("ParseName(%q): %v", f.Name(), err)
+		}
+		if back != f {
+			t.Errorf("round trip of %q = %#v, want %#v", f.Name(), back, f)
+		}
+	}
+}
+
+func TestParseNameErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"wat",
+		"gilbert(p=2,q=0.5)",  // invalid probability
+		"gilbert(r=1)",        // unknown parameter
+		"gilbert(p=x)",        // malformed number
+		"bernoulli(p=1.5)",    // out of range
+		"bernoulli(q=0.5)",    // unknown parameter
+		"noloss(p=1)",         // takes no parameters
+		"gilbert(p=0.1,q=0.5", // unbalanced
+	} {
+		if _, err := ParseName(in); err == nil {
+			t.Errorf("ParseName(%q) succeeded, want error", in)
+		}
+	}
+}

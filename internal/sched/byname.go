@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"fecperf/internal/core"
+	"fecperf/internal/spec"
 )
 
 // ModelNames lists the model families ByName accepts, with their
@@ -37,9 +38,9 @@ func ModelNames() []string {
 // accepted grammar; unknown names and malformed parameters return an
 // error listing the valid forms.
 func ByName(name string) (core.Scheduler, error) {
-	base, args, err := splitName(name)
+	base, args, err := spec.Split(name)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("sched: model %q: %w", name, err)
 	}
 	switch base {
 	case "tx1", "tx2", "tx3", "tx4", "tx5":
@@ -119,64 +120,4 @@ func ByName(name string) (core.Scheduler, error) {
 		return nil, fmt.Errorf("sched: unknown transmission model %q (have %s)",
 			name, strings.Join(ModelNames(), ", "))
 	}
-}
-
-// splitName parses "base" or "base(k=v,k=v)" into the base name and its
-// parameter map. Commas split parameters only at the top parenthesis
-// level, so values may themselves be parameterized model names.
-func splitName(name string) (base string, args map[string]string, err error) {
-	name = strings.TrimSpace(name)
-	open := strings.IndexByte(name, '(')
-	if open < 0 {
-		return name, nil, nil
-	}
-	if !strings.HasSuffix(name, ")") {
-		return "", nil, fmt.Errorf("sched: unbalanced parentheses in model %q", name)
-	}
-	base = strings.TrimSpace(name[:open])
-	args = make(map[string]string)
-	body := name[open+1 : len(name)-1]
-	depth, start := 0, 0
-	flush := func(field string) error {
-		field = strings.TrimSpace(field)
-		if field == "" {
-			return fmt.Errorf("sched: empty parameter in model %q", name)
-		}
-		eq := strings.IndexByte(field, '=')
-		if eq <= 0 {
-			return fmt.Errorf("sched: parameter %q in model %q is not key=value", field, name)
-		}
-		k := strings.TrimSpace(field[:eq])
-		v := strings.TrimSpace(field[eq+1:])
-		if _, dup := args[k]; dup {
-			return fmt.Errorf("sched: duplicate parameter %q in model %q", k, name)
-		}
-		args[k] = v
-		return nil
-	}
-	for i := 0; i < len(body); i++ {
-		switch body[i] {
-		case '(':
-			depth++
-		case ')':
-			depth--
-			if depth < 0 {
-				return "", nil, fmt.Errorf("sched: unbalanced parentheses in model %q", name)
-			}
-		case ',':
-			if depth == 0 {
-				if err := flush(body[start:i]); err != nil {
-					return "", nil, err
-				}
-				start = i + 1
-			}
-		}
-	}
-	if depth != 0 {
-		return "", nil, fmt.Errorf("sched: unbalanced parentheses in model %q", name)
-	}
-	if err := flush(body[start:]); err != nil {
-		return "", nil, err
-	}
-	return base, args, nil
 }

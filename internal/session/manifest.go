@@ -1,0 +1,134 @@
+package session
+
+// Chunked object trains. A large (or unbounded) byte stream is cast as a
+// train of ordinary delivery objects — chunk i carrying bytes
+// [i*ChunkSize, (i+1)*ChunkSize) — plus one small manifest object that
+// seals the train: how many chunks, how large, and the CRC of the whole
+// stream. Object IDs follow one convention, TrainChunkID: the manifest
+// rides at the train's base ID and chunk i at base+1+i, so a receiver
+// can order chunks by ID alone, before the manifest (which a streaming
+// sender can only emit after reading the last byte) arrives.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// manifestMagic identifies a serialized train manifest.
+var manifestMagic = [4]byte{'F', 'E', 'C', 'M'}
+
+// manifestVersion is the current manifest layout version.
+const manifestVersion = 1
+
+// ManifestLen is the serialized manifest size in bytes:
+//
+//	offset  size  field
+//	0       4     magic "FECM"
+//	4       1     version (1)
+//	5       3     reserved (zero)
+//	8       4     chunk count
+//	12      4     chunk size in bytes
+//	16      8     total stream size in bytes
+//	24      4     stream CRC-32 (IEEE, whole stream in order)
+//	28      4     manifest checksum (IEEE CRC-32 of bytes 0..27)
+const ManifestLen = 32
+
+// Manifest seals a chunked object train.
+type Manifest struct {
+	// ChunkCount is the number of chunk objects in the train.
+	ChunkCount uint32
+	// ChunkSize is the data bytes carried by every chunk except the
+	// last (which carries TotalSize - (ChunkCount-1)*ChunkSize).
+	ChunkSize uint32
+	// TotalSize is the byte length of the whole stream.
+	TotalSize uint64
+	// StreamCRC is the IEEE CRC-32 of the whole stream, in order — the
+	// end-to-end integrity check a collector verifies after the last
+	// in-order write.
+	StreamCRC uint32
+}
+
+// TrainChunkID maps a chunk index to its object ID: the manifest owns
+// the train's base ID, chunk i rides at base+1+i (mod 2^32, like all
+// object-ID arithmetic).
+func TrainChunkID(base uint32, i int) uint32 { return base + 1 + uint32(i) }
+
+// ChunkDataSize returns the stream bytes a chunk of k source symbols of
+// payloadSize bytes carries: the length prefix EncodeObject embeds to
+// strip end-of-object padding comes out of the budget, so a full chunk
+// encodes to exactly k symbols.
+func ChunkDataSize(k, payloadSize int) int { return k*payloadSize - lengthPrefix }
+
+// ChunkBytes returns the data bytes of chunk i, or 0 for an index
+// outside the train.
+func (m *Manifest) ChunkBytes(i int) int {
+	if i < 0 || uint32(i) >= m.ChunkCount {
+		return 0
+	}
+	if uint32(i) == m.ChunkCount-1 {
+		return int(m.TotalSize - uint64(m.ChunkCount-1)*uint64(m.ChunkSize))
+	}
+	return int(m.ChunkSize)
+}
+
+// Validate checks the manifest's internal consistency: the chunk count
+// must be exactly what TotalSize bytes in ChunkSize chunks requires.
+func (m *Manifest) Validate() error {
+	if m.ChunkSize == 0 && m.TotalSize > 0 {
+		return fmt.Errorf("session: manifest with zero chunk size but %d bytes", m.TotalSize)
+	}
+	if m.TotalSize == 0 {
+		if m.ChunkCount != 0 {
+			return fmt.Errorf("session: empty-stream manifest with %d chunks", m.ChunkCount)
+		}
+		return nil
+	}
+	want := (m.TotalSize + uint64(m.ChunkSize) - 1) / uint64(m.ChunkSize)
+	if uint64(m.ChunkCount) != want {
+		return fmt.Errorf("session: manifest chunk count %d inconsistent with %d bytes in %d-byte chunks (want %d)",
+			m.ChunkCount, m.TotalSize, m.ChunkSize, want)
+	}
+	return nil
+}
+
+// Encode serialises the manifest with a trailing self-checksum
+// (datagram checksums only cover the wire header, so the manifest
+// carries its own).
+func (m *Manifest) Encode() []byte {
+	b := make([]byte, ManifestLen)
+	copy(b[0:4], manifestMagic[:])
+	b[4] = manifestVersion
+	binary.BigEndian.PutUint32(b[8:], m.ChunkCount)
+	binary.BigEndian.PutUint32(b[12:], m.ChunkSize)
+	binary.BigEndian.PutUint64(b[16:], m.TotalSize)
+	binary.BigEndian.PutUint32(b[24:], m.StreamCRC)
+	binary.BigEndian.PutUint32(b[28:], crc32.ChecksumIEEE(b[:28]))
+	return b
+}
+
+// DecodeManifest parses and validates a serialised manifest.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	if len(data) < ManifestLen {
+		return nil, fmt.Errorf("session: manifest too short (%d bytes)", len(data))
+	}
+	if [4]byte(data[0:4]) != manifestMagic {
+		return nil, fmt.Errorf("session: bad manifest magic")
+	}
+	if data[4] != manifestVersion {
+		return nil, fmt.Errorf("session: unsupported manifest version %d", data[4])
+	}
+	if got, want := binary.BigEndian.Uint32(data[28:]), crc32.ChecksumIEEE(data[:28]); got != want {
+		return nil, fmt.Errorf("session: manifest checksum mismatch")
+	}
+	m := &Manifest{
+		ChunkCount: binary.BigEndian.Uint32(data[8:]),
+		ChunkSize:  binary.BigEndian.Uint32(data[12:]),
+		TotalSize:  binary.BigEndian.Uint64(data[16:]),
+		StreamCRC:  binary.BigEndian.Uint32(data[24:]),
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,109 @@
+package session
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	for _, m := range []Manifest{
+		{ChunkCount: 4, ChunkSize: 1 << 20, TotalSize: 3<<20 + 17, StreamCRC: 0xdeadbeef},
+		{ChunkCount: 1, ChunkSize: 100, TotalSize: 1},
+		{ChunkCount: 0, ChunkSize: 0, TotalSize: 0},
+		{ChunkCount: 0, ChunkSize: 4096, TotalSize: 0},
+	} {
+		b := m.Encode()
+		if len(b) != ManifestLen {
+			t.Fatalf("Encode length %d, want %d", len(b), ManifestLen)
+		}
+		back, err := DecodeManifest(b)
+		if err != nil {
+			t.Fatalf("DecodeManifest(%+v): %v", m, err)
+		}
+		if *back != m {
+			t.Errorf("round trip %+v -> %+v", m, *back)
+		}
+	}
+}
+
+func TestManifestDecodeErrors(t *testing.T) {
+	good := (&Manifest{ChunkCount: 2, ChunkSize: 8, TotalSize: 10}).Encode()
+
+	short := good[:ManifestLen-1]
+	if _, err := DecodeManifest(short); err == nil {
+		t.Error("short manifest decoded")
+	}
+
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] = 'X'
+	if _, err := DecodeManifest(badMagic); err == nil {
+		t.Error("bad magic decoded")
+	}
+
+	badVersion := append([]byte(nil), good...)
+	badVersion[4] = 99
+	if _, err := DecodeManifest(badVersion); err == nil {
+		t.Error("bad version decoded")
+	}
+
+	flipped := append([]byte(nil), good...)
+	flipped[9] ^= 0xff // corrupt chunk count under the checksum
+	if _, err := DecodeManifest(flipped); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupt manifest: err = %v, want checksum mismatch", err)
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	bad := []Manifest{
+		{ChunkCount: 3, ChunkSize: 8, TotalSize: 10},  // want 2 chunks
+		{ChunkCount: 1, ChunkSize: 8, TotalSize: 100}, // want 13
+		{ChunkCount: 2, ChunkSize: 0, TotalSize: 10},  // zero chunk size
+		{ChunkCount: 1, ChunkSize: 8, TotalSize: 0},   // empty stream with chunks
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("Validate(%+v) passed, want error", m)
+		}
+		if _, err := DecodeManifest(m.Encode()); err == nil {
+			t.Errorf("DecodeManifest of invalid %+v passed", m)
+		}
+	}
+}
+
+func TestManifestChunkBytes(t *testing.T) {
+	m := Manifest{ChunkCount: 3, ChunkSize: 100, TotalSize: 250}
+	for i, want := range []int{100, 100, 50} {
+		if got := m.ChunkBytes(i); got != want {
+			t.Errorf("ChunkBytes(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if m.ChunkBytes(-1) != 0 || m.ChunkBytes(3) != 0 {
+		t.Error("out-of-train chunk index returned nonzero size")
+	}
+}
+
+func TestTrainChunkID(t *testing.T) {
+	if id := TrainChunkID(10, 0); id != 11 {
+		t.Errorf("TrainChunkID(10,0) = %d, want 11", id)
+	}
+	if id := TrainChunkID(0xffffffff, 0); id != 0 {
+		t.Errorf("TrainChunkID wraps: got %d, want 0", id)
+	}
+}
+
+func TestChunkDataSize(t *testing.T) {
+	// A chunk of exactly ChunkDataSize bytes must encode to exactly k
+	// source symbols — the invariant the caster's sizing relies on.
+	k, payload := 16, 64
+	data := make([]byte, ChunkDataSize(k, payload))
+	obj, err := EncodeObject(data, SenderConfig{
+		ObjectID: 1, Family: 1 /* rse */, Ratio: 1.5, PayloadSize: payload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	if obj.K() != k {
+		t.Errorf("K = %d, want %d", obj.K(), k)
+	}
+}

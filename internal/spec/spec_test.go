@@ -1,0 +1,154 @@
+package spec
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestSplit(t *testing.T) {
+	cases := []struct {
+		in     string
+		base   string
+		params Params
+	}{
+		{"tx4", "tx4", nil},
+		{"  tx4  ", "tx4", nil},
+		{"tx6(frac=0.3)", "tx6", Params{"frac": "0.3"}},
+		{"rse(k=32,ratio=1.5,seed=7)", "rse", Params{"k": "32", "ratio": "1.5", "seed": "7"}},
+		{"carousel(inner=tx6(frac=0.5),rounds=3)", "carousel", Params{"inner": "tx6(frac=0.5)", "rounds": "3"}},
+		{"cfg(codec=rse(k=8,ratio=2),channel=gilbert(p=0.01,q=0.5))", "cfg",
+			Params{"codec": "rse(k=8,ratio=2)", "channel": "gilbert(p=0.01,q=0.5)"}},
+		{"a( k = v )", "a", Params{"k": "v"}},
+	}
+	for _, c := range cases {
+		base, params, err := Split(c.in)
+		if err != nil {
+			t.Fatalf("Split(%q): %v", c.in, err)
+		}
+		if base != c.base || !reflect.DeepEqual(params, c.params) {
+			t.Errorf("Split(%q) = %q, %v; want %q, %v", c.in, base, params, c.base, c.params)
+		}
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	for _, in := range []string{
+		"a(",
+		"a)",
+		"a(b",
+		"a(b)",       // not key=value
+		"a(=v)",      // empty key
+		"a(,)",       // empty fields
+		"a(k=v,)",    // trailing empty field
+		"a(k=v,k=w)", // duplicate key
+		"a(k=v))",    // extra close
+		"a((k=v)",    // unbalanced nesting
+	} {
+		if _, _, err := Split(in); err == nil {
+			t.Errorf("Split(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	cases := []struct {
+		base   string
+		fields []Field
+		want   string
+	}{
+		{"tx4", nil, "tx4"},
+		{"tx6", []Field{{"frac", "0.3"}}, "tx6(frac=0.3)"},
+		{"rse", []Field{{"k", "32"}, {"ratio", "1.5"}}, "rse(k=32,ratio=1.5)"},
+	}
+	for _, c := range cases {
+		got := Format(c.base, c.fields...)
+		if got != c.want {
+			t.Errorf("Format(%q, %v) = %q, want %q", c.base, c.fields, got, c.want)
+		}
+		base, params, err := Split(got)
+		if err != nil {
+			t.Fatalf("Split(Format(...)) = %v", err)
+		}
+		if base != c.base || len(params) != len(c.fields) {
+			t.Errorf("round trip of %q lost structure: %q %v", got, base, params)
+		}
+		for _, f := range c.fields {
+			if params[f.Key] != f.Value {
+				t.Errorf("round trip of %q: param %s = %q, want %q", got, f.Key, params[f.Key], f.Value)
+			}
+		}
+	}
+}
+
+func TestTypedAccessors(t *testing.T) {
+	p := Params{"k": "32", "ratio": "1.5", "seed": "-7", "id": "4000000000", "bad": "x"}
+	if v, ok, err := p.Int("k"); v != 32 || !ok || err != nil {
+		t.Errorf("Int(k) = %d, %v, %v", v, ok, err)
+	}
+	if _, ok, err := p.Int("missing"); ok || err != nil {
+		t.Errorf("Int(missing) = ok=%v err=%v, want absent", ok, err)
+	}
+	if _, ok, err := p.Int("bad"); !ok || err == nil {
+		t.Errorf("Int(bad) = ok=%v err=%v, want present error", ok, err)
+	}
+	if v, ok, err := p.Float("ratio"); v != 1.5 || !ok || err != nil {
+		t.Errorf("Float(ratio) = %g, %v, %v", v, ok, err)
+	}
+	if v, ok, err := p.Int64("seed"); v != -7 || !ok || err != nil {
+		t.Errorf("Int64(seed) = %d, %v, %v", v, ok, err)
+	}
+	if v, ok, err := p.Uint32("id"); v != 4000000000 || !ok || err != nil {
+		t.Errorf("Uint32(id) = %d, %v, %v", v, ok, err)
+	}
+	if _, _, err := p.Uint32("seed"); err == nil {
+		t.Error("Uint32(seed=-7) succeeded, want error")
+	}
+}
+
+func TestUnknown(t *testing.T) {
+	p := Params{"k": "1", "zz": "2", "aa": "3"}
+	got := p.Unknown("k")
+	if !reflect.DeepEqual(got, []string{"aa", "zz"}) {
+		t.Errorf("Unknown = %v, want [aa zz]", got)
+	}
+	if got := p.Unknown("k", "aa", "zz"); got != nil {
+		t.Errorf("Unknown with all allowed = %v, want nil", got)
+	}
+}
+
+func FuzzSplit(f *testing.F) {
+	f.Add("tx4")
+	f.Add("rse(k=32,ratio=1.5,seed=7)")
+	f.Add("carousel(inner=tx6(frac=0.5),rounds=3)")
+	f.Add("a(=,,)((")
+	f.Fuzz(func(t *testing.T, s string) {
+		base, params, err := Split(s)
+		if err != nil {
+			return
+		}
+		// Whatever parses must re-render into something that parses to
+		// the same structure (canonical order: sorted keys).
+		var fields []Field
+		var keys []string
+		for k := range params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fields = append(fields, Field{k, params[k]})
+		}
+		rendered := Format(base, fields...)
+		base2, params2, err := Split(rendered)
+		if err != nil {
+			t.Fatalf("re-split of %q (from %q): %v", rendered, s, err)
+		}
+		if strings.TrimSpace(base) != base2 && base != base2 {
+			t.Fatalf("base %q -> %q via %q", base, base2, rendered)
+		}
+		if len(params) != len(params2) {
+			t.Fatalf("params %v -> %v via %q", params, params2, rendered)
+		}
+	})
+}

@@ -1,0 +1,308 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync/atomic"
+
+	"fecperf/internal/core"
+	"fecperf/internal/session"
+	"fecperf/internal/wire"
+)
+
+// Caster defaults.
+const (
+	// DefaultChunkK is the source symbols per full chunk when
+	// CasterConfig.K is zero: 256 symbols of 1024 B ≈ 256 KiB chunks.
+	DefaultChunkK = 256
+	// DefaultPayloadSize is the symbol size when unset.
+	DefaultPayloadSize = 1024
+	// DefaultWindow is how many chunks are encoded and interleaved at
+	// once when CasterConfig.Window is zero.
+	DefaultWindow = 4
+	// DefaultGroupRounds is how many carousel rounds each window group
+	// is transmitted when CasterConfig.Rounds is zero.
+	DefaultGroupRounds = 2
+	// DefaultRatio is the FEC expansion ratio when unset.
+	DefaultRatio = 1.5
+)
+
+// CasterConfig tunes a streaming cast.
+type CasterConfig struct {
+	// BaseObjectID is the train's base ID: the trailing manifest rides
+	// at BaseObjectID, chunk i at BaseObjectID+1+i (session.TrainChunkID).
+	BaseObjectID uint32
+	// Family selects the chunks' FEC code (default Reed-Solomon GF(2^8);
+	// the manifest always ships as Reed-Solomon — every datagram is
+	// self-describing, so the families mix freely on one train).
+	Family wire.CodeFamily
+	// K is the source symbols per full chunk (default DefaultChunkK).
+	// With PayloadSize it fixes the chunk size:
+	// session.ChunkDataSize(K, PayloadSize) stream bytes per chunk.
+	K int
+	// Ratio is the FEC expansion ratio n/k per chunk (default 1.5).
+	Ratio float64
+	// PayloadSize is the symbol size in bytes (default 1024).
+	PayloadSize int
+	// Seed fixes code construction and scheduling randomness.
+	Seed int64
+	// Scheduler orders each round's packets (default Tx_model_4).
+	Scheduler core.Scheduler
+	// Rate limits transmission in packets per second (0 = unpaced);
+	// Burst is the token-bucket depth.
+	Rate  float64
+	Burst int
+	// Window bounds how many chunks are FEC-encoded and resident at
+	// once (default DefaultWindow) — the sender-side memory bound and
+	// the backpressure on the source reader: reading pauses while a
+	// full window is on the air.
+	Window int
+	// Rounds is the carousel rounds each window group is transmitted
+	// before the caster advances to the next chunks (default 2). More
+	// rounds buy loss resilience at the price of throughput.
+	Rounds int
+	// OnProgress, when set, is called after every transmitted window
+	// group and once more when the cast completes.
+	OnProgress func(CastProgress)
+}
+
+// CastProgress describes a running cast.
+type CastProgress struct {
+	// ChunksCast counts chunks whose transmission window has completed.
+	ChunksCast int
+	// BytesRead counts source-stream bytes consumed so far.
+	BytesRead int64
+	// Done is set on the final callback, after the manifest went out.
+	Done bool
+}
+
+// CasterStats is a point-in-time snapshot of cast counters.
+type CasterStats struct {
+	// PacketsSent and BytesSent count datagrams handed to the Conn.
+	PacketsSent uint64
+	BytesSent   uint64
+	// ChunksCast counts fully transmitted chunks.
+	ChunksCast uint64
+	// BytesRead counts source-stream bytes consumed.
+	BytesRead uint64
+}
+
+// Caster streams a byte source of arbitrary (and unknown) length over a
+// Conn as a train of FEC-encoded delivery objects: the stream is cut
+// into chunks of K symbols, each chunk is encoded and transmitted for a
+// bounded number of interleaved carousel rounds alongside its window
+// neighbours, and a small trailing manifest (chunk count, total size,
+// stream CRC) seals the train. Peak memory is the window, not the
+// stream: at most Window encoded chunks (plus the manifest) are
+// resident at any moment, so objects far larger than RAM cast in O(1)
+// space.
+//
+// The receiving side is Collector, which reassembles completed chunks
+// in order into an io.Writer. Chunk object IDs are sequential
+// (session.TrainChunkID), so a collector orders chunks before the
+// manifest arrives; the manifest — which a streaming sender can only
+// write after reading the last source byte — tells it when the train
+// is done and lets it verify the whole stream end to end.
+//
+// Run may be called once; Stats is safe concurrently with Run.
+type Caster struct {
+	conn Conn
+	src  io.Reader
+	cfg  CasterConfig
+
+	packets atomic.Uint64
+	bytes   atomic.Uint64
+	chunks  atomic.Uint64
+	read    atomic.Uint64
+
+	manifest session.Manifest
+	ran      bool
+}
+
+// NewCaster returns a caster reading from src and writing datagrams to
+// conn. Configuration errors surface here, not mid-stream.
+func NewCaster(conn Conn, src io.Reader, cfg CasterConfig) (*Caster, error) {
+	if cfg.Family == wire.CodeInvalid {
+		cfg.Family = wire.CodeRSE
+	}
+	if cfg.K == 0 {
+		cfg.K = DefaultChunkK
+	}
+	if cfg.PayloadSize == 0 {
+		cfg.PayloadSize = DefaultPayloadSize
+	}
+	if cfg.Ratio == 0 {
+		cfg.Ratio = DefaultRatio
+	}
+	if cfg.Window == 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = DefaultGroupRounds
+	}
+	if cfg.K < 0 || cfg.PayloadSize < 0 || cfg.Window < 0 || cfg.Rounds < 0 {
+		return nil, fmt.Errorf("transport: caster config has negative parameters")
+	}
+	if session.ChunkDataSize(cfg.K, cfg.PayloadSize) <= 0 {
+		return nil, fmt.Errorf("transport: chunk of k=%d × %d B payloads leaves no room for data",
+			cfg.K, cfg.PayloadSize)
+	}
+	if cfg.Ratio < 1 {
+		return nil, fmt.Errorf("transport: FEC expansion ratio %g below 1", cfg.Ratio)
+	}
+	return &Caster{conn: conn, src: src, cfg: cfg}, nil
+}
+
+// Run reads the source to EOF, casting it window by window, then seals
+// the train with the manifest. It returns the first read, encode or
+// send error; cancelling ctx stops between packets with ctx.Err().
+func (c *Caster) Run(ctx context.Context) error {
+	if c.ran {
+		return fmt.Errorf("transport: caster Run called twice")
+	}
+	c.ran = true
+
+	chunkData := session.ChunkDataSize(c.cfg.K, c.cfg.PayloadSize)
+	buf := make([]byte, chunkData)
+	crc := crc32.NewIEEE()
+	var total uint64
+	var window []*session.Object
+	idx, group := 0, 0
+
+	flush := func(final bool) error {
+		if final {
+			c.manifest = session.Manifest{
+				ChunkCount: uint32(idx),
+				ChunkSize:  uint32(chunkData),
+				TotalSize:  total,
+				StreamCRC:  crc.Sum32(),
+			}
+			m, err := session.EncodeObject(c.manifest.Encode(), session.SenderConfig{
+				ObjectID: c.cfg.BaseObjectID,
+				Family:   wire.CodeRSE,
+				Ratio:    2, // the manifest is one symbol; always send a spare
+				// The manifest is tiny; its own symbol, not the chunks'
+				// (possibly large) one, keeps the padding negligible.
+				PayloadSize: session.ManifestLen + 8,
+				Seed:        c.cfg.Seed,
+			})
+			if err != nil {
+				return fmt.Errorf("transport: encoding manifest: %w", err)
+			}
+			window = append(window, m)
+		}
+		if len(window) == 0 {
+			return nil
+		}
+		chunksInGroup := len(window)
+		if final {
+			chunksInGroup--
+		}
+		s := NewSender(c.conn, SenderConfig{
+			Rate:      c.cfg.Rate,
+			Burst:     c.cfg.Burst,
+			Rounds:    c.cfg.Rounds,
+			Scheduler: c.cfg.Scheduler,
+			// Every group draws fresh schedules: the sender reseeds per
+			// (round, object), so distinct group seeds keep rounds from
+			// repeating the same erasure-aligned order.
+			Seed: core.DeriveSeed(c.cfg.Seed, 0xCA57, uint64(group)),
+		})
+		for _, o := range window {
+			if err := s.Add(o); err != nil {
+				s.Close()
+				window = nil
+				return err
+			}
+		}
+		err := s.Run(ctx)
+		st := s.Stats()
+		c.packets.Add(st.PacketsSent)
+		c.bytes.Add(st.BytesSent)
+		s.Close() // releases the window's pooled symbol buffers
+		window = nil
+		if err != nil {
+			return err
+		}
+		c.chunks.Add(uint64(chunksInGroup))
+		group++
+		if c.cfg.OnProgress != nil {
+			c.cfg.OnProgress(CastProgress{
+				ChunksCast: int(c.chunks.Load()),
+				BytesRead:  int64(c.read.Load()),
+				Done:       final,
+			})
+		}
+		return nil
+	}
+
+	for {
+		// Each group's sender gets a fresh token bucket, so a cast whose
+		// groups fit inside the burst would never block in the pacer;
+		// check cancellation explicitly between chunks.
+		if err := ctx.Err(); err != nil {
+			for _, o := range window {
+				o.Close()
+			}
+			return err
+		}
+		n, err := io.ReadFull(c.src, buf)
+		if n > 0 {
+			crc.Write(buf[:n])
+			total += uint64(n)
+			c.read.Add(uint64(n))
+			obj, encErr := session.EncodeObject(buf[:n], session.SenderConfig{
+				ObjectID:    session.TrainChunkID(c.cfg.BaseObjectID, idx),
+				Family:      c.cfg.Family,
+				Ratio:       c.cfg.Ratio,
+				PayloadSize: c.cfg.PayloadSize,
+				Seed:        c.cfg.Seed,
+			})
+			if encErr != nil {
+				flushErr := fmt.Errorf("transport: encoding chunk %d: %w", idx, encErr)
+				for _, o := range window {
+					o.Close()
+				}
+				return flushErr
+			}
+			idx++
+			window = append(window, obj)
+		}
+		switch err {
+		case nil:
+		case io.EOF, io.ErrUnexpectedEOF:
+			return flush(true)
+		default:
+			for _, o := range window {
+				o.Close()
+			}
+			return fmt.Errorf("transport: reading source: %w", err)
+		}
+		if len(window) >= c.cfg.Window {
+			if err := flush(false); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Manifest returns the train manifest Run sealed the cast with; ok is
+// false until Run has read the source to EOF.
+func (c *Caster) Manifest() (m session.Manifest, ok bool) {
+	if !c.ran || c.manifest.ChunkSize == 0 {
+		return session.Manifest{}, false
+	}
+	return c.manifest, true
+}
+
+// Stats returns a snapshot of the caster's counters.
+func (c *Caster) Stats() CasterStats {
+	return CasterStats{
+		PacketsSent: c.packets.Load(),
+		BytesSent:   c.bytes.Load(),
+		ChunksCast:  c.chunks.Load(),
+		BytesRead:   c.read.Load(),
+	}
+}

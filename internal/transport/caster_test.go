@@ -1,0 +1,354 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fecperf/internal/channel"
+	"fecperf/internal/core"
+	"fecperf/internal/sched"
+	"fecperf/internal/session"
+	"fecperf/internal/wire"
+)
+
+// castCollect runs a full cast → loopback(ch) → collect of data and
+// returns the collected bytes. The loopback queue is sized to hold the
+// whole cast, so the only losses are the channel's — deterministic for
+// a seeded channel.
+func castCollect(t *testing.T, data []byte, ch func() core.Channel,
+	casterCfg CasterConfig, collectorCfg CollectorConfig) []byte {
+	t.Helper()
+	hub := NewLoopback()
+	defer hub.Close()
+
+	var impairment core.Channel
+	if ch != nil {
+		impairment = ch()
+	}
+	rxConn := hub.Receiver(impairment, 1<<18)
+
+	var out bytes.Buffer
+	col := NewCollector(rxConn, &out, collectorCfg)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	var colErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		colErr = col.Run(ctx)
+	}()
+
+	caster, err := NewCaster(hub.Sender(), bytes.NewReader(data), casterCfg)
+	if err != nil {
+		t.Fatalf("NewCaster: %v", err)
+	}
+	if err := caster.Run(ctx); err != nil {
+		t.Fatalf("caster.Run: %v", err)
+	}
+	wg.Wait()
+	if colErr != nil {
+		t.Fatalf("collector.Run: %v (progress %+v, stats %+v)", colErr, col.Progress(), col.Stats())
+	}
+	return out.Bytes()
+}
+
+func TestCastCollectLossless(t *testing.T) {
+	data := make([]byte, 1<<20+12345) // deliberately not a chunk multiple
+	rand.New(rand.NewSource(1)).Read(data)
+
+	var progress []CastProgress
+	got := castCollect(t, data, nil,
+		CasterConfig{
+			BaseObjectID: 7,
+			K:            64, PayloadSize: 512, Ratio: 1.5,
+			Window: 4, Rounds: 2, Seed: 9,
+			OnProgress: func(p CastProgress) { progress = append(progress, p) },
+		},
+		CollectorConfig{BaseObjectID: 7})
+	if !bytes.Equal(got, data) {
+		t.Fatalf("collected %d bytes differ from cast %d bytes", len(got), len(data))
+	}
+	if len(progress) == 0 || !progress[len(progress)-1].Done {
+		t.Errorf("caster progress missing or not Done: %+v", progress)
+	}
+	if progress[len(progress)-1].BytesRead != int64(len(data)) {
+		t.Errorf("final BytesRead = %d, want %d", progress[len(progress)-1].BytesRead, len(data))
+	}
+}
+
+func TestCastCollectGilbert(t *testing.T) {
+	data := make([]byte, 3<<20)
+	rand.New(rand.NewSource(2)).Read(data)
+
+	var colProgress []CollectProgress
+	got := castCollect(t, data,
+		func() core.Channel {
+			return channel.NewGilbert(0.01, 0.5, rand.New(rand.NewSource(42)))
+		},
+		CasterConfig{
+			BaseObjectID: 100,
+			Family:       wire.CodeRSE,
+			K:            128, PayloadSize: 1024, Ratio: 1.5,
+			Window: 4, Rounds: 2, Seed: 3,
+		},
+		CollectorConfig{
+			BaseObjectID: 100,
+			OnProgress:   func(p CollectProgress) { colProgress = append(colProgress, p) },
+		})
+	if !bytes.Equal(got, data) {
+		t.Fatalf("collected bytes differ after Gilbert loss")
+	}
+	if len(colProgress) == 0 {
+		t.Fatal("no collector progress callbacks")
+	}
+	last := colProgress[len(colProgress)-1]
+	if last.BytesWritten != int64(len(data)) {
+		t.Errorf("final BytesWritten = %d, want %d", last.BytesWritten, len(data))
+	}
+	// The trailing manifest must have announced the train's true length
+	// by the last callback.
+	if last.ChunksTotal < 0 || last.ChunksWritten != last.ChunksTotal {
+		t.Errorf("final progress %+v does not close the train", last)
+	}
+}
+
+func TestCastCollectMixedFamilies(t *testing.T) {
+	// LDGM chunks still ship a Reed-Solomon manifest: families mix on
+	// one train because every datagram is self-describing.
+	data := make([]byte, 2<<20)
+	rand.New(rand.NewSource(3)).Read(data)
+	got := castCollect(t, data, nil,
+		CasterConfig{
+			BaseObjectID: 1,
+			Family:       wire.CodeLDGMStaircase,
+			K:            512, PayloadSize: 1024, Ratio: 2.5,
+			Window: 2, Rounds: 2, Seed: 5,
+		},
+		CollectorConfig{BaseObjectID: 1})
+	if !bytes.Equal(got, data) {
+		t.Fatal("LDGM-chunk train did not round-trip")
+	}
+}
+
+func TestCastEmptyStream(t *testing.T) {
+	got := castCollect(t, nil, nil,
+		CasterConfig{BaseObjectID: 5, K: 16, PayloadSize: 256, Seed: 1},
+		CollectorConfig{BaseObjectID: 5})
+	if len(got) != 0 {
+		t.Fatalf("empty stream collected %d bytes", len(got))
+	}
+}
+
+func TestCasterManifestAndStats(t *testing.T) {
+	data := make([]byte, 100000)
+	rand.New(rand.NewSource(4)).Read(data)
+	hub := NewLoopback()
+	defer hub.Close()
+	// No receivers: the cast still runs (broadcast to nobody).
+	c, err := NewCaster(hub.Sender(), bytes.NewReader(data),
+		CasterConfig{K: 32, PayloadSize: 512, Ratio: 1.5, Window: 2, Rounds: 1, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Manifest(); ok {
+		t.Error("Manifest available before Run")
+	}
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := c.Manifest()
+	if !ok {
+		t.Fatal("Manifest unavailable after Run")
+	}
+	chunkData := session.ChunkDataSize(32, 512)
+	wantChunks := (len(data) + chunkData - 1) / chunkData
+	if int(m.ChunkCount) != wantChunks || m.TotalSize != uint64(len(data)) {
+		t.Errorf("manifest %+v, want %d chunks of %d total bytes", m, wantChunks, len(data))
+	}
+	st := c.Stats()
+	if st.BytesRead != uint64(len(data)) || st.ChunksCast != uint64(wantChunks) || st.PacketsSent == 0 {
+		t.Errorf("stats %+v", st)
+	}
+	if err := c.Run(context.Background()); err == nil {
+		t.Error("second Run succeeded")
+	}
+}
+
+func TestCollectorOutOfOrderBound(t *testing.T) {
+	// Erase exactly the first datagram: chunk 0 then completes one
+	// interleave position after chunks 1..3, so the collector buffers 3
+	// out-of-order chunks. MaxPending 2 must fail, 3 must succeed —
+	// deterministically, via a trace channel.
+	chunkData := session.ChunkDataSize(16, 256)
+	data := make([]byte, 4*chunkData)
+	rand.New(rand.NewSource(5)).Read(data)
+	trace := func() core.Channel {
+		return &channel.Trace{Pattern: []bool{true}, NoWrap: true}
+	}
+	cfg := CasterConfig{
+		BaseObjectID: 30, K: 16, PayloadSize: 256, Ratio: 1.5,
+		Window: 4, Rounds: 1, Seed: 2, Scheduler: sched.TxModel1{},
+	}
+
+	got := castCollect(t, data, trace, cfg, CollectorConfig{BaseObjectID: 30, MaxPending: 3})
+	if !bytes.Equal(got, data) {
+		t.Fatal("MaxPending=3 collect did not round-trip")
+	}
+
+	hub := NewLoopback()
+	defer hub.Close()
+	rx := hub.Receiver(trace(), 1<<16)
+	var out bytes.Buffer
+	col := NewCollector(rx, &out, CollectorConfig{BaseObjectID: 30, MaxPending: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- col.Run(ctx) }()
+	caster, err := NewCaster(hub.Sender(), bytes.NewReader(data), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := caster.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("MaxPending=2 err = %v, want out-of-order overflow", err)
+	}
+}
+
+func TestCollectorIgnoresForeignObjects(t *testing.T) {
+	// A collector sharing its conn with unrelated traffic — e.g. a
+	// whole-object carousel whose IDs sit below the train's base, which
+	// wrap mod 2^32 to astronomic chunk indexes — must not let those
+	// objects poison the reorder buffer (MaxPending 2 here, three
+	// foreign objects) or stall completion.
+	hub := NewLoopback()
+	defer hub.Close()
+	rx := hub.Receiver(nil, 1<<16)
+	var out bytes.Buffer
+	col := NewCollector(rx, &out, CollectorConfig{BaseObjectID: 7, MaxPending: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- col.Run(ctx) }()
+
+	foreign := NewSender(hub.Sender(), SenderConfig{Rounds: 1, Seed: 3})
+	for id := uint32(1); id <= 3; id++ {
+		obj, err := session.EncodeObject(bytes.Repeat([]byte{byte(id)}, 100), session.SenderConfig{
+			ObjectID: id, Family: wire.CodeRSE, Ratio: 1.5, PayloadSize: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := foreign.Add(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := foreign.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	foreign.Close()
+
+	data := make([]byte, 3*session.ChunkDataSize(16, 256))
+	rand.New(rand.NewSource(9)).Read(data)
+	caster, err := NewCaster(hub.Sender(), bytes.NewReader(data),
+		CasterConfig{BaseObjectID: 7, K: 16, PayloadSize: 256, Ratio: 1.5, Window: 3, Rounds: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := caster.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("collector failed amid foreign traffic: %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("collected bytes differ")
+	}
+}
+
+func TestCollectorWriterError(t *testing.T) {
+	data := make([]byte, 200000)
+	rand.New(rand.NewSource(6)).Read(data)
+	hub := NewLoopback()
+	defer hub.Close()
+	rx := hub.Receiver(nil, 1<<16)
+	col := NewCollector(rx, failWriter{}, CollectorConfig{BaseObjectID: 9})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- col.Run(ctx) }()
+	caster, err := NewCaster(hub.Sender(), bytes.NewReader(data),
+		CasterConfig{BaseObjectID: 9, K: 32, PayloadSize: 512, Window: 2, Rounds: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := caster.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "writing chunk") {
+		t.Fatalf("collector err = %v, want write error", err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestCasterCancel(t *testing.T) {
+	hub := NewLoopback()
+	defer hub.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Pace the cast slowly so cancellation lands mid-stream.
+	c, err := NewCaster(hub.Sender(), neverEndingReader{},
+		CasterConfig{K: 16, PayloadSize: 256, Rate: 200, Burst: 4, Window: 1, Rounds: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	if err := c.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled cast err = %v, want context.Canceled", err)
+	}
+}
+
+type neverEndingReader struct{}
+
+func (neverEndingReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(i)
+	}
+	return len(p), nil
+}
+
+func TestNewCasterConfigErrors(t *testing.T) {
+	hub := NewLoopback()
+	defer hub.Close()
+	for _, cfg := range []CasterConfig{
+		{K: 1, PayloadSize: 4}, // no room past the length prefix
+		{Ratio: 0.5},           // expansion below 1
+		{K: -1},                // negative
+		{Window: -2},           // negative
+	} {
+		if _, err := NewCaster(hub.Sender(), bytes.NewReader(nil), cfg); err == nil {
+			t.Errorf("NewCaster(%+v) succeeded, want error", cfg)
+		}
+	}
+}
+
+func TestCastProgressString(t *testing.T) {
+	// Compile-time-ish sanity that the progress type formats cleanly in
+	// logs (no Stringer, but %+v must not recurse).
+	_ = fmt.Sprintf("%+v", CastProgress{ChunksCast: 1})
+}

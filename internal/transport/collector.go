@@ -1,0 +1,272 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+
+	"fecperf/internal/session"
+)
+
+// DefaultMaxPending is the Collector's default bound on completed
+// chunks buffered out of order, waiting for an earlier chunk to decode.
+const DefaultMaxPending = 64
+
+// maxTrainChunks bounds the chunk index a collector accepts before the
+// manifest announces the true train length: object IDs below the
+// train's base wrap around uint32 to indexes near 2^32, and treating
+// those as plausible chunks would let foreign objects on a shared conn
+// poison the reorder buffer.
+const maxTrainChunks = 1 << 30
+
+// CollectorConfig tunes a streaming collect.
+type CollectorConfig struct {
+	// BaseObjectID selects the train: the manifest's object ID
+	// (chunks ride at BaseObjectID+1+i). Must match the caster's.
+	BaseObjectID uint32
+	// MaxPending bounds completed chunks held out of order (default
+	// DefaultMaxPending). A caster window is the natural scale: chunks
+	// of one window complete in any order, so the bound should exceed
+	// the sender's Window. Overflow is a hard error — on a one-pass
+	// stream a chunk that outruns the bound will never be writable.
+	MaxPending int
+	// MaxInFlight, MaxObjectPackets and MTU pass through to the
+	// underlying ReceiverDaemon (see ReceiverConfig).
+	MaxInFlight      int
+	MaxObjectPackets int
+	MTU              int
+	// OnProgress, when set, is called — on the Run goroutine — after
+	// every in-order chunk write and when the manifest arrives.
+	OnProgress func(CollectProgress)
+}
+
+// CollectProgress describes a running collect.
+type CollectProgress struct {
+	// ChunksWritten and BytesWritten count the in-order prefix flushed
+	// to the destination writer.
+	ChunksWritten int
+	BytesWritten  int64
+	// ChunksTotal is the train length, or -1 until the manifest arrives
+	// (the caster seals the train only after reading its last byte).
+	ChunksTotal int
+}
+
+// Collector reassembles a Caster's chunk train from a Conn into an
+// io.Writer: chunks decode in any order (bounded by MaxPending), are
+// written strictly in order, and the trailing manifest closes the
+// stream — total length and whole-stream CRC are verified before Run
+// returns success. Memory stays bounded by the reordering window and
+// the daemon's reassembly bounds, never by the stream size.
+//
+// Run drives the underlying ReceiverDaemon until the train completes,
+// the writer or stream fails, or ctx is cancelled.
+type Collector struct {
+	daemon *ReceiverDaemon
+	dst    io.Writer
+	cfg    CollectorConfig
+	finish context.CancelFunc
+
+	mu       sync.Mutex
+	manifest *session.Manifest
+	pending  map[int][]byte
+	next     int
+	written  int64
+	crc      uint32
+	complete bool
+	err      error
+}
+
+// NewCollector returns a collector writing the reassembled stream to dst.
+func NewCollector(conn Conn, dst io.Writer, cfg CollectorConfig) *Collector {
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = DefaultMaxPending
+	}
+	c := &Collector{
+		dst:     dst,
+		cfg:     cfg,
+		pending: make(map[int][]byte),
+	}
+	c.daemon = NewReceiverDaemon(conn, ReceiverConfig{
+		MaxInFlight:      cfg.MaxInFlight,
+		MaxObjectPackets: cfg.MaxObjectPackets,
+		MTU:              cfg.MTU,
+		// The collector consumes every object as it decodes; the
+		// daemon's completed-bytes ring only needs to exist.
+		MaxCompleted: 1,
+		OnComplete:   c.onObject,
+	})
+	return c
+}
+
+// Run collects until the train is complete (nil), the destination
+// writer or the stream's integrity fails (the error), or ctx is
+// cancelled (ctx.Err()).
+func (c *Collector) Run(ctx context.Context) error {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	c.mu.Lock()
+	c.finish = cancel
+	c.mu.Unlock()
+
+	err := c.daemon.Run(runCtx)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case c.err != nil:
+		return c.err
+	case c.complete:
+		return nil
+	default:
+		return err
+	}
+}
+
+// onObject routes one decoded object (manifest or chunk) on the daemon's
+// Run goroutine. Progress callbacks fire after the lock is released, so
+// they may call Progress/Manifest/Stats freely.
+func (c *Collector) onObject(id uint32, data []byte) {
+	var events []CollectProgress
+	c.mu.Lock()
+	c.onObjectLocked(id, data, &events)
+	c.mu.Unlock()
+	if c.cfg.OnProgress != nil {
+		for _, ev := range events {
+			c.cfg.OnProgress(ev)
+		}
+	}
+}
+
+func (c *Collector) onObjectLocked(id uint32, data []byte, events *[]CollectProgress) {
+	if c.complete || c.err != nil {
+		return
+	}
+	if id == c.cfg.BaseObjectID {
+		m, err := session.DecodeManifest(data)
+		if err != nil {
+			c.failLocked(fmt.Errorf("transport: train manifest: %w", err))
+			return
+		}
+		c.manifest = m
+		// Anything buffered past the now-known train end was a foreign
+		// object (another train or carousel sharing the conn) accepted
+		// before the manifest told us the length; release it.
+		for i := range c.pending {
+			if uint32(i) >= m.ChunkCount {
+				delete(c.pending, i)
+			}
+		}
+		c.noteProgressLocked(events)
+		c.checkCompleteLocked()
+		return
+	}
+	idx := int(id - c.cfg.BaseObjectID - 1) // sequential train IDs (mod 2^32)
+	if idx >= maxTrainChunks {
+		// IDs below the base wrap mod 2^32 to indexes near 2^32; no
+		// real train is billions of chunks, so this is foreign traffic
+		// (e.g. a carousel on the same group), not a reorder.
+		return
+	}
+	if c.manifest != nil && uint32(idx) >= c.manifest.ChunkCount {
+		return // not part of this train
+	}
+	if idx < c.next {
+		return // duplicate of an already-written chunk
+	}
+	if idx > c.next {
+		if _, dup := c.pending[idx]; dup {
+			return
+		}
+		if len(c.pending) >= c.cfg.MaxPending {
+			c.failLocked(fmt.Errorf("transport: %d chunks completed out of order while chunk %d is missing (MaxPending %d)",
+				len(c.pending), c.next, c.cfg.MaxPending))
+			return
+		}
+		c.pending[idx] = data
+		return
+	}
+	// idx == next: flush the contiguous prefix.
+	for chunk, ok := data, true; ok; chunk, ok = c.pending[c.next] {
+		delete(c.pending, c.next)
+		if _, err := c.dst.Write(chunk); err != nil {
+			c.failLocked(fmt.Errorf("transport: writing chunk %d: %w", c.next, err))
+			return
+		}
+		c.crc = crc32.Update(c.crc, crc32.IEEETable, chunk)
+		c.written += int64(len(chunk))
+		c.next++
+		c.noteProgressLocked(events)
+	}
+	c.checkCompleteLocked()
+}
+
+// checkCompleteLocked seals the collect once the manifest and every
+// chunk have been written: length and stream CRC must match.
+func (c *Collector) checkCompleteLocked() {
+	m := c.manifest
+	if m == nil || c.next < int(m.ChunkCount) {
+		return
+	}
+	if uint64(c.written) != m.TotalSize {
+		c.failLocked(fmt.Errorf("transport: train wrote %d bytes, manifest says %d", c.written, m.TotalSize))
+		return
+	}
+	if c.crc != m.StreamCRC {
+		c.failLocked(fmt.Errorf("transport: stream CRC mismatch (got %08x, manifest %08x)", c.crc, m.StreamCRC))
+		return
+	}
+	c.complete = true
+	if c.finish != nil {
+		c.finish()
+	}
+}
+
+func (c *Collector) failLocked(err error) {
+	c.err = err
+	if c.finish != nil {
+		c.finish()
+	}
+}
+
+// noteProgressLocked queues one progress snapshot for delivery after
+// the lock is released.
+func (c *Collector) noteProgressLocked(events *[]CollectProgress) {
+	if c.cfg.OnProgress == nil {
+		return
+	}
+	total := -1
+	if c.manifest != nil {
+		total = int(c.manifest.ChunkCount)
+	}
+	*events = append(*events, CollectProgress{
+		ChunksWritten: c.next,
+		BytesWritten:  c.written,
+		ChunksTotal:   total,
+	})
+}
+
+// Manifest returns the train manifest once it has decoded.
+func (c *Collector) Manifest() (session.Manifest, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.manifest == nil {
+		return session.Manifest{}, false
+	}
+	return *c.manifest, true
+}
+
+// Progress returns the current in-order progress snapshot.
+func (c *Collector) Progress() CollectProgress {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := -1
+	if c.manifest != nil {
+		total = int(c.manifest.ChunkCount)
+	}
+	return CollectProgress{ChunksWritten: c.next, BytesWritten: c.written, ChunksTotal: total}
+}
+
+// Stats returns the underlying receiver daemon's counters.
+func (c *Collector) Stats() Stats { return c.daemon.Stats() }

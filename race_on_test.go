@@ -1,0 +1,9 @@
+//go:build race
+
+package fecperf
+
+// raceEnabled scales the heaviest end-to-end tests down under the race
+// detector, whose 10-20× slowdown on the GF kernels would otherwise
+// time them out; the full-size runs belong to the uninstrumented
+// `go test ./...` tier.
+const raceEnabled = true
