@@ -28,6 +28,9 @@ type (
 	CasterStats = transport.CasterStats
 	// Collector reassembles a cast train in order into an io.Writer.
 	Collector = transport.Collector
+	// CollectorStats is a snapshot of collect counters (the collector's
+	// own reassembly progress plus its daemon's packet counters).
+	CollectorStats = transport.CollectorStats
 	// CollectProgress describes a running collect.
 	CollectProgress = transport.CollectProgress
 	// TrainManifest seals a chunked train: chunk count and size, total
@@ -66,6 +69,8 @@ func NewCaster(conn TransportConn, src io.Reader, opts ...Option) (*Caster, erro
 		Window:       c.Window,
 		Rounds:       c.Rounds,
 		OnProgress:   c.OnCastProgress,
+		Metrics:      c.Metrics,
+		Tracer:       c.Tracer,
 	})
 }
 
@@ -88,6 +93,8 @@ func NewCollector(conn TransportConn, dst io.Writer, opts ...Option) (*Collector
 		MaxPending:   c.MaxPending,
 		MTU:          mtu,
 		OnProgress:   c.OnCollectProgress,
+		Metrics:      c.Metrics,
+		Tracer:       c.Tracer,
 	}), nil
 }
 

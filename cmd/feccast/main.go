@@ -47,6 +47,58 @@ func main() {
 	}
 }
 
+// setupObs starts the observability side of a subcommand: a metrics
+// endpoint on metricsAddr (empty = none) and a JSONL lifecycle tracer
+// to traceFile (empty = none, "-" = stderr). The returned registry and
+// tracer are nil when not requested — every config path is nil-safe —
+// and done flushes and shuts both down.
+func setupObs(metricsAddr, traceFile string, pprofOn bool) (reg *fecperf.MetricsRegistry, tr *fecperf.Tracer, done func(), err error) {
+	var closers []func()
+	done = func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	if metricsAddr != "" {
+		reg = fecperf.NewMetricsRegistry()
+		srv, err := fecperf.ServeMetrics(metricsAddr, reg, fecperf.MetricsServeConfig{Pprof: pprofOn})
+		if err != nil {
+			return nil, nil, func() {}, err
+		}
+		closers = append(closers, func() { srv.Close() })
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", srv.Addr())
+	}
+	if traceFile != "" {
+		w := io.Writer(os.Stderr)
+		if traceFile != "-" {
+			f, err := os.Create(traceFile)
+			if err != nil {
+				done()
+				return nil, nil, func() {}, err
+			}
+			closers = append(closers, func() { f.Close() })
+			w = f
+		}
+		tr = fecperf.NewTracer(w, fecperf.TracerConfig{})
+		tr.Register(reg)
+		closers = append(closers, func() { tr.Close() })
+	}
+	return reg, tr, done, nil
+}
+
+// resolveMetricsAddr picks the metrics endpoint: the -metrics flag
+// wins, else the spec line's "metrics=addr" key.
+func resolveMetricsAddr(flagAddr, specLine string) string {
+	if flagAddr != "" {
+		return flagAddr
+	}
+	cfg, err := fecperf.ParseSpec(specLine)
+	if err != nil {
+		return "" // the real parse error surfaces from the constructor
+	}
+	return cfg.MetricsAddr
+}
+
 func run(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: feccast <send|recv|cast|collect> [flags]\nRun 'feccast <subcommand> -h' for flags")
@@ -77,6 +129,9 @@ func runSend(args []string) error {
 	tx := fs.String("tx", "tx4", "transmission model tx1..tx6, parameterized forms tx6(frac=0.3), carousel(inner=tx4,rounds=3)")
 	rate := fs.Float64("rate", 5000, "packets per second (0 = unpaced)")
 	rounds := fs.Int("rounds", 0, "carousel rounds (0 = loop until interrupted)")
+	metricsAddr := fs.String("metrics", "", `serve Prometheus/expvar metrics on this address (e.g. ":9090"; also spec key metrics=addr)`)
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ on the metrics endpoint")
+	traceFile := fs.String("trace", "", `write JSONL lifecycle trace events to this file ("-" = stderr)`)
 	specLine := fs.String("spec", "", `one-line configuration spec overriding the flags above, e.g. "codec=rse(ratio=1.5,seed=7),sched=tx4,rate=8000,object=3"`)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,6 +177,12 @@ func runSend(args []string) error {
 	}
 	defer conn.Close()
 
+	reg, tracer, obsDone, err := setupObs(resolveMetricsAddr(*metricsAddr, *specLine), *traceFile, *pprofOn)
+	if err != nil {
+		return err
+	}
+	defer obsDone()
+
 	// OnRound reads the sender's own stats; the closure captures the
 	// variable before assignment, which is safe because Run (the only
 	// caller of OnRound) starts afterwards.
@@ -136,6 +197,8 @@ func runSend(args []string) error {
 		Rounds:    carouselRounds,
 		Scheduler: cfg.Scheduler,
 		Seed:      cfg.Seed,
+		Metrics:   reg,
+		Tracer:    tracer,
 		OnRound: func(round int) {
 			st := s.Stats()
 			fmt.Fprintf(os.Stderr, "round %d done: %d packets / %d bytes on the wire\n",
@@ -172,6 +235,9 @@ func runRecv(args []string) error {
 	timeout := fs.Duration("timeout", 0, "give up after this long (0 = no limit)")
 	mtu := fs.Int("mtu", 2048, "read buffer size (header + max payload)")
 	statsEvery := fs.Duration("stats", 5*time.Second, "stats reporting interval (0 = silent)")
+	metricsAddr := fs.String("metrics", "", `serve Prometheus/expvar metrics on this address (e.g. ":9090")`)
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ on the metrics endpoint")
+	traceFile := fs.String("trace", "", `write JSONL lifecycle trace events to this file ("-" = stderr)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -180,6 +246,12 @@ func runRecv(args []string) error {
 		return err
 	}
 	defer conn.Close()
+
+	reg, tracer, obsDone, err := setupObs(*metricsAddr, *traceFile, *pprofOn)
+	if err != nil {
+		return err
+	}
+	defer obsDone()
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
@@ -193,7 +265,9 @@ func runRecv(args []string) error {
 
 	var decoded, saveFailed atomic.Int64
 	d := fecperf.NewReceiverDaemon(conn, fecperf.ReceiverDaemonConfig{
-		MTU: *mtu,
+		MTU:     *mtu,
+		Metrics: reg,
+		Tracer:  tracer,
 		OnComplete: func(id uint32, data []byte) {
 			name := filepath.Join(*out, fmt.Sprintf("object-%d.bin", id))
 			if err := os.WriteFile(name, data, 0o644); err != nil {
@@ -254,6 +328,9 @@ func runCast(args []string) error {
 	file := fs.String("file", "", `file to stream ("-" = stdin; required)`)
 	specLine := fs.String("spec", "", `one-line configuration spec, e.g. "codec=rse(k=256,ratio=1.5),sched=tx4,rate=8000,object=7,window=4,rounds=2"`)
 	progress := fs.Bool("progress", false, "report per-window progress on stderr")
+	metricsAddr := fs.String("metrics", "", `serve Prometheus/expvar metrics on this address (e.g. ":9090"; also spec key metrics=addr)`)
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ on the metrics endpoint")
+	traceFile := fs.String("trace", "", `write JSONL lifecycle trace events to this file ("-" = stderr)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -277,7 +354,13 @@ func runCast(args []string) error {
 	}
 	defer conn.Close()
 
-	opts := []fecperf.Option{fecperf.WithSpec(*specLine)}
+	reg, tracer, obsDone, err := setupObs(resolveMetricsAddr(*metricsAddr, *specLine), *traceFile, *pprofOn)
+	if err != nil {
+		return err
+	}
+	defer obsDone()
+
+	opts := []fecperf.Option{fecperf.WithSpec(*specLine), fecperf.WithMetrics(reg), fecperf.WithTracer(tracer)}
 	if *progress {
 		opts = append(opts, fecperf.WithCastProgress(func(p fecperf.CastProgress) {
 			fmt.Fprintf(os.Stderr, "cast: %d chunks / %d bytes read\n", p.ChunksCast, p.BytesRead)
@@ -304,6 +387,9 @@ func runCollect(args []string) error {
 	timeout := fs.Duration("timeout", 0, "give up after this long (0 = no limit)")
 	specLine := fs.String("spec", "", `one-line configuration spec, e.g. "object=7,payload=1024,pending=64"`)
 	progress := fs.Bool("progress", false, "report per-chunk progress on stderr")
+	metricsAddr := fs.String("metrics", "", `serve Prometheus/expvar metrics on this address (e.g. ":9090"; also spec key metrics=addr)`)
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ on the metrics endpoint")
+	traceFile := fs.String("trace", "", `write JSONL lifecycle trace events to this file ("-" = stderr)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -327,7 +413,13 @@ func runCollect(args []string) error {
 	}
 	defer conn.Close()
 
-	opts := []fecperf.Option{fecperf.WithSpec(*specLine)}
+	reg, tracer, obsDone, err := setupObs(resolveMetricsAddr(*metricsAddr, *specLine), *traceFile, *pprofOn)
+	if err != nil {
+		return err
+	}
+	defer obsDone()
+
+	opts := []fecperf.Option{fecperf.WithSpec(*specLine), fecperf.WithMetrics(reg), fecperf.WithTracer(tracer)}
 	if *progress {
 		opts = append(opts, fecperf.WithCollectProgress(func(p fecperf.CollectProgress) {
 			total := "?"
@@ -352,8 +444,8 @@ func runCollect(args []string) error {
 	}
 	err = col.Run(ctx)
 	p := col.Progress()
-	fmt.Fprintf(os.Stderr, "collected %d chunks / %d bytes (receiver stats %+v)\n",
-		p.ChunksWritten, p.BytesWritten, col.Stats())
+	fmt.Fprintf(os.Stderr, "collected %d chunks / %d bytes (stats %+v)\n",
+		p.ChunksWritten, p.BytesWritten, col.CollectStats())
 	if err != nil {
 		return fmt.Errorf("collect: %w", err)
 	}

@@ -67,6 +67,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		chName   = fs.String("channel", "gilbert", "channel family: "+strings.Join(channel.FamilyNames(), ", "))
 		resume   = fs.String("resume", "", "checkpoint file: completed cells are appended and restored on restart")
 		progress = fs.Bool("progress", false, "report per-cell completion on stderr")
+		metrics  = fs.String("metrics", "", `serve Prometheus/expvar engine metrics on this address while the sweep runs (e.g. ":9090"; also spec key metrics=addr)`)
 		specLine = fs.String("spec", "", `one-line configuration spec overriding the flags above, e.g. "codec=ldgm-staircase(k=20000,ratio=2.5),sched=tx2,channel=gilbert,trials=100,seed=7"`)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -123,6 +124,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if cfg.Workers != 0 {
 			*workers = cfg.Workers
 		}
+		if cfg.MetricsAddr != "" && *metrics == "" {
+			*metrics = cfg.MetricsAddr
+		}
 	}
 
 	grid, err := parseGrid(*gridSpec)
@@ -139,6 +143,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	plan := buildPlan(*codeName, *txName, *ratio, *k, *trials, *nsent, *seed, channels)
 
 	opts := engine.Options{Workers: *workers, CheckpointPath: *resume}
+	if *metrics != "" {
+		reg := fecperf.NewMetricsRegistry()
+		srv, err := fecperf.ServeMetrics(*metrics, reg, fecperf.MetricsServeConfig{})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "fecsim: metrics on http://%s/metrics\n", srv.Addr())
+		opts.Metrics = reg
+	}
 	if *progress {
 		opts.Progress = func(ev engine.Progress) {
 			state := "done"

@@ -171,6 +171,63 @@
 // checkpoint (PlanOptions.CheckpointPath) lets an interrupted sweep
 // resume without recomputing finished points. See examples/plansweep.
 //
+// # Observability
+//
+// The library instruments its hot paths behind a zero-dependency
+// metrics core (internal/obs): atomic counters and gauges, fixed-bucket
+// histograms with lock-free per-bucket atomics, and a namespaced
+// registry that renders Prometheus text and expvar-style JSON.
+// Everything is nil-safe — a component built without a registry runs
+// the exact uninstrumented code it always did, and the sender round
+// loop and schedule draws stay 0 allocs/op either way (gated in
+// scripts/bench_obs.sh; the instrumented-vs-bare delta is held under
+// 3%).
+//
+//	reg := fecperf.NewMetricsRegistry()          // + symbol pool & session instruments
+//	srv, _ := fecperf.ServeMetrics(":9090", reg, fecperf.MetricsServeConfig{})
+//	defer srv.Close()
+//	caster, _ := fecperf.NewCaster(conn, src,
+//	    fecperf.WithSpec(spec), fecperf.WithMetrics(reg))
+//
+// ServeMetrics exposes /metrics (Prometheus text v0.0.4), /metrics.json
+// (one flat JSON object), /debug/vars (standard expvar) and, opted in,
+// /debug/pprof/. The spec key "metrics" (metrics=:9090) carries the
+// endpoint address through one-line configurations; cmd/feccast and
+// cmd/fecsim serve it (-metrics overrides).
+//
+// The metric catalog, all under the fecperf_ namespace. Broadcast
+// carousel (WithMetrics via BroadcasterConfig.Metrics): sender_packets_total,
+// sender_bytes_total, sender_rounds_total, sender_pacer_wait_ns_total,
+// sender_resumes_total. Receiver daemon: receiver_packets_total,
+// receiver_bytes_total, receiver_packets_ingested_total,
+// receiver_packets_duplicate_total, receiver_packets_dropped_total
+// {reason=bad|late|inconsistent|truncated}, receiver_objects_started_total,
+// receiver_objects_decoded_total, receiver_objects_evicted_total,
+// receiver_inflight_objects, and the receiver_decode_seconds histogram
+// (first ingested datagram to decoded object). Caster:
+// caster_packets_total, caster_bytes_total, caster_chunks_total,
+// caster_bytes_read_total, caster_pacer_wait_ns_total,
+// caster_window_chunks. Collector: collector_chunks_written_total,
+// collector_bytes_written_total, collector_crc_failures_total,
+// collector_pending_chunks. Session (process-wide, attached by
+// NewMetricsRegistry): session_encode_seconds and
+// session_decode_seconds histograms. Symbol pool (process-wide):
+// symbol_pool_gets_total, symbol_pool_puts_total,
+// symbol_pool_misses_total, symbol_pool_jumbo_total,
+// symbol_live_buffers. Experiment engine (PlanOptions.Metrics):
+// engine_trials_total, engine_shards_total, engine_points_total,
+// engine_checkpoint_writes_total, engine_points_restored_total.
+// Tracer (Tracer.Register): trace_events_total, trace_errors_total.
+//
+// NewTracer records chunk/object lifecycle events as JSON lines —
+// enqueue, first_tx, kth_rx (the k-th distinct symbol arriving, the
+// MDS decode threshold), decode (with nanosecond latency), write and
+// verify — with deterministic per-object sampling: the object ID is
+// hashed with the splitmix64 finalizer under TracerConfig.Seed, so a
+// sampled object contributes its whole lifecycle and two processes
+// tracing the same cast with the same seed sample the same objects.
+// Pass it with WithTracer; cmd/feccast writes it with -trace.
+//
 // # Quick start
 //
 //	agg, _ := fecperf.Simulate(fecperf.WithSpec(

@@ -25,6 +25,7 @@ import (
 	"fecperf/internal/engine"
 	"fecperf/internal/experiments"
 	"fecperf/internal/ldpc"
+	"fecperf/internal/obs"
 	"fecperf/internal/recommend"
 	"fecperf/internal/rse"
 	"fecperf/internal/sched"
@@ -148,6 +149,15 @@ type Config struct {
 	// Callbacks are Go-only: they do not serialize into Spec.
 	OnCastProgress    func(CastProgress)
 	OnCollectProgress func(CollectProgress)
+	// Metrics registers constructed components' counters on a registry
+	// and Tracer records their chunk-lifecycle events. Both are Go-only
+	// handles (WithMetrics / WithTracer): they do not serialize into
+	// Spec. MetricsAddr (key "metrics", e.g. metrics=:9090) is the
+	// serializable request for an exposition endpoint — the cmd/* tools
+	// consume it; constructors never bind sockets themselves.
+	Metrics     *obs.Registry
+	Tracer      *obs.Tracer
+	MetricsAddr string
 }
 
 // Option mutates a Config; every top-level constructor accepts a list.
@@ -352,7 +362,7 @@ func NewConfig(opts ...Option) (Config, error) {
 var configKeys = []string{
 	"codec", "sched", "channel", "payload", "rate", "burst",
 	"object", "window", "rounds", "seed", "nsent", "trials",
-	"workers", "pending",
+	"workers", "pending", "metrics",
 }
 
 // ParseSpec parses a one-line configuration spec — comma-separated
@@ -429,6 +439,7 @@ func ParseSpec(line string) (Config, error) {
 	if c.MaxPending, _, e = params.Int("pending"); e != nil {
 		return fail(e)
 	}
+	c.MetricsAddr = params["metrics"]
 	return c, nil
 }
 
@@ -478,6 +489,9 @@ func (c Config) Spec() string {
 	}
 	if c.MaxPending != 0 {
 		add("pending", strconv.Itoa(c.MaxPending))
+	}
+	if c.MetricsAddr != "" {
+		add("metrics", c.MetricsAddr)
 	}
 	return strings.Join(parts, ",")
 }
@@ -531,6 +545,15 @@ func (c Config) overlay(dst *Config) {
 	}
 	if c.OnCollectProgress != nil {
 		dst.OnCollectProgress = c.OnCollectProgress
+	}
+	if c.Metrics != nil {
+		dst.Metrics = c.Metrics
+	}
+	if c.Tracer != nil {
+		dst.Tracer = c.Tracer
+	}
+	if c.MetricsAddr != "" {
+		dst.MetricsAddr = c.MetricsAddr
 	}
 }
 

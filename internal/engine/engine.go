@@ -25,6 +25,7 @@ import (
 	"fecperf/internal/channel"
 	"fecperf/internal/codes"
 	"fecperf/internal/core"
+	"fecperf/internal/obs"
 	"fecperf/internal/sched"
 )
 
@@ -90,6 +91,35 @@ type Options struct {
 	// there (matched on configuration key and seed) are restored instead
 	// of recomputed.
 	CheckpointPath string
+	// Metrics, when set, exposes the run's progress counters on the
+	// registry (engine_* series: trials, shards, points, checkpoint
+	// writes and restores). Runs sharing a registry share the series,
+	// so the counters are cumulative across runs.
+	Metrics *obs.Registry
+}
+
+// engineMetrics is the engine's counter set; the zero value (all nil
+// instruments) is fully inert, so uninstrumented runs pay one branch
+// per increment.
+type engineMetrics struct {
+	trials     *obs.Counter
+	shards     *obs.Counter
+	points     *obs.Counter
+	ckptWrites *obs.Counter
+	restored   *obs.Counter
+}
+
+func newEngineMetrics(r *obs.Registry) engineMetrics {
+	if r == nil {
+		return engineMetrics{}
+	}
+	return engineMetrics{
+		trials:     r.Counter("engine_trials_total", "Simulation trials completed.", nil),
+		shards:     r.Counter("engine_shards_total", "Trial shards completed by the worker pool.", nil),
+		points:     r.Counter("engine_points_total", "Plan points delivered (computed or restored).", nil),
+		ckptWrites: r.Counter("engine_checkpoint_writes_total", "Point results appended to the checkpoint file.", nil),
+		restored:   r.Counter("engine_points_restored_total", "Points restored from the checkpoint instead of recomputed.", nil),
+	}
 }
 
 func (o Options) workers() int {
@@ -141,7 +171,7 @@ func runShard(ctx context.Context, spec PointSpec, lo, hi int) (Aggregate, bool)
 // and unfinished points hold zero-valued aggregates.
 func RunPointSpecs(ctx context.Context, specs []PointSpec, workers int) ([]Aggregate, error) {
 	out := make([]Aggregate, len(specs))
-	err := runSpecs(ctx, specs, workers, func(i int, agg Aggregate) {
+	err := runSpecs(ctx, specs, workers, engineMetrics{}, func(i int, agg Aggregate) {
 		out[i] = agg
 	})
 	return out, err
@@ -159,7 +189,7 @@ func RunPoint(ctx context.Context, spec PointSpec, workers int) (Aggregate, erro
 // exactly once per point that completes all its shards. done may be
 // called from any worker goroutine, one call at a time per point but
 // concurrently across points.
-func runSpecs(ctx context.Context, specs []PointSpec, workers int, done func(int, Aggregate)) error {
+func runSpecs(ctx context.Context, specs []PointSpec, workers int, m engineMetrics, done func(int, Aggregate)) error {
 	if len(specs) == 0 {
 		return ctx.Err()
 	}
@@ -204,6 +234,8 @@ func runSpecs(ctx context.Context, specs []PointSpec, workers int, done func(int
 				if !ok {
 					continue // cancelled mid-shard: point never completes
 				}
+				m.shards.Inc()
+				m.trials.Add(uint64(agg.Trials))
 				parts[tk.point][tk.shard] = agg
 				mu.Lock()
 				remaining[tk.point]--
@@ -272,13 +304,19 @@ func RunPoints(ctx context.Context, points []Point, opts Options) (res []PointRe
 		}()
 	}
 
+	m := newEngineMetrics(opts.Metrics)
 	total := len(points)
 	completed := 0
 	deliver := func(i int, agg Aggregate, resumed bool) {
 		results[i].Aggregate = agg
 		completed++
+		m.points.Inc()
+		if resumed {
+			m.restored.Inc()
+		}
 		if !resumed && ckpt != nil {
 			ckpt.append(points[i], agg)
+			m.ckptWrites.Inc()
 		}
 		if opts.Progress != nil {
 			opts.Progress(Progress{
@@ -314,7 +352,7 @@ func RunPoints(ctx context.Context, points []Point, opts Options) (res []PointRe
 	}
 
 	var mu sync.Mutex // serialises deliver across worker goroutines
-	retErr = runSpecs(ctx, pending, opts.workers(), func(j int, agg Aggregate) {
+	retErr = runSpecs(ctx, pending, opts.workers(), m, func(j int, agg Aggregate) {
 		mu.Lock()
 		deliver(indices[j], agg, false)
 		mu.Unlock()

@@ -1,0 +1,128 @@
+package obs
+
+// Exposition: the registry renders to the Prometheus text format
+// (WritePrometheus) and to an expvar-style JSON object (WriteJSON).
+// Both walk the same sorted snapshot, so the two views always agree on
+// series and values at the moment of the scrape.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// formatValue renders a float the way the Prometheus text format
+// expects: shortest round-trip representation, integers without
+// exponent noise.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) && v >= -1e15 && v <= 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format, sorted by (name, labels), with one HELP/TYPE
+// header per metric family. Histograms render cumulative _bucket
+// series with le bounds scaled by the histogram's Unit, plus _sum and
+// _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	lastFamily := ""
+	for _, m := range r.snapshot() {
+		if m.name != lastFamily {
+			if m.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", m.name, strings.ReplaceAll(m.help, "\n", " "))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+			lastFamily = m.name
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s%s %d\n", m.name, m.labels.render(), m.counterValue())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s%s %d\n", m.name, m.labels.render(), m.gaugeValue())
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			cum := uint64(0)
+			for i, c := range s.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = formatValue(float64(s.Bounds[i]) * s.Unit)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name, m.labels.withLE(le).render(), cum)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", m.name, m.labels.render(), formatValue(float64(s.Sum)*s.Unit))
+			fmt.Fprintf(&b, "%s_count%s %d\n", m.name, m.labels.render(), cum)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// withLE returns the label set extended with le=v (histogram buckets).
+func (ls Labels) withLE(v string) Labels {
+	out := make(Labels, 0, len(ls)+1)
+	out = append(out, ls...)
+	return append(out, Label{Key: "le", Value: v})
+}
+
+// WriteJSON renders every registered metric as one JSON object in the
+// expvar convention — a flat map from series id (name plus rendered
+// labels) to value. Counters and gauges are numbers; histograms are
+// objects with count, sum (scaled by Unit) and a buckets map from
+// scaled upper bound to cumulative count. Keys appear in the same
+// sorted order as the Prometheus text, so the output is deterministic
+// for a given registry state.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("{")
+	first := true
+	sep := func() {
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		b.WriteString("\n  ")
+	}
+	for _, m := range r.snapshot() {
+		sep()
+		fmt.Fprintf(&b, "%q: ", m.id)
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%d", m.counterValue())
+		case kindGauge:
+			fmt.Fprintf(&b, "%d", m.gaugeValue())
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			cum := uint64(0)
+			b.WriteString(`{"buckets": {`)
+			for i, c := range s.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = formatValue(float64(s.Bounds[i]) * s.Unit)
+				}
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%q: %d", le, cum)
+			}
+			// formatValue may emit "1e-06"-style exponents; those are
+			// valid JSON numbers.
+			fmt.Fprintf(&b, `}, "count": %d, "sum": %s}`, cum, formatValue(float64(s.Sum)*s.Unit))
+		}
+	}
+	b.WriteString("\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety drives every instrument method through a nil receiver:
+// the uninstrumented default must be inert, not a crash.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Load() != 0 {
+		t.Error("nil counter loaded non-zero")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Load() != 0 {
+		t.Error("nil gauge loaded non-zero")
+	}
+	var h *Histogram
+	h.Observe(42)
+	if s := h.Snapshot(); s.Total() != 0 || len(s.Counts) != 0 {
+		t.Error("nil histogram snapshot not empty")
+	}
+	var r *Registry
+	if r.Counter("x", "", nil) != nil {
+		t.Error("nil registry minted a counter")
+	}
+	if r.Gauge("x", "", nil) != nil {
+		t.Error("nil registry minted a gauge")
+	}
+	if r.Histogram("x", "", []int64{1}, 0, nil) != nil {
+		t.Error("nil registry minted a histogram")
+	}
+	r.CounterFunc("x", "", nil, func() uint64 { return 1 })
+	r.GaugeFunc("x", "", nil, func() int64 { return 1 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Error(err)
+	}
+	r.Each(func(string, Labels, string, float64, *HistSnapshot) { t.Error("nil registry has metrics") })
+	var tr *Tracer
+	if tr.Sampled(7) {
+		t.Error("nil tracer sampled")
+	}
+	tr.Emit(Event{Event: TraceDecode, Object: 7})
+	if err := tr.Flush(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry("ns")
+	c := r.Counter("hits_total", "h", nil)
+	c.Inc()
+	c.Add(4)
+	if got, ok := r.CounterValue("hits_total", nil); !ok || got != 5 {
+		t.Fatalf("counter = %d, %v; want 5, true", got, ok)
+	}
+	// Get-or-create: same (name, labels) must return the same counter.
+	if c2 := r.Counter("hits_total", "h", nil); c2 != c {
+		t.Fatal("re-registration minted a fresh counter")
+	}
+	// Distinct labels are distinct series.
+	c3 := r.Counter("hits_total", "h", L("kind", "x"))
+	if c3 == c {
+		t.Fatal("labelled series shared the unlabelled counter")
+	}
+	g := r.Gauge("depth", "d", nil)
+	g.Set(10)
+	g.Add(-3)
+	if got, ok := r.GaugeValue("depth", nil); !ok || got != 7 {
+		t.Fatalf("gauge = %d, %v; want 7, true", got, ok)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000}, 0)
+	for _, v := range []int64{5, 10, 11, 100, 101, 5000, -3} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{3, 2, 1, 1} // <=10: {5,10,-3}; <=100: {11,100}; <=1000: {101}; +Inf: {5000}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Total() != 7 {
+		t.Errorf("total = %d, want 7", s.Total())
+	}
+	if s.Sum != 5+10+11+100+101+5000-3 {
+		t.Errorf("sum = %d", s.Sum)
+	}
+}
+
+// TestHistogramMergeDeterminism shards one observation stream across 8
+// histograms, merges the snapshots in two different orders, and
+// requires byte-identical totals versus the single-histogram run — the
+// Chan-et-al. discipline internal/stats uses, exact here because all
+// quantities are integers.
+func TestHistogramMergeDeterminism(t *testing.T) {
+	bounds := ExpBuckets(1, 2, 12)
+	const n = 10000
+	value := func(i int) int64 { return int64(splitmix64(uint64(i)) % 5000) }
+
+	single := NewHistogram(bounds, 0)
+	for i := 0; i < n; i++ {
+		single.Observe(value(i))
+	}
+
+	const workers = 8
+	parts := make([]*Histogram, workers)
+	for w := range parts {
+		parts[w] = NewHistogram(bounds, 0)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				parts[w].Observe(value(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	mergeOrder := func(order []int) HistSnapshot {
+		var acc HistSnapshot
+		for _, w := range order {
+			if err := acc.Merge(parts[w].Snapshot()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return acc
+	}
+	fwd := mergeOrder([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	rev := mergeOrder([]int{7, 6, 5, 4, 3, 2, 1, 0})
+	want := single.Snapshot()
+	for _, got := range []HistSnapshot{fwd, rev} {
+		if got.Sum != want.Sum || got.Total() != want.Total() {
+			t.Fatalf("merged sum/total = %d/%d, want %d/%d", got.Sum, got.Total(), want.Sum, want.Total())
+		}
+		for i := range want.Counts {
+			if got.Counts[i] != want.Counts[i] {
+				t.Fatalf("merged bucket %d = %d, want %d", i, got.Counts[i], want.Counts[i])
+			}
+		}
+	}
+
+	var mismatched HistSnapshot
+	if err := mismatched.Merge(want); err != nil {
+		t.Fatal(err)
+	}
+	other := NewHistogram([]int64{1, 2}, 0).Snapshot()
+	if err := mismatched.Merge(other); err == nil {
+		t.Fatal("merging different bucket layouts succeeded")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(10, 4, 5)
+	want := []int64{10, 40, 160, 640, 2560}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+	// Tiny factors must still produce strictly increasing bounds.
+	b = ExpBuckets(1, 1.01, 10)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not increasing: %v", b)
+		}
+	}
+}
+
+// TestConcurrentWritesHammer pounds one registry's counters, gauges and
+// histograms from many goroutines while other goroutines render both
+// expositions — the -race proof that the lock-free hot path and the
+// snapshot reads coexist.
+func TestConcurrentWritesHammer(t *testing.T) {
+	r := NewRegistry("hammer")
+	c := r.Counter("ops_total", "ops", nil)
+	g := r.Gauge("level", "level", nil)
+	h := r.Histogram("lat", "lat", ExpBuckets(1, 2, 10), 0, nil)
+
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := r.WriteJSON(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i % 700))
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := c.Load(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := g.Load(); got != writers*perWriter {
+		t.Fatalf("gauge = %d, want %d", got, writers*perWriter)
+	}
+	if got := h.Snapshot().Total(); got != writers*perWriter {
+		t.Fatalf("histogram total = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestLabelsRender(t *testing.T) {
+	if got := L("a", "1", "b", `x"y\z`).render(); got != `{a="1",b="x\"y\\z"}` {
+		t.Fatalf("render = %s", got)
+	}
+	if got := (Labels)(nil).render(); got != "" {
+		t.Fatalf("empty labels rendered %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd L() did not panic")
+		}
+	}()
+	L("odd")
+}
+
+func TestRegistryEachOrder(t *testing.T) {
+	r := NewRegistry("z")
+	r.Counter("b_total", "", nil)
+	r.Counter("a_total", "", L("x", "2"))
+	r.Counter("a_total", "", L("x", "1"))
+	var order []string
+	r.Each(func(name string, labels Labels, _ string, _ float64, _ *HistSnapshot) {
+		order = append(order, name+labels.render())
+	})
+	want := []string{`z_a_total{x="1"}`, `z_a_total{x="2"}`, `z_b_total`}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}

@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair attached to a metric.
+type Label struct{ Key, Value string }
+
+// Labels is an ordered label set.
+type Labels []Label
+
+// L builds a label set from alternating key, value strings:
+// obs.L("cast", "7", "code", "rse").
+func L(kv ...string) Labels {
+	if len(kv)%2 != 0 {
+		panic("obs: L needs an even number of strings")
+	}
+	ls := make(Labels, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		ls = append(ls, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	return ls
+}
+
+// render formats the set as {k="v",...}, or "" when empty. Values are
+// escaped per the Prometheus text format.
+func (ls Labels) render() string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// metric is one registered series: a name, help text, a fixed label
+// set, and either an owned instrument or a read callback.
+type metric struct {
+	name   string
+	help   string
+	labels Labels
+	id     string // name + rendered labels: the uniqueness key
+	kind   metricKind
+
+	counter   *Counter
+	counterFn func() uint64
+	gauge     *Gauge
+	gaugeFn   func() int64
+	hist      *Histogram
+}
+
+func (m *metric) counterValue() uint64 {
+	if m.counterFn != nil {
+		return m.counterFn()
+	}
+	return m.counter.Load()
+}
+
+func (m *metric) gaugeValue() int64 {
+	if m.gaugeFn != nil {
+		return m.gaugeFn()
+	}
+	return m.gauge.Load()
+}
+
+// Registry names and exposes metrics. Metric names should carry the
+// namespace prefix given at construction (Counter and friends prepend
+// it); identical (name, labels) registrations return the same
+// instrument, so components sharing a registry share series.
+//
+// All methods are safe for concurrent use and nil-safe: every
+// constructor on a nil *Registry returns a nil instrument, whose
+// operations are no-ops — the uninstrumented default costs one branch.
+type Registry struct {
+	namespace string
+
+	mu   sync.Mutex
+	byID map[string]*metric
+}
+
+// NewRegistry returns an empty registry. Namespace, when non-empty, is
+// prepended (with "_") to every metric name passed to the constructors.
+func NewRegistry(namespace string) *Registry {
+	return &Registry{namespace: namespace, byID: make(map[string]*metric)}
+}
+
+func (r *Registry) fullName(name string) string {
+	if r.namespace == "" {
+		return name
+	}
+	return r.namespace + "_" + name
+}
+
+// add registers m (replacing any previous metric with the same id) and
+// returns the metric stored under that id — the existing one when the
+// kinds match, so get-or-create constructors are idempotent.
+func (r *Registry) add(m *metric) *metric {
+	m.id = m.name + m.labels.render()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.byID[m.id]; ok && old.kind == m.kind {
+		// Owned instruments are shared on re-registration; callback
+		// registrations replace (the newest component owns the series).
+		if m.counterFn == nil && m.gaugeFn == nil && old.counterFn == nil && old.gaugeFn == nil {
+			return old
+		}
+	}
+	r.byID[m.id] = m
+	return m
+}
+
+// Counter returns the counter registered under (name, labels), creating
+// it if needed. Nil registry returns nil (a no-op counter).
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.add(&metric{
+		name: r.fullName(name), help: help, labels: labels,
+		kind: kindCounter, counter: &Counter{},
+	})
+	return m.counter
+}
+
+// CounterFunc exposes an externally owned counter value under (name,
+// labels). The callback must be safe to call from any goroutine.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.add(&metric{
+		name: r.fullName(name), help: help, labels: labels,
+		kind: kindCounter, counterFn: fn,
+	})
+}
+
+// Gauge returns the gauge registered under (name, labels), creating it
+// if needed. Nil registry returns nil.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.add(&metric{
+		name: r.fullName(name), help: help, labels: labels,
+		kind: kindGauge, gauge: &Gauge{},
+	})
+	return m.gauge
+}
+
+// GaugeFunc exposes an externally computed level under (name, labels).
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.add(&metric{
+		name: r.fullName(name), help: help, labels: labels,
+		kind: kindGauge, gaugeFn: fn,
+	})
+}
+
+// Histogram returns the histogram registered under (name, labels),
+// creating it over the given bounds if needed (an existing histogram's
+// bounds win). Unit scales raw observations at exposition (0 = 1). Nil
+// registry returns nil.
+func (r *Registry) Histogram(name, help string, bounds []int64, unit float64, labels Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.add(&metric{
+		name: r.fullName(name), help: help, labels: labels,
+		kind: kindHistogram, hist: NewHistogram(bounds, unit),
+	})
+	return m.hist
+}
+
+// snapshot returns the registered metrics sorted by (name, labels) —
+// the stable exposition order.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	ms := make([]*metric, 0, len(r.byID))
+	for _, m := range r.byID {
+		ms = append(ms, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].id < ms[j].id })
+	return ms
+}
+
+// Each calls fn for every registered series in exposition order with
+// its current value: counters and gauges as floats, histograms via the
+// snapshot. Exposition writers and tests both walk the registry with
+// it.
+func (r *Registry) Each(fn func(name string, labels Labels, kind string, value float64, hist *HistSnapshot)) {
+	if r == nil {
+		return
+	}
+	for _, m := range r.snapshot() {
+		switch m.kind {
+		case kindCounter:
+			fn(m.name, m.labels, m.kind.String(), float64(m.counterValue()), nil)
+		case kindGauge:
+			fn(m.name, m.labels, m.kind.String(), float64(m.gaugeValue()), nil)
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			fn(m.name, m.labels, m.kind.String(), float64(s.Total()), &s)
+		}
+	}
+}
+
+// CounterValue returns the current value of the counter registered
+// under (name, labels), and whether it exists — the test-friendly read
+// side of the registry.
+func (r *Registry) CounterValue(name string, labels Labels) (uint64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	m, ok := r.byID[r.fullName(name)+labels.render()]
+	r.mu.Unlock()
+	if !ok || m.kind != kindCounter {
+		return 0, false
+	}
+	return m.counterValue(), true
+}
+
+// GaugeValue returns the current value of the gauge registered under
+// (name, labels), and whether it exists.
+func (r *Registry) GaugeValue(name string, labels Labels) (int64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	m, ok := r.byID[r.fullName(name)+labels.render()]
+	r.mu.Unlock()
+	if !ok || m.kind != kindGauge {
+		return 0, false
+	}
+	return m.gaugeValue(), true
+}
+
+// HistogramValue returns a snapshot of the histogram registered under
+// (name, labels), and whether it exists.
+func (r *Registry) HistogramValue(name string, labels Labels) (HistSnapshot, bool) {
+	if r == nil {
+		return HistSnapshot{}, false
+	}
+	r.mu.Lock()
+	m, ok := r.byID[r.fullName(name)+labels.render()]
+	r.mu.Unlock()
+	if !ok || m.kind != kindHistogram {
+		return HistSnapshot{}, false
+	}
+	return m.hist.Snapshot(), true
+}

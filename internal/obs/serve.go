@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ServeConfig tunes the exposition server.
+type ServeConfig struct {
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
+	Pprof bool
+}
+
+// Server is a running exposition endpoint; Close shuts it down.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0" listens).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// expvarOnce guards the one-time publication of the process-wide
+// registry list into the standard expvar namespace: expvar.Publish
+// panics on duplicate names, and tests start many servers.
+var (
+	expvarOnce sync.Once
+	expvarMu   sync.Mutex
+	expvarRegs []*Registry
+)
+
+func publishExpvar(r *Registry) {
+	expvarMu.Lock()
+	expvarRegs = append(expvarRegs, r)
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("fecperf", expvar.Func(func() any {
+			expvarMu.Lock()
+			regs := append([]*Registry(nil), expvarRegs...)
+			expvarMu.Unlock()
+			out := map[string]any{}
+			for _, reg := range regs {
+				reg.Each(func(name string, labels Labels, kind string, value float64, hist *HistSnapshot) {
+					key := name + labels.render()
+					if hist != nil {
+						out[key] = map[string]any{"count": hist.Total(), "sum": float64(hist.Sum) * hist.Unit}
+						return
+					}
+					out[key] = value
+				})
+			}
+			return out
+		}))
+	})
+}
+
+// Handler serves the registry: Prometheus text on plain GETs, the JSON
+// view when the URL ends in .json, has format=json, or the client only
+// accepts application/json.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.HasSuffix(req.URL.Path, ".json") ||
+			req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			r.WriteJSON(w) //nolint:errcheck
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck
+	})
+}
+
+// Serve starts an HTTP exposition server on addr:
+//
+//	/metrics       Prometheus text format
+//	/metrics.json  the same registry as one JSON object
+//	/debug/vars    standard expvar (this registry published under "fecperf")
+//	/debug/pprof/  (with ServeConfig.Pprof) the standard profiles
+//
+// It returns once the listener is bound, serving in a background
+// goroutine; Close the server to stop. addr ":0" picks a free port —
+// read it back with Addr.
+func Serve(addr string, r *Registry, cfg ServeConfig) (*Server, error) {
+	if r == nil {
+		return nil, fmt.Errorf("obs: Serve needs a registry")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listen %s: %w", addr, err)
+	}
+	publishExpvar(r)
+	mux := http.NewServeMux()
+	h := r.Handler()
+	mux.Handle("/metrics", h)
+	mux.Handle("/metrics.json", h)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Close shuts it down; the error is ErrServerClosed
+	return &Server{ln: ln, srv: srv}, nil
+}

@@ -1,0 +1,191 @@
+package obs
+
+// Tracer records structured chunk/object lifecycle events as JSON
+// lines. Tracing every packet of a million-receiver fleet is
+// impossible; tracing a deterministic sample of *objects* — every
+// event of a sampled object, no event of the rest — keeps whole
+// lifecycles reconstructable from the log. Sampling hashes the object
+// ID with the splitmix64 finalizer under a configured seed, so two
+// processes tracing the same cast with the same seed sample the same
+// objects, and a re-run reproduces the exact same trace set.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// Event names emitted by the instrumented layers, in lifecycle order.
+const (
+	// TraceEnqueue: an object/chunk was encoded and queued for
+	// transmission (sender side).
+	TraceEnqueue = "enqueue"
+	// TraceFirstTx: the first datagram of an object left the sender.
+	TraceFirstTx = "first_tx"
+	// TraceKthRx: a receiver ingested the k-th distinct symbol of an
+	// object — the MDS decode threshold.
+	TraceKthRx = "kth_rx"
+	// TraceDecode: an object fully decoded; NS carries the latency from
+	// its first ingested datagram.
+	TraceDecode = "decode"
+	// TraceWrite: a collector flushed an in-order chunk to its writer.
+	TraceWrite = "write"
+	// TraceVerify: a collector verified a complete train (length and
+	// stream CRC) against its manifest.
+	TraceVerify = "verify"
+)
+
+// Event is one JSONL trace record. Zero-valued optional fields are
+// omitted from the encoding.
+type Event struct {
+	// TS is the wall-clock time in nanoseconds since the Unix epoch;
+	// Emit stamps it when zero.
+	TS int64 `json:"ts"`
+	// Event is the lifecycle step (the Trace* constants).
+	Event string `json:"event"`
+	// Object is the wire object ID the event belongs to.
+	Object uint32 `json:"object"`
+	// Chunk is the 1-based train chunk number (0 = not a train chunk).
+	Chunk int `json:"chunk,omitempty"`
+	// Packet is the wire packet ID, where one packet is implicated.
+	Packet int `json:"packet,omitempty"`
+	// Round is the carousel round, where relevant.
+	Round int `json:"round,omitempty"`
+	// K and N describe the object's code geometry.
+	K int `json:"k,omitempty"`
+	N int `json:"n,omitempty"`
+	// Packets counts datagrams ingested when the event fired.
+	Packets int `json:"packets,omitempty"`
+	// Bytes is the object/chunk payload size, where known.
+	Bytes int64 `json:"bytes,omitempty"`
+	// NS is a latency in nanoseconds (TraceDecode: first ingest to
+	// decode).
+	NS int64 `json:"ns,omitempty"`
+	// Err names what failed for failure events (TraceVerify: "length",
+	// "crc"); empty means success.
+	Err string `json:"err,omitempty"`
+}
+
+// TracerConfig tunes a Tracer.
+type TracerConfig struct {
+	// Sample is the fraction of objects traced, in [0, 1]; 0 means
+	// trace everything (the common single-cast case).
+	Sample float64
+	// Seed fixes the sampling hash, so distinct runs — or the sender
+	// and receiver of one cast — sample identical object sets.
+	Seed int64
+}
+
+// Tracer writes sampled events as JSON lines. All methods are nil-safe:
+// a nil *Tracer samples nothing and emits nothing, so instrumented
+// paths call it unconditionally. Emit is safe for concurrent use.
+type Tracer struct {
+	mu        sync.Mutex
+	w         *bufio.Writer
+	enc       *json.Encoder
+	threshold uint64
+	seed      uint64
+	events    Counter
+	errs      Counter
+	err       error
+}
+
+// NewTracer returns a tracer writing JSONL to w.
+func NewTracer(w io.Writer, cfg TracerConfig) *Tracer {
+	sample := cfg.Sample
+	if sample <= 0 || sample > 1 {
+		sample = 1
+	}
+	// Converting a float >= 2^64 to uint64 is implementation-defined;
+	// pin full sampling to the exact maximum instead.
+	threshold := uint64(math.MaxUint64)
+	if sample < 1 {
+		threshold = uint64(sample * float64(math.MaxUint64))
+	}
+	bw := bufio.NewWriter(w)
+	return &Tracer{
+		w:         bw,
+		enc:       json.NewEncoder(bw),
+		threshold: threshold,
+		seed:      splitmix64(uint64(cfg.Seed) ^ 0x7ace_5eed_7ace_5eed),
+	}
+}
+
+// Sampled reports whether events for this object ID are recorded —
+// check it before assembling an Event so unsampled objects cost one
+// hash. Deterministic in (Seed, id); false on a nil tracer.
+func (t *Tracer) Sampled(id uint32) bool {
+	if t == nil {
+		return false
+	}
+	return splitmix64(t.seed^uint64(id)) <= t.threshold
+}
+
+// splitmix64 is the SplitMix64 finalizer (same construction as
+// core.DeriveSeed; duplicated here to keep obs dependency-free).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Emit records one event if its object is sampled, stamping TS when
+// zero. Write errors are counted (Errs) and latch: after the first
+// failure the tracer drops events.
+func (t *Tracer) Emit(e Event) {
+	if t == nil || !t.Sampled(e.Object) {
+		return
+	}
+	if e.TS == 0 {
+		e.TS = time.Now().UnixNano()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		t.errs.Inc()
+		return
+	}
+	if err := t.enc.Encode(e); err != nil {
+		t.err = err
+		t.errs.Inc()
+		return
+	}
+	t.events.Inc()
+}
+
+// Events returns how many events have been written.
+func (t *Tracer) Events() uint64 { return t.events.Load() }
+
+// Errs returns how many events were dropped on write errors.
+func (t *Tracer) Errs() uint64 { return t.errs.Load() }
+
+// Flush forces buffered events to the underlying writer. Call it (or
+// Close) before reading the log.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Close flushes the tracer. The underlying writer is the caller's to
+// close.
+func (t *Tracer) Close() error { return t.Flush() }
+
+// Register exposes the tracer's own counters on a registry.
+func (t *Tracer) Register(r *Registry) {
+	if t == nil || r == nil {
+		return
+	}
+	r.CounterFunc("trace_events_total", "Trace events written to the JSONL log.", nil, t.events.Load)
+	r.CounterFunc("trace_errors_total", "Trace events dropped on write errors.", nil, t.errs.Load)
+}

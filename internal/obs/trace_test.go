@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTracerEmitsJSONL(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTracer(&sb, TracerConfig{})
+	tr.Emit(Event{Event: TraceEnqueue, Object: 7, Chunk: 1, K: 32, N: 48, Bytes: 1 << 20})
+	tr.Emit(Event{Event: TraceDecode, Object: 7, Packets: 32, NS: 123456})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events() != 2 {
+		t.Fatalf("events = %d, want 2", tr.Events())
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	var events []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d lines, want 2", len(events))
+	}
+	if events[0].Event != TraceEnqueue || events[0].Object != 7 || events[0].K != 32 {
+		t.Errorf("first event = %+v", events[0])
+	}
+	if events[1].NS != 123456 || events[1].TS == 0 {
+		t.Errorf("second event = %+v (TS must be stamped)", events[1])
+	}
+	// Zero optional fields must be omitted from the line, keeping logs
+	// compact at fleet scale.
+	if strings.Contains(sb.String(), `"round"`) {
+		t.Errorf("zero Round serialized: %s", sb.String())
+	}
+}
+
+// TestTracerSamplingDeterministic checks the two sampling guarantees:
+// the same (seed, id) decision everywhere, and a sampled fraction near
+// the configured rate.
+func TestTracerSamplingDeterministic(t *testing.T) {
+	a := NewTracer(&strings.Builder{}, TracerConfig{Sample: 0.25, Seed: 99})
+	b := NewTracer(&strings.Builder{}, TracerConfig{Sample: 0.25, Seed: 99})
+	c := NewTracer(&strings.Builder{}, TracerConfig{Sample: 0.25, Seed: 100})
+	sampled, disagreeSeed := 0, 0
+	const n = 20000
+	for id := uint32(0); id < n; id++ {
+		if a.Sampled(id) != b.Sampled(id) {
+			t.Fatalf("same seed disagrees at id %d", id)
+		}
+		if a.Sampled(id) {
+			sampled++
+		}
+		if a.Sampled(id) != c.Sampled(id) {
+			disagreeSeed++
+		}
+	}
+	if frac := float64(sampled) / n; frac < 0.22 || frac > 0.28 {
+		t.Errorf("sampled fraction = %.3f, want ≈ 0.25", frac)
+	}
+	if disagreeSeed == 0 {
+		t.Error("different seeds sampled identical object sets")
+	}
+
+	// Unsampled objects must not emit.
+	var sb strings.Builder
+	tr := NewTracer(&sb, TracerConfig{Sample: 0.25, Seed: 99})
+	for id := uint32(0); id < 100; id++ {
+		tr.Emit(Event{Event: TraceDecode, Object: id})
+	}
+	tr.Flush()
+	if int(tr.Events()) != strings.Count(sb.String(), "\n") {
+		t.Errorf("events=%d but %d lines", tr.Events(), strings.Count(sb.String(), "\n"))
+	}
+	if tr.Events() == 0 || tr.Events() == 100 {
+		t.Errorf("events = %d, want a strict sample of 100", tr.Events())
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.after--
+	return len(p), nil
+}
+
+func TestTracerWriteErrorLatches(t *testing.T) {
+	tr := NewTracer(&failWriter{after: 0}, TracerConfig{})
+	for i := 0; i < 2000; i++ { // enough to overflow the bufio buffer
+		tr.Emit(Event{Event: TraceEnqueue, Object: 1})
+	}
+	if tr.Errs() == 0 {
+		t.Fatal("write errors were not counted")
+	}
+	if err := tr.Flush(); err == nil {
+		t.Fatal("Flush after write error returned nil")
+	}
+	r := NewRegistry("fecperf")
+	tr.Register(r)
+	if v, ok := r.CounterValue("trace_errors_total", nil); !ok || v == 0 {
+		t.Fatalf("trace_errors_total = %d, %v", v, ok)
+	}
+}

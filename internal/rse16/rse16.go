@@ -155,6 +155,17 @@ func invert(a [][]uint16) [][]uint16 {
 	inv := make([][]uint16, n)
 	for i := range inv {
 		inv[i] = make([]uint16, n)
+	}
+	invertInto(a, inv)
+	return inv
+}
+
+// invertInto is invert writing into caller-supplied (zeroed, n×n) rows —
+// the hot decode path hands it pooled scratch so inversion allocates
+// nothing.
+func invertInto(a, inv [][]uint16) {
+	n := len(a)
+	for i := range inv {
 		inv[i][i] = 1
 	}
 	for col := 0; col < n; col++ {
@@ -183,7 +194,6 @@ func invert(a [][]uint16) [][]uint16 {
 			}
 		}
 	}
-	return inv
 }
 
 // matVecRow computes row · m for a 1×n row and n×n matrix.
@@ -203,10 +213,25 @@ func toSymbols(p []byte) ([]uint16, error) {
 		return nil, fmt.Errorf("rse16: payload length %d is odd", len(p))
 	}
 	out := make([]uint16, len(p)/2)
+	fillSymbols(out, p)
+	return out, nil
+}
+
+// toSymbolsPooled is toSymbols into a pooled slice; release with
+// symbol.PutU16.
+func toSymbolsPooled(p []byte) ([]uint16, error) {
+	if len(p)%2 != 0 {
+		return nil, fmt.Errorf("rse16: payload length %d is odd", len(p))
+	}
+	out := symbol.GetU16(len(p) / 2)
+	fillSymbols(out, p)
+	return out, nil
+}
+
+func fillSymbols(out []uint16, p []byte) {
 	for i := range out {
 		out[i] = uint16(p[2*i])<<8 | uint16(p[2*i+1])
 	}
-	return out, nil
 }
 
 func toBytes(s []uint16) []byte {
@@ -226,6 +251,7 @@ func (c *Code) Encode(src [][]byte) ([][]byte, error) {
 		return nil, fmt.Errorf("rse16: expected %d source payloads, got %d", c.k, len(src))
 	}
 	symSrc := make([][]uint16, c.k)
+	defer symbol.PutAllU16(symSrc)
 	symLen := -1
 	for i, p := range src {
 		if symLen == -1 {
@@ -233,7 +259,7 @@ func (c *Code) Encode(src [][]byte) ([][]byte, error) {
 		} else if len(p) != symLen {
 			return nil, fmt.Errorf("rse16: payload %d has length %d, want %d", i, len(p), symLen)
 		}
-		s, err := toSymbols(p)
+		s, err := toSymbolsPooled(p)
 		if err != nil {
 			return nil, err
 		}
@@ -241,8 +267,9 @@ func (c *Code) Encode(src [][]byte) ([][]byte, error) {
 	}
 	gen := c.generator()
 	parity := make([][]byte, c.n-c.k)
+	acc := symbol.GetU16(symLen / 2)
 	for i, row := range gen {
-		acc := make([]uint16, symLen/2)
+		clear(acc)
 		for j, coef := range row {
 			if coef != 0 {
 				gf65536.AddMul(acc, symSrc[j], coef)
@@ -250,6 +277,7 @@ func (c *Code) Encode(src [][]byte) ([][]byte, error) {
 		}
 		parity[i] = toBytes(acc)
 	}
+	symbol.PutU16(acc)
 	return parity, nil
 }
 
@@ -310,30 +338,30 @@ func (d *payloadDecoder) ReceivePayload(id int, payload []byte) bool {
 	return d.done
 }
 
-// decode solves the single MDS block from the k buffered symbols.
+// decode solves the single MDS block from the k buffered symbols. All
+// matrix scratch — equation rows, right-hand sides, the inverse and the
+// accumulator — is pooled []uint16, so a steady-state decode allocates
+// only the recovered payload buffers it hands to the caller.
 func (d *payloadDecoder) decode() {
 	if d.srcRec < d.code.k {
-		parAt := make(map[int]int, len(d.parIDs))
-		for i, id := range d.parIDs {
-			parAt[id] = i
-		}
+		k := d.code.k
 		gen := d.code.generator()
-		rows := make([][]uint16, 0, d.code.k)
-		rhs := make([][]uint16, 0, d.code.k)
-		for id := 0; id < d.code.n && len(rows) < d.code.k; id++ {
+		rows := make([][]uint16, 0, k)
+		rhs := make([][]uint16, 0, k)
+		for id := 0; id < d.code.n && len(rows) < k; id++ {
 			if !d.got[id] {
 				continue
 			}
-			row := make([]uint16, d.code.k)
+			row := symbol.GetU16(k)
 			var pay []byte
-			if id < d.code.k {
+			if id < k {
 				row[id] = 1
 				pay = d.srcVal[id]
 			} else {
-				copy(row, gen[id-d.code.k])
-				pay = d.parPay[parAt[id]]
+				copy(row, gen[id-k])
+				pay = d.parPay[d.parityAt(id)]
 			}
-			s, err := toSymbols(pay)
+			s, err := toSymbolsPooled(pay)
 			if err != nil {
 				// Lengths were validated at ReceivePayload; unreachable.
 				panic(fmt.Sprintf("rse16: %v", err))
@@ -341,12 +369,17 @@ func (d *payloadDecoder) decode() {
 			rows = append(rows, row)
 			rhs = append(rhs, s)
 		}
-		inv := invert(rows)
-		for i := 0; i < d.code.k; i++ {
+		inv := make([][]uint16, k)
+		for i := range inv {
+			inv[i] = symbol.GetU16(k)
+		}
+		invertInto(rows, inv)
+		acc := symbol.GetU16(d.symLen / 2)
+		for i := 0; i < k; i++ {
 			if d.srcVal[i] != nil {
 				continue
 			}
-			acc := make([]uint16, d.symLen/2)
+			clear(acc)
 			for t, coef := range inv[i] {
 				if coef != 0 {
 					gf65536.AddMul(acc, rhs[t], coef)
@@ -355,10 +388,25 @@ func (d *payloadDecoder) decode() {
 			d.srcVal[i] = toBytes(acc)
 			d.srcRec++
 		}
+		symbol.PutU16(acc)
+		symbol.PutAllU16(rows)
+		symbol.PutAllU16(rhs)
+		symbol.PutAllU16(inv)
 	}
 	symbol.PutAll(d.parPay)
 	d.parPay, d.parIDs = nil, nil
 	d.done = true
+}
+
+// parityAt returns the parPay index holding parity id. Linear scan: at
+// most k entries, and the cubic inversion dominates decode anyway.
+func (d *payloadDecoder) parityAt(id int) int {
+	for i, pid := range d.parIDs {
+		if pid == id {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("rse16: parity %d not buffered", id))
 }
 
 func (d *payloadDecoder) Done() bool { return d.done }

@@ -15,13 +15,41 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
+	"time"
 
 	"fecperf/internal/codes"
 	"fecperf/internal/core"
+	"fecperf/internal/obs"
 	"fecperf/internal/sched"
 	"fecperf/internal/symbol"
 	"fecperf/internal/wire"
 )
+
+// instruments is the package's optional metrics view: codec timing
+// histograms shared by every session in the process. A nil pointer (the
+// default) costs one atomic load per encode/decode.
+type instruments struct {
+	encodeNS *obs.Histogram
+	decodeNS *obs.Histogram
+}
+
+var instr atomic.Pointer[instruments]
+
+// Instrument exposes session codec timings on r: per-object FEC encode
+// and decode wall time as histograms (session_encode_seconds,
+// session_decode_seconds). Pass nil to detach. The sessions themselves
+// are unchanged; timing is only collected while a registry is attached.
+func Instrument(r *obs.Registry) {
+	if r == nil {
+		instr.Store(nil)
+		return
+	}
+	instr.Store(&instruments{
+		encodeNS: r.Histogram("session_encode_seconds", "Per-object FEC encode wall time.", obs.DurationBuckets(), obs.SecondsUnit, nil),
+		decodeNS: r.Histogram("session_decode_seconds", "First datagram to decoded object.", obs.DurationBuckets(), obs.SecondsUnit, nil),
+	})
+}
 
 // lengthPrefix is prepended to the object so the receiver can strip the
 // padding added to fill the last symbol.
@@ -65,6 +93,11 @@ func EncodeObject(data []byte, cfg SenderConfig) (*Object, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("session: empty object")
 	}
+	in := instr.Load()
+	var start time.Time
+	if in != nil {
+		start = time.Now()
+	}
 	buf := make([]byte, lengthPrefix+len(data))
 	binary.BigEndian.PutUint64(buf, uint64(len(data)))
 	copy(buf[lengthPrefix:], data)
@@ -90,6 +123,9 @@ func EncodeObject(data []byte, cfg SenderConfig) (*Object, error) {
 	if err != nil {
 		symbol.PutAll(src)
 		return nil, fmt.Errorf("session: %w", err)
+	}
+	if in != nil {
+		in.encodeNS.Observe(time.Since(start).Nanoseconds())
 	}
 	return &Object{cfg: cfg, code: code, symbols: append(src, parity...)}, nil
 }
@@ -202,6 +238,8 @@ type objectState struct {
 	symLen  int
 	dec     core.PayloadDecoder
 	packets int
+	seen    []uint64  // bitmap over packet IDs: duplicate detection
+	start   time.Time // first datagram arrival, for decode latency
 }
 
 // NewReceiver returns an empty receiver.
@@ -221,38 +259,75 @@ func (r *Receiver) Ingest(datagram []byte) (objectID uint32, complete bool, data
 	return r.IngestPacket(p)
 }
 
+// IngestResult describes what one datagram did to the receiver's state.
+type IngestResult struct {
+	ObjectID  uint32
+	Complete  bool   // this datagram completed the object
+	Duplicate bool   // packet ID already held for this object
+	Data      []byte // decoded object when Complete
+	Packets   int    // distinct datagrams consumed so far
+	K         int    // source symbols the object needs
+	DecodeNS  int64  // first datagram to decode, when Complete
+}
+
 // IngestPacket processes an already-decoded packet. The packet's Payload
 // may alias a reused read buffer (wire.Decode aliases its input); the
 // payload decoder copies what it retains into pooled buffers — the single
 // copy on the receive path — so the caller's buffer is free for reuse as
 // soon as IngestPacket returns.
 func (r *Receiver) IngestPacket(p *wire.Packet) (objectID uint32, complete bool, data []byte, err error) {
+	res, err := r.IngestPacketEx(p)
+	return res.ObjectID, res.Complete, res.Data, err
+}
+
+// IngestPacketEx is IngestPacket with the full ingest outcome: duplicate
+// detection (a per-object bitmap, so repeats are dropped before the
+// decoder), reassembly progress, and decode latency on completion.
+func (r *Receiver) IngestPacketEx(p *wire.Packet) (IngestResult, error) {
+	res := IngestResult{ObjectID: p.ObjectID}
 	if _, ok := r.done[p.ObjectID]; ok {
-		return p.ObjectID, false, nil, nil
+		res.Duplicate = true
+		return res, nil
 	}
 	st, ok := r.objects[p.ObjectID]
 	if !ok {
+		var err error
 		st, err = newObjectState(p)
 		if err != nil {
-			return p.ObjectID, false, nil, err
+			return res, err
 		}
 		r.objects[p.ObjectID] = st
 	}
 	if err := st.consistent(p); err != nil {
-		return p.ObjectID, false, nil, err
+		return res, err
 	}
+	res.K = st.k
+	word, bit := p.PacketID/64, uint64(1)<<(p.PacketID%64)
+	if st.seen[word]&bit != 0 {
+		res.Duplicate = true
+		res.Packets = st.packets
+		return res, nil
+	}
+	st.seen[word] |= bit
 	st.packets++
+	res.Packets = st.packets
 	if finished := st.dec.ReceivePayload(int(p.PacketID), p.Payload); !finished {
-		return p.ObjectID, false, nil, nil
+		return res, nil
 	}
 	raw, err := st.assemble()
 	if err != nil {
-		return p.ObjectID, false, nil, err
+		return res, err
 	}
 	st.dec.Close()
 	delete(r.objects, p.ObjectID)
 	r.done[p.ObjectID] = raw
-	return p.ObjectID, true, raw, nil
+	res.Complete = true
+	res.Data = raw
+	res.DecodeNS = time.Since(st.start).Nanoseconds()
+	if in := instr.Load(); in != nil {
+		in.decodeNS.Observe(res.DecodeNS)
+	}
+	return res, nil
 }
 
 // Object returns a completed object's data.
@@ -311,6 +386,8 @@ func newObjectState(p *wire.Packet) (*objectState, error) {
 		return nil, fmt.Errorf("session: %w", err)
 	}
 	st.dec = dec
+	st.seen = make([]uint64, (st.n+63)/64)
+	st.start = time.Now()
 	return st, nil
 }
 

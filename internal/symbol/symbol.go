@@ -96,14 +96,18 @@ func Clone(p []byte) []byte {
 func getRaw(n int) []byte {
 	c := classFor(n)
 	if c < 0 {
+		jumbos.Inc()
 		return make([]byte, n)
 	}
+	gets.Inc()
+	live.Add(1)
 	if hp, _ := classes[c].Get().(*[]byte); hp != nil {
 		b := (*hp)[:n]
 		*hp = nil
 		headers.Put(hp)
 		return b
 	}
+	misses.Inc()
 	return make([]byte, n, 1<<(minClassBits+c))
 }
 
@@ -115,6 +119,8 @@ func Put(b []byte) {
 	if c < 0 {
 		return
 	}
+	puts.Inc()
+	live.Add(-1)
 	hp := headers.Get().(*[]byte)
 	*hp = b[:cap(b)]
 	classes[c].Put(hp)

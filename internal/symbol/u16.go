@@ -1,0 +1,93 @@
+package symbol
+
+import "sync"
+
+// []uint16 scratch pool, mirroring the byte-buffer pool for codecs that
+// work in GF(2^16) element space (internal/rse16). Classes are element
+// counts: powers of two from 16 elements (32 B) to 32 Ki elements
+// (64 KiB backing). The ownership contract is the same as for byte
+// buffers.
+
+const (
+	minU16Bits    = 4  // 16 elements
+	maxU16Bits    = 15 // 32768 elements
+	numU16Classes = maxU16Bits - minU16Bits + 1
+)
+
+// MaxPooledU16 is the largest element count the u16 pool recycles.
+const MaxPooledU16 = 1 << maxU16Bits
+
+var u16Classes [numU16Classes]sync.Pool
+
+var u16Headers = sync.Pool{New: func() any { return new([]uint16) }}
+
+func u16ClassFor(n int) int {
+	if n > MaxPooledU16 {
+		return -1
+	}
+	c := 0
+	for size := 1 << minU16Bits; size < n; size <<= 1 {
+		c++
+	}
+	return c
+}
+
+func u16ClassOf(c int) int {
+	if c < 1<<minU16Bits || c > MaxPooledU16 || c&(c-1) != 0 {
+		return -1
+	}
+	cl := 0
+	for size := 1 << minU16Bits; size < c; size <<= 1 {
+		cl++
+	}
+	return cl
+}
+
+// GetU16 returns a zeroed []uint16 of length n (capacity rounded up to
+// the size class). The caller owns it.
+func GetU16(n int) []uint16 {
+	if n < 0 {
+		panic("symbol: negative length")
+	}
+	c := u16ClassFor(n)
+	if c < 0 {
+		jumbos.Inc()
+		return make([]uint16, n)
+	}
+	gets.Inc()
+	live.Add(1)
+	if hp, _ := u16Classes[c].Get().(*[]uint16); hp != nil {
+		s := (*hp)[:n]
+		*hp = nil
+		u16Headers.Put(hp)
+		clear(s)
+		return s
+	}
+	misses.Inc()
+	return make([]uint16, n, 1<<(minU16Bits+c))
+}
+
+// PutU16 returns s to its size class for reuse. Slices whose capacity
+// is not an exact class size are ignored. PutU16(nil) is a no-op.
+func PutU16(s []uint16) {
+	c := u16ClassOf(cap(s))
+	if c < 0 {
+		return
+	}
+	puts.Inc()
+	live.Add(-1)
+	hp := u16Headers.Get().(*[]uint16)
+	*hp = s[:cap(s)]
+	u16Classes[c].Put(hp)
+}
+
+// PutAllU16 returns every non-nil slice in ss to the pool and nils the
+// entries.
+func PutAllU16(ss [][]uint16) {
+	for i, s := range ss {
+		if s != nil {
+			PutU16(s)
+			ss[i] = nil
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package symbol
+
+import (
+	"testing"
+
+	"fecperf/internal/obs"
+)
+
+func TestGetU16LengthAndZeroing(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 16, 17, 1000, 1024, MaxPooledU16, MaxPooledU16 + 1} {
+		s := GetU16(n)
+		if len(s) != n {
+			t.Fatalf("GetU16(%d) returned len %d", n, len(s))
+		}
+		for i := range s {
+			if s[i] != 0 {
+				t.Fatalf("GetU16(%d) not zeroed at %d", n, i)
+			}
+		}
+		for i := range s {
+			s[i] = 0xffff
+		}
+		PutU16(s)
+		s2 := GetU16(n)
+		for i := range s2 {
+			if s2[i] != 0 {
+				t.Fatalf("recycled GetU16(%d) not zeroed at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestU16ClassRounding(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{1, 16}, {16, 16}, {17, 32}, {1000, 1024}, {1024, 1024}, {1025, 2048},
+	}
+	for _, c := range cases {
+		if got := cap(GetU16(c.n)); got != c.wantCap {
+			t.Errorf("GetU16(%d) cap = %d, want %d", c.n, got, c.wantCap)
+		}
+	}
+	if got := cap(GetU16(MaxPooledU16 + 1)); got != MaxPooledU16+1 {
+		t.Errorf("jumbo GetU16 cap = %d, want exact %d", got, MaxPooledU16+1)
+	}
+}
+
+func TestPutU16ForeignCapacityIgnored(t *testing.T) {
+	PutU16(make([]uint16, 100)) // cap 100: not a class size
+	PutU16(nil)
+	s := GetU16(100)
+	if cap(s) != 128 {
+		t.Fatalf("u16 pool handed out a foreign-capacity slice: cap=%d", cap(s))
+	}
+}
+
+func TestPutAllU16(t *testing.T) {
+	ss := [][]uint16{GetU16(10), nil, GetU16(20)}
+	PutAllU16(ss)
+	for i, s := range ss {
+		if s != nil {
+			t.Fatalf("PutAllU16 left entry %d non-nil", i)
+		}
+	}
+}
+
+// TestPoolStats checks the always-on accounting: every pooled get/put
+// moves the counters, jumbo requests are counted separately, and a
+// registry sees the same numbers through Register.
+func TestPoolStats(t *testing.T) {
+	before := PoolStats()
+	b := Get(512)
+	u := GetU16(64)
+	Put(b)
+	PutU16(u)
+	Get(MaxPooled + 1) // jumbo, unpooled
+	after := PoolStats()
+
+	if d := after.Gets - before.Gets; d != 2 {
+		t.Errorf("gets delta = %d, want 2", d)
+	}
+	if d := after.Puts - before.Puts; d != 2 {
+		t.Errorf("puts delta = %d, want 2", d)
+	}
+	if d := after.Jumbos - before.Jumbos; d != 1 {
+		t.Errorf("jumbos delta = %d, want 1", d)
+	}
+	if after.Live != before.Live {
+		t.Errorf("live drifted: %d -> %d", before.Live, after.Live)
+	}
+
+	r := obs.NewRegistry("fecperf")
+	Register(r)
+	if v, ok := r.CounterValue("symbol_pool_gets_total", nil); !ok || v != after.Gets {
+		t.Errorf("registry gets = %d, %v; want %d", v, ok, after.Gets)
+	}
+	if _, ok := r.GaugeValue("symbol_live_buffers", nil); !ok {
+		t.Error("symbol_live_buffers not registered")
+	}
+	Register(nil) // must not panic
+}
+
+// BenchmarkGetPutU16 pins the zero-allocation steady state of the u16
+// pool, which the rse16 decode path depends on.
+func BenchmarkGetPutU16(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := GetU16(256)
+		PutU16(s)
+	}
+}

@@ -2,9 +2,11 @@ package transport
 
 import (
 	"context"
+	"io"
 	"testing"
 	"time"
 
+	"fecperf/internal/obs"
 	"fecperf/internal/wire"
 )
 
@@ -94,20 +96,22 @@ func (c *discardConn) SetReadDeadline(time.Time) error { return nil }
 func (c *discardConn) Close() error                    { return nil }
 func (c *discardConn) LocalAddr() string               { return "discard" }
 
-// BenchmarkSenderRound measures one full carousel round per op —
-// streaming schedule draw, lazy per-packet encode through the shared
-// scratch buffer, round-robin interleave — with the Conn cost removed.
-// The headline column is allocs/op: the steady-state round loop must
+// benchSenderRound measures one full carousel round per op — streaming
+// schedule draw, lazy per-packet encode through the shared scratch
+// buffer, round-robin interleave — with the Conn cost removed. The
+// headline column is allocs/op: the steady-state round loop must
 // allocate nothing (schedules are drawn by value, datagrams encoded in
 // place), where the old sender allocated a [][]int of schedules every
 // round and held every datagram pre-encoded.
-func BenchmarkSenderRound(b *testing.B) {
+func benchSenderRound(b *testing.B, cfg SenderConfig) {
 	objA := encodeTestObject(b, testFile(b, 128<<10, 1), 1, wire.CodeLDGMStaircase, 2.5, 1024)
 	objB := encodeTestObject(b, testFile(b, 64<<10, 2), 2, wire.CodeRSE, 1.5, 1024)
 	defer objA.Close()
 	defer objB.Close()
 	conn := &discardConn{}
-	s := NewSender(conn, SenderConfig{Seed: 2, Rounds: b.N})
+	cfg.Seed = 2
+	cfg.Rounds = b.N
+	s := NewSender(conn, cfg)
 	if err := s.Add(objA); err != nil {
 		b.Fatal(err)
 	}
@@ -125,4 +129,18 @@ func BenchmarkSenderRound(b *testing.B) {
 	if conn.packets != b.N*perRound {
 		b.Fatalf("sent %d packets, want %d", conn.packets, b.N*perRound)
 	}
+}
+
+func BenchmarkSenderRound(b *testing.B) { benchSenderRound(b, SenderConfig{}) }
+
+// BenchmarkSenderRoundInstrumented is the same round loop with the full
+// observability surface attached: a registry exposing the sender's
+// counters and a tracer whose sampling rejects every object (the
+// worst-case live configuration — a fleet traces a tiny fraction). The
+// per-round delta against BenchmarkSenderRound is the instrumentation
+// tax; scripts/bench_obs.sh gates it below 3%.
+func BenchmarkSenderRoundInstrumented(b *testing.B) {
+	reg := obs.NewRegistry("fecperf")
+	tr := obs.NewTracer(io.Discard, obs.TracerConfig{Sample: 1e-12, Seed: 7})
+	benchSenderRound(b, SenderConfig{Metrics: reg, Tracer: tr})
 }

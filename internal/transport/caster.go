@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"sync/atomic"
 
 	"fecperf/internal/core"
+	"fecperf/internal/obs"
 	"fecperf/internal/session"
 	"fecperf/internal/wire"
 )
@@ -66,6 +66,13 @@ type CasterConfig struct {
 	// OnProgress, when set, is called after every transmitted window
 	// group and once more when the cast completes.
 	OnProgress func(CastProgress)
+	// Metrics, when set, exposes the cast's aggregate counters on the
+	// registry (caster_* series). The per-group inner senders stay
+	// unregistered — their stats fold into the caster's totals.
+	Metrics *obs.Registry
+	// Tracer, when set, records enqueue events as chunks are encoded
+	// and first_tx events as each chunk first hits the Conn.
+	Tracer *obs.Tracer
 }
 
 // CastProgress describes a running cast.
@@ -87,6 +94,9 @@ type CasterStats struct {
 	ChunksCast uint64
 	// BytesRead counts source-stream bytes consumed.
 	BytesRead uint64
+	// PacerWaitNS counts nanoseconds the cast's senders spent blocked in
+	// the rate limiter.
+	PacerWaitNS uint64
 }
 
 // Caster streams a byte source of arbitrary (and unknown) length over a
@@ -112,10 +122,12 @@ type Caster struct {
 	src  io.Reader
 	cfg  CasterConfig
 
-	packets atomic.Uint64
-	bytes   atomic.Uint64
-	chunks  atomic.Uint64
-	read    atomic.Uint64
+	packets   obs.Counter
+	bytes     obs.Counter
+	chunks    obs.Counter
+	read      obs.Counter
+	pacerWait obs.Counter
+	window    obs.Gauge // chunks resident in the current window
 
 	manifest session.Manifest
 	ran      bool
@@ -152,7 +164,16 @@ func NewCaster(conn Conn, src io.Reader, cfg CasterConfig) (*Caster, error) {
 	if cfg.Ratio < 1 {
 		return nil, fmt.Errorf("transport: FEC expansion ratio %g below 1", cfg.Ratio)
 	}
-	return &Caster{conn: conn, src: src, cfg: cfg}, nil
+	c := &Caster{conn: conn, src: src, cfg: cfg}
+	if r := cfg.Metrics; r != nil {
+		r.CounterFunc("caster_packets_total", "Datagrams handed to the conn.", nil, c.packets.Load)
+		r.CounterFunc("caster_bytes_total", "Datagram bytes handed to the conn.", nil, c.bytes.Load)
+		r.CounterFunc("caster_chunks_total", "Fully transmitted chunks.", nil, c.chunks.Load)
+		r.CounterFunc("caster_bytes_read_total", "Source-stream bytes consumed.", nil, c.read.Load)
+		r.CounterFunc("caster_pacer_wait_ns_total", "Nanoseconds the cast's senders blocked in the rate limiter.", nil, c.pacerWait.Load)
+		r.GaugeFunc("caster_window_chunks", "Encoded chunks resident in the current window.", nil, c.window.Load)
+	}
+	return c, nil
 }
 
 // Run reads the source to EOF, casting it window by window, then seals
@@ -209,6 +230,9 @@ func (c *Caster) Run(ctx context.Context) error {
 			// (round, object), so distinct group seeds keep rounds from
 			// repeating the same erasure-aligned order.
 			Seed: core.DeriveSeed(c.cfg.Seed, 0xCA57, uint64(group)),
+			// No Metrics: the group senders are throwaway; their stats
+			// fold into the caster's registered aggregates below.
+			Tracer: c.cfg.Tracer,
 		})
 		for _, o := range window {
 			if err := s.Add(o); err != nil {
@@ -221,8 +245,10 @@ func (c *Caster) Run(ctx context.Context) error {
 		st := s.Stats()
 		c.packets.Add(st.PacketsSent)
 		c.bytes.Add(st.BytesSent)
+		c.pacerWait.Add(st.PacerWaitNS)
 		s.Close() // releases the window's pooled symbol buffers
 		window = nil
+		c.window.Set(0)
 		if err != nil {
 			return err
 		}
@@ -269,6 +295,17 @@ func (c *Caster) Run(ctx context.Context) error {
 			}
 			idx++
 			window = append(window, obj)
+			c.window.Set(int64(len(window)))
+			if tr := c.cfg.Tracer; tr != nil {
+				tr.Emit(obs.Event{
+					Event:  obs.TraceEnqueue,
+					Object: obj.ObjectID(),
+					Chunk:  idx - 1,
+					K:      obj.K(),
+					N:      obj.N(),
+					Bytes:  int64(n),
+				})
+			}
 		}
 		switch err {
 		case nil:
@@ -304,5 +341,6 @@ func (c *Caster) Stats() CasterStats {
 		BytesSent:   c.bytes.Load(),
 		ChunksCast:  c.chunks.Load(),
 		BytesRead:   c.read.Load(),
+		PacerWaitNS: c.pacerWait.Load(),
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"sync"
 
+	"fecperf/internal/obs"
 	"fecperf/internal/session"
 )
 
@@ -40,6 +41,13 @@ type CollectorConfig struct {
 	// OnProgress, when set, is called — on the Run goroutine — after
 	// every in-order chunk write and when the manifest arrives.
 	OnProgress func(CollectProgress)
+	// Metrics, when set, exposes the collect's counters on the registry
+	// (collector_* series) and passes through to the underlying
+	// ReceiverDaemon (receiver_* series).
+	Metrics *obs.Registry
+	// Tracer, when set, records write and verify lifecycle events, and
+	// passes through to the daemon for kth_rx/decode events.
+	Tracer *obs.Tracer
 }
 
 // CollectProgress describes a running collect.
@@ -76,6 +84,10 @@ type Collector struct {
 	crc      uint32
 	complete bool
 	err      error
+
+	chunksWritten obs.Counter
+	bytesWritten  obs.Counter
+	crcFailures   obs.Counter
 }
 
 // NewCollector returns a collector writing the reassembled stream to dst.
@@ -96,7 +108,19 @@ func NewCollector(conn Conn, dst io.Writer, cfg CollectorConfig) *Collector {
 		// daemon's completed-bytes ring only needs to exist.
 		MaxCompleted: 1,
 		OnComplete:   c.onObject,
+		Metrics:      cfg.Metrics,
+		Tracer:       cfg.Tracer,
 	})
+	if r := cfg.Metrics; r != nil {
+		r.CounterFunc("collector_chunks_written_total", "In-order chunks flushed to the destination.", nil, c.chunksWritten.Load)
+		r.CounterFunc("collector_bytes_written_total", "In-order bytes flushed to the destination.", nil, c.bytesWritten.Load)
+		r.CounterFunc("collector_crc_failures_total", "Trains failing end-to-end CRC or length verification.", nil, c.crcFailures.Load)
+		r.GaugeFunc("collector_pending_chunks", "Decoded chunks buffered out of order.", nil, func() int64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return int64(len(c.pending))
+		})
+	}
 	return c
 }
 
@@ -196,6 +220,16 @@ func (c *Collector) onObjectLocked(id uint32, data []byte, events *[]CollectProg
 		}
 		c.crc = crc32.Update(c.crc, crc32.IEEETable, chunk)
 		c.written += int64(len(chunk))
+		c.chunksWritten.Inc()
+		c.bytesWritten.Add(uint64(len(chunk)))
+		if tr := c.cfg.Tracer; tr != nil {
+			tr.Emit(obs.Event{
+				Event:  obs.TraceWrite,
+				Object: session.TrainChunkID(c.cfg.BaseObjectID, c.next),
+				Chunk:  c.next,
+				Bytes:  int64(len(chunk)),
+			})
+		}
 		c.next++
 		c.noteProgressLocked(events)
 	}
@@ -210,17 +244,38 @@ func (c *Collector) checkCompleteLocked() {
 		return
 	}
 	if uint64(c.written) != m.TotalSize {
+		c.crcFailures.Inc()
+		c.traceVerify("length")
 		c.failLocked(fmt.Errorf("transport: train wrote %d bytes, manifest says %d", c.written, m.TotalSize))
 		return
 	}
 	if c.crc != m.StreamCRC {
+		c.crcFailures.Inc()
+		c.traceVerify("crc")
 		c.failLocked(fmt.Errorf("transport: stream CRC mismatch (got %08x, manifest %08x)", c.crc, m.StreamCRC))
 		return
 	}
 	c.complete = true
+	c.traceVerify("")
 	if c.finish != nil {
 		c.finish()
 	}
+}
+
+// traceVerify records the end-of-train verification outcome against the
+// manifest's object ID; failure names what mismatched ("length", "crc").
+func (c *Collector) traceVerify(failure string) {
+	tr := c.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	tr.Emit(obs.Event{
+		Event:  obs.TraceVerify,
+		Object: c.cfg.BaseObjectID,
+		Chunk:  c.next,
+		Bytes:  c.written,
+		Err:    failure,
+	})
 }
 
 func (c *Collector) failLocked(err error) {
@@ -268,5 +323,37 @@ func (c *Collector) Progress() CollectProgress {
 	return CollectProgress{ChunksWritten: c.next, BytesWritten: c.written, ChunksTotal: total}
 }
 
-// Stats returns the underlying receiver daemon's counters.
+// CollectorStats is a point-in-time snapshot of collect counters: the
+// collector's own reassembly progress plus the underlying daemon's
+// packet counters.
+type CollectorStats struct {
+	// Receiver holds the underlying ReceiverDaemon's counters.
+	Receiver Stats
+	// ChunksWritten and BytesWritten count the in-order prefix flushed
+	// to the destination writer.
+	ChunksWritten uint64
+	BytesWritten  uint64
+	// ChunksPending counts decoded chunks buffered out of order.
+	ChunksPending uint64
+	// CRCFailures counts trains that failed end-to-end length or CRC
+	// verification.
+	CRCFailures uint64
+}
+
+// CollectStats returns a snapshot of the collector's counters.
+func (c *Collector) CollectStats() CollectorStats {
+	c.mu.Lock()
+	pending := uint64(len(c.pending))
+	c.mu.Unlock()
+	return CollectorStats{
+		Receiver:      c.daemon.Stats(),
+		ChunksWritten: c.chunksWritten.Load(),
+		BytesWritten:  c.bytesWritten.Load(),
+		ChunksPending: pending,
+		CRCFailures:   c.crcFailures.Load(),
+	}
+}
+
+// Stats returns the underlying receiver daemon's counters — the
+// compatibility view; CollectStats carries the collect-level counters.
 func (c *Collector) Stats() Stats { return c.daemon.Stats() }

@@ -3,6 +3,8 @@ package transport
 import (
 	"context"
 	"time"
+
+	"fecperf/internal/obs"
 )
 
 // pacer is a token-bucket rate limiter counted in packets. It exists so
@@ -14,18 +16,21 @@ type pacer struct {
 	burst  float64 // bucket depth
 	tokens float64
 	last   time.Time
+	waitNS *obs.Counter // accumulated sleep time (nil-safe)
 }
 
 // newPacer returns a pacer admitting rate packets/second with the given
-// burst, or nil when rate <= 0 (unpaced).
-func newPacer(rate float64, burst int) *pacer {
+// burst, or nil when rate <= 0 (unpaced). Sleep time accrues on waitNS
+// from the already-computed delay — no extra clock reads on the send
+// path.
+func newPacer(rate float64, burst int, waitNS *obs.Counter) *pacer {
 	if rate <= 0 {
 		return nil
 	}
 	if burst < 1 {
 		burst = 32
 	}
-	return &pacer{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
+	return &pacer{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now(), waitNS: waitNS}
 }
 
 // wait blocks until one token is available (or ctx is done) and consumes
@@ -52,6 +57,7 @@ func (p *pacer) wait(ctx context.Context) error {
 		return nil
 	}
 	delay := time.Duration((1 - p.tokens) / p.rate * float64(time.Second))
+	p.waitNS.Add(uint64(delay))
 	t := time.NewTimer(delay)
 	defer t.Stop()
 	select {

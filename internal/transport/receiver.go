@@ -5,9 +5,9 @@ import (
 	"context"
 	"errors"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"fecperf/internal/obs"
 	"fecperf/internal/session"
 	"fecperf/internal/wire"
 )
@@ -41,6 +41,13 @@ type ReceiverConfig struct {
 	// OnComplete, when set, is called — outside the daemon's locks, on
 	// the Run goroutine — each time an object decodes.
 	OnComplete func(id uint32, data []byte)
+	// Metrics, when set, exposes the daemon's counters on the registry
+	// (receiver_* series, including a decode-latency histogram and an
+	// in-flight-objects gauge).
+	Metrics *obs.Registry
+	// Tracer, when set, records kth_rx and decode lifecycle events for
+	// sampled objects.
+	Tracer *obs.Tracer
 }
 
 // Discard reasons distinguish why datagrams were not ingested; Stats
@@ -73,6 +80,10 @@ type Stats struct {
 	// were cut short by the buffer — the telltale of a sender using a
 	// bigger symbol size than the receiver's MTU allows.
 	PacketsTruncated uint64
+	// PacketsDuplicate counts datagrams whose packet ID was already held
+	// for an in-flight object — expected on a carousel, where every
+	// round replays the same IDs.
+	PacketsDuplicate uint64
 	// ObjectsStarted counts objects that opened reassembly state.
 	ObjectsStarted uint64
 	// ObjectsDecoded counts fully reconstructed objects.
@@ -108,13 +119,15 @@ type ReceiverDaemon struct {
 	idRing   ring
 	waiters  map[uint32][]chan []byte
 
-	packetsSeen     atomic.Uint64
-	bytesSeen       atomic.Uint64
-	packetsIngested atomic.Uint64
-	discards        [discardReasons]atomic.Uint64
-	objectsStarted  atomic.Uint64
-	objectsDecoded  atomic.Uint64
-	objectsEvicted  atomic.Uint64
+	packetsSeen      obs.Counter
+	bytesSeen        obs.Counter
+	packetsIngested  obs.Counter
+	packetsDuplicate obs.Counter
+	discards         [discardReasons]obs.Counter
+	objectsStarted   obs.Counter
+	objectsDecoded   obs.Counter
+	objectsEvicted   obs.Counter
+	decodeHist       *obs.Histogram // nil unless Metrics is set
 }
 
 // NewReceiverDaemon returns a daemon reading from conn.
@@ -137,7 +150,7 @@ func NewReceiverDaemon(conn Conn, cfg ReceiverConfig) *ReceiverDaemon {
 	if cfg.MaxCompletedIDs < cfg.MaxCompleted {
 		cfg.MaxCompletedIDs = cfg.MaxCompleted
 	}
-	return &ReceiverDaemon{
+	d := &ReceiverDaemon{
 		conn:     conn,
 		cfg:      cfg,
 		rx:       session.NewReceiver(),
@@ -149,6 +162,32 @@ func NewReceiverDaemon(conn Conn, cfg ReceiverConfig) *ReceiverDaemon {
 		idRing:   ring{cap: cfg.MaxCompletedIDs},
 		waiters:  make(map[uint32][]chan []byte),
 	}
+	if r := cfg.Metrics; r != nil {
+		r.CounterFunc("receiver_packets_total", "Datagrams read off the conn.", nil, d.packetsSeen.Load)
+		r.CounterFunc("receiver_bytes_total", "Datagram bytes read off the conn.", nil, d.bytesSeen.Load)
+		r.CounterFunc("receiver_packets_ingested_total", "Datagrams accepted into reassembly.", nil, d.packetsIngested.Load)
+		r.CounterFunc("receiver_packets_duplicate_total", "Datagrams repeating an already-held packet ID.", nil, d.packetsDuplicate.Load)
+		for reason, name := range map[int]string{
+			discardBad:          "bad",
+			discardLate:         "late",
+			discardInconsistent: "inconsistent",
+			discardTruncated:    "truncated",
+		} {
+			r.CounterFunc("receiver_packets_dropped_total", "Datagrams not ingested, by reason.",
+				obs.L("reason", name), d.discards[reason].Load)
+		}
+		r.CounterFunc("receiver_objects_started_total", "Objects that opened reassembly state.", nil, d.objectsStarted.Load)
+		r.CounterFunc("receiver_objects_decoded_total", "Fully reconstructed objects.", nil, d.objectsDecoded.Load)
+		r.CounterFunc("receiver_objects_evicted_total", "In-flight objects dropped by the LRU bound.", nil, d.objectsEvicted.Load)
+		r.GaugeFunc("receiver_inflight_objects", "Objects mid-reassembly.", nil, func() int64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return int64(len(d.lruIndex))
+		})
+		d.decodeHist = r.Histogram("receiver_decode_seconds", "First datagram of an object to its decode.",
+			obs.DurationBuckets(), obs.SecondsUnit, nil)
+	}
+	return d
 }
 
 // ring is a fixed-capacity FIFO of object IDs: push returns the evicted
@@ -236,7 +275,8 @@ func (d *ReceiverDaemon) handle(datagram []byte) {
 		return
 	}
 	_, inFlight := d.lruIndex[p.ObjectID]
-	id, complete, data, err := d.rx.IngestPacket(p)
+	res, err := d.rx.IngestPacketEx(p)
+	id, complete, data := res.ObjectID, res.Complete, res.Data
 	if err != nil {
 		if !inFlight {
 			// The packet may have opened session state before failing;
@@ -252,7 +292,18 @@ func (d *ReceiverDaemon) handle(datagram []byte) {
 		}
 		return
 	}
-	d.packetsIngested.Add(1)
+	if res.Duplicate {
+		d.packetsDuplicate.Inc()
+		if inFlight {
+			d.lru.MoveToFront(d.lruIndex[id])
+		}
+		d.mu.Unlock()
+		return
+	}
+	d.packetsIngested.Inc()
+	if tr := d.cfg.Tracer; tr != nil && res.Packets == res.K && tr.Sampled(id) {
+		tr.Emit(obs.Event{Event: obs.TraceKthRx, Object: id, K: res.K, Packets: res.Packets})
+	}
 	if !inFlight && !complete {
 		d.objectsStarted.Add(1)
 		d.lruIndex[id] = d.lru.PushFront(id)
@@ -284,6 +335,17 @@ func (d *ReceiverDaemon) handle(datagram []byte) {
 	d.mu.Unlock()
 
 	d.objectsDecoded.Add(1)
+	d.decodeHist.Observe(res.DecodeNS)
+	if tr := d.cfg.Tracer; tr != nil {
+		tr.Emit(obs.Event{
+			Event:   obs.TraceDecode,
+			Object:  id,
+			K:       res.K,
+			Packets: res.Packets,
+			Bytes:   int64(len(data)),
+			NS:      res.DecodeNS,
+		})
+	}
 	for _, w := range waiters {
 		w <- data
 	}
@@ -389,6 +451,7 @@ func (d *ReceiverDaemon) Stats() Stats {
 		PacketsLate:         d.discards[discardLate].Load(),
 		PacketsInconsistent: d.discards[discardInconsistent].Load(),
 		PacketsTruncated:    d.discards[discardTruncated].Load(),
+		PacketsDuplicate:    d.packetsDuplicate.Load(),
 		ObjectsStarted:      d.objectsStarted.Load(),
 		ObjectsDecoded:      d.objectsDecoded.Load(),
 		ObjectsEvicted:      d.objectsEvicted.Load(),

@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 
 	"fecperf/internal/core"
+	"fecperf/internal/obs"
 	"fecperf/internal/sched"
 	"fecperf/internal/session"
 )
@@ -41,6 +41,14 @@ type SenderConfig struct {
 	// OnRound, when set, is called after each completed carousel round
 	// with the 0-based round index (for progress logs).
 	OnRound func(round int)
+	// Metrics, when set, exposes the sender's counters on the registry
+	// (sender_* series; views over the same counters Stats reports).
+	// Registering two senders on one registry makes the newest own the
+	// series.
+	Metrics *obs.Registry
+	// Tracer, when set, records a first_tx lifecycle event the first
+	// time each object's datagrams hit the Conn.
+	Tracer *obs.Tracer
 }
 
 // SenderStats is a point-in-time snapshot of sender counters.
@@ -51,6 +59,11 @@ type SenderStats struct {
 	BytesSent uint64
 	// Rounds counts completed carousel rounds.
 	Rounds uint64
+	// PacerWaitNS counts nanoseconds spent blocked in the rate limiter.
+	PacerWaitNS uint64
+	// Resumes counts Runs that started mid-carousel (StartRound or
+	// StartPos set).
+	Resumes uint64
 }
 
 // Sender streams one or more encoded objects over a Conn as a
@@ -81,9 +94,11 @@ type Sender struct {
 	// loop that encodes from them.
 	runMu sync.Mutex
 
-	packets atomic.Uint64
-	bytes   atomic.Uint64
-	rounds  atomic.Uint64
+	packets   obs.Counter
+	bytes     obs.Counter
+	rounds    obs.Counter
+	pacerWait obs.Counter // ns blocked in the pacer
+	resumes   obs.Counter
 }
 
 type senderObject struct {
@@ -92,11 +107,20 @@ type senderObject struct {
 	scheduler core.Scheduler
 	nsent     int           // per-round schedule truncation (0 = all)
 	sched     core.Schedule // current round's order, redrawn each round
+	txStarted bool          // first datagram already traced
 }
 
 // NewSender returns a sender writing to conn.
 func NewSender(conn Conn, cfg SenderConfig) *Sender {
-	return &Sender{conn: conn, cfg: cfg}
+	s := &Sender{conn: conn, cfg: cfg}
+	if r := cfg.Metrics; r != nil {
+		r.CounterFunc("sender_packets_total", "Datagrams handed to the conn.", nil, s.packets.Load)
+		r.CounterFunc("sender_bytes_total", "Datagram bytes handed to the conn.", nil, s.bytes.Load)
+		r.CounterFunc("sender_rounds_total", "Completed carousel rounds.", nil, s.rounds.Load)
+		r.CounterFunc("sender_pacer_wait_ns_total", "Nanoseconds blocked in the rate limiter.", nil, s.pacerWait.Load)
+		r.CounterFunc("sender_resumes_total", "Runs resumed mid-carousel from a stored position.", nil, s.resumes.Load)
+	}
+	return s
 }
 
 // Add registers an encoded object with the carousel. Datagrams are
@@ -156,8 +180,11 @@ func (s *Sender) Run(ctx context.Context) error {
 	// never on how much of the carousel ran before — the resume
 	// contract.
 	rng := rand.New(&core.SplitMixSource{})
-	p := newPacer(s.cfg.Rate, s.cfg.Burst)
+	p := newPacer(s.cfg.Rate, s.cfg.Burst, &s.pacerWait)
 	scratch := make([]byte, 0, 2048)
+	if startRound > 0 || s.cfg.StartPos > 0 {
+		s.resumes.Inc()
+	}
 
 	for round := startRound; s.cfg.Rounds <= 0 || round < s.cfg.Rounds; round++ {
 		for i, o := range s.objs {
@@ -194,8 +221,20 @@ func (s *Sender) Run(ctx context.Context) error {
 				if err := s.conn.Send(scratch); err != nil {
 					return fmt.Errorf("transport: send: %w", err)
 				}
-				s.packets.Add(1)
+				s.packets.Inc()
 				s.bytes.Add(uint64(len(scratch)))
+				if !o.txStarted {
+					o.txStarted = true
+					if tr := s.cfg.Tracer; tr != nil {
+						tr.Emit(obs.Event{
+							Event:  obs.TraceFirstTx,
+							Object: o.obj.ObjectID(),
+							Packet: o.sched.At(pos),
+							Round:  round,
+							Bytes:  int64(len(scratch)),
+						})
+					}
+				}
 			}
 		}
 		s.rounds.Add(1)
@@ -212,5 +251,7 @@ func (s *Sender) Stats() SenderStats {
 		PacketsSent: s.packets.Load(),
 		BytesSent:   s.bytes.Load(),
 		Rounds:      s.rounds.Load(),
+		PacerWaitNS: s.pacerWait.Load(),
+		Resumes:     s.resumes.Load(),
 	}
 }

@@ -1,0 +1,269 @@
+package fecperf
+
+// End-to-end observability acceptance: a 500 KiB loopback cast runs
+// with a metrics registry, a live exposition endpoint and a lifecycle
+// tracer attached — and while packets are on the air, concurrent HTTP
+// scrapes read the registry (the -race tier hammers this). Afterwards
+// the Prometheus text, the JSON view and expvar must all report
+// non-zero sender and collector counters plus a populated decode
+// latency histogram, and the JSONL trace must contain the full chunk
+// lifecycle: enqueue → first_tx → kth_rx → decode → write → verify.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// observeSpec mirrors streamSpec at acceptance scale: unpaced so the
+// test is CPU-bound, lossless so one round always completes.
+const observeSpec = "codec=rse(k=64,ratio=1.5,seed=11),sched=tx4," +
+	"object=41,window=4,rounds=1,payload=1024,seed=4"
+
+func TestObservabilityLiveCast(t *testing.T) {
+	const streamLen = 500 << 10
+
+	reg := NewMetricsRegistry()
+	var traceBuf bytes.Buffer
+	tracer := NewTracer(&traceBuf, TracerConfig{})
+	tracer.Register(reg)
+
+	srv, err := ServeMetrics("127.0.0.1:0", reg, MetricsServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	hub := NewLoopback()
+	defer hub.Close()
+	rxConn := hub.Receiver(nil, 1<<16)
+
+	var sink bytes.Buffer
+	col, err := NewCollector(rxConn, &sink,
+		WithSpec(observeSpec), WithMetrics(reg), WithTracer(tracer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	var colErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		colErr = col.Run(ctx)
+	}()
+
+	// Scrape the endpoint concurrently while the cast is live: the
+	// counters are written from the sender and receiver goroutines at
+	// the same time (this is the -race hammer for the exposition path).
+	scrapeCtx, stopScrapes := context.WithCancel(ctx)
+	scrapers := 2
+	if raceEnabled {
+		scrapers = 4
+	}
+	var scrapeWG sync.WaitGroup
+	for i := 0; i < scrapers; i++ {
+		path := "/metrics"
+		if i%2 == 1 {
+			path = "/metrics.json"
+		}
+		scrapeWG.Add(1)
+		go func(url string) {
+			defer scrapeWG.Done()
+			for scrapeCtx.Err() == nil {
+				resp, err := http.Get(url)
+				if err != nil {
+					return // server closed at test end
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+			}
+		}(base + path)
+	}
+
+	src := io.LimitReader(&prngStream{state: 0x243F6A8885A308D3}, streamLen)
+	caster, err := NewCaster(hub.Sender(), src,
+		WithSpec(observeSpec), WithMetrics(reg), WithTracer(tracer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := caster.Run(ctx); err != nil {
+		t.Fatalf("caster.Run: %v", err)
+	}
+	wg.Wait()
+	stopScrapes()
+	scrapeWG.Wait()
+	if colErr != nil {
+		t.Fatalf("collector.Run: %v (stats %+v)", colErr, col.CollectStats())
+	}
+	if sink.Len() != streamLen {
+		t.Fatalf("collected %d bytes, want %d", sink.Len(), streamLen)
+	}
+
+	// --- Prometheus text: live counters and the decode histogram ---
+	text := httpGet(t, base+"/metrics", "")
+	for _, series := range []string{
+		"fecperf_caster_packets_total",
+		"fecperf_caster_bytes_total",
+		"fecperf_caster_chunks_total",
+		"fecperf_collector_chunks_written_total",
+		"fecperf_collector_bytes_written_total",
+		"fecperf_receiver_packets_ingested_total",
+		"fecperf_receiver_objects_decoded_total",
+		"fecperf_symbol_pool_gets_total",
+		"fecperf_trace_events_total",
+		"fecperf_receiver_decode_seconds_count",
+	} {
+		if v := promValue(t, text, series); v <= 0 {
+			t.Errorf("series %s = %g, want > 0\nexposition:\n%s", series, v, text)
+		}
+	}
+	if !strings.Contains(text, "fecperf_receiver_decode_seconds_bucket{le=") {
+		t.Errorf("no decode latency histogram buckets in exposition:\n%s", text)
+	}
+	if !strings.Contains(text, "# TYPE fecperf_receiver_decode_seconds histogram") {
+		t.Errorf("decode latency histogram missing TYPE header")
+	}
+
+	// --- JSON view: same series as one flat object ---
+	var flat map[string]any
+	if err := json.Unmarshal([]byte(httpGet(t, base+"/metrics.json", "")), &flat); err != nil {
+		t.Fatalf("metrics.json did not parse: %v", err)
+	}
+	if v, ok := flat["fecperf_caster_packets_total"].(float64); !ok || v <= 0 {
+		t.Errorf("metrics.json fecperf_caster_packets_total = %v, want > 0", flat["fecperf_caster_packets_total"])
+	}
+	hist, ok := flat["fecperf_receiver_decode_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics.json lacks the decode histogram object (keys %v)", len(flat))
+	}
+	if c, _ := hist["count"].(float64); c <= 0 {
+		t.Errorf("decode histogram count = %v, want > 0", hist["count"])
+	}
+
+	// --- expvar: the registry published under "fecperf" ---
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(httpGet(t, base+"/debug/vars", "")), &vars); err != nil {
+		t.Fatalf("/debug/vars did not parse: %v", err)
+	}
+	var published map[string]any
+	if err := json.Unmarshal(vars["fecperf"], &published); err != nil {
+		t.Fatalf("expvar fecperf key: %v", err)
+	}
+	if v, _ := published["fecperf_collector_chunks_written_total"].(float64); v <= 0 {
+		t.Errorf("expvar fecperf_collector_chunks_written_total = %v, want > 0",
+			published["fecperf_collector_chunks_written_total"])
+	}
+
+	// --- Trace: every lifecycle stage present, whole objects sampled ---
+	if err := tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stages := map[string]int{}
+	sc := bufio.NewScanner(&traceBuf)
+	for sc.Scan() {
+		var ev TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		if ev.TS == 0 {
+			t.Fatalf("trace event without timestamp: %+v", ev)
+		}
+		stages[ev.Event]++
+		if ev.Event == TraceDecode && ev.NS <= 0 {
+			t.Errorf("decode event without latency: %+v", ev)
+		}
+		if ev.Event == TraceVerify && ev.Err != "" {
+			t.Errorf("train verification failed: %+v", ev)
+		}
+	}
+	for _, stage := range []string{TraceEnqueue, TraceFirstTx, TraceKthRx, TraceDecode, TraceWrite, TraceVerify} {
+		if stages[stage] == 0 {
+			t.Errorf("no %q trace events (got %v)", stage, stages)
+		}
+	}
+	if got := tracer.Events(); got == 0 || tracer.Errs() != 0 {
+		t.Errorf("tracer events=%d errs=%d", got, tracer.Errs())
+	}
+
+	// Stats() compatibility views agree with the registry-backed series.
+	if st := caster.Stats(); float64(st.PacketsSent) != promValue(t, text, "fecperf_caster_packets_total") {
+		t.Errorf("CasterStats.PacketsSent %d disagrees with the exposed counter", st.PacketsSent)
+	}
+}
+
+// TestConfigSpecMetricsKey pins the "metrics" spec key round-trip.
+func TestConfigSpecMetricsKey(t *testing.T) {
+	cfg, err := ParseSpec("codec=rse(k=8,ratio=1.5),metrics=:9090")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MetricsAddr != ":9090" {
+		t.Fatalf("MetricsAddr = %q, want :9090", cfg.MetricsAddr)
+	}
+	line := cfg.Spec()
+	if !strings.Contains(line, "metrics=:9090") {
+		t.Fatalf("Spec() = %q lost the metrics key", line)
+	}
+	back, err := ParseSpec(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MetricsAddr != cfg.MetricsAddr {
+		t.Fatalf("round-trip MetricsAddr = %q", back.MetricsAddr)
+	}
+}
+
+// httpGet fetches url and returns the body, failing the test on any
+// transport or status error.
+func httpGet(t *testing.T, url, accept string) string {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	return string(body)
+}
+
+// promValue extracts one unlabelled series value from a Prometheus text
+// exposition.
+func promValue(t *testing.T, text, series string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(fmt.Sprintf(`(?m)^%s (\S+)$`, regexp.QuoteMeta(series)))
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("series %s not in exposition:\n%s", series, text)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("series %s value %q: %v", series, m[1], err)
+	}
+	return v
+}

@@ -1,0 +1,105 @@
+#!/usr/bin/env sh
+# Runs the observability benchmarks and emits BENCH_obs.json — the perf
+# record for the metrics/tracing layer: instrument micro-costs (counter
+# inc, histogram observe, exposition render, tracer emit) and the
+# instrumented-vs-bare sender carousel round. Three invariants gate:
+#
+#   * the bare sender round loop still reports 0 allocs/op,
+#   * drawing a streaming schedule still reports 0 allocs/op,
+#   * attaching the full observability surface (registry + tracer) costs
+#     the sender round under 3% (min-of-count ns/op, so scheduler noise
+#     does not flap the gate).
+#
+# Usage:
+#
+#   scripts/bench_obs.sh [benchtime] [output.json] [count] [gate_pct]
+#
+# benchtime defaults to 2s per benchmark; output defaults to
+# BENCH_obs.json in the repository root; count defaults to 3 (the delta
+# compares per-benchmark minima); gate_pct defaults to 3. CI's short
+# smoke run passes a loose gate — minute-scale timing noise would flap
+# a 3% threshold there — while the committed BENCH_obs.json comes from
+# the default 2s run under the real gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-2s}"
+OUT="${2:-BENCH_obs.json}"
+COUNT="${3:-3}"
+GATE="${4:-3}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' \
+    -bench 'BenchmarkCounterInc$|BenchmarkCounterIncParallel$|BenchmarkHistogramObserve$|BenchmarkWritePrometheus$|BenchmarkTracerEmit$|BenchmarkTracerUnsampled$' \
+    -benchtime "$BENCHTIME" -count 1 ./internal/obs | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkScheduleDrawTx4$' \
+    -benchtime "$BENCHTIME" -count 1 ./internal/sched | tee -a "$RAW"
+go test -run '^$' -bench 'BenchmarkSenderRound(Instrumented)?$' \
+    -benchtime "$BENCHTIME" -count "$COUNT" ./internal/transport | tee -a "$RAW"
+
+awk -v out="$OUT" -v gate="$GATE" '
+function grab(    i) {
+    ns = ""; allocs = ""
+    for (i = 1; i <= NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+}
+function minset(cur, v) { return (cur == "" || v + 0 < cur + 0) ? v : cur }
+# Benchmark lines may or may not carry the -GOMAXPROCS suffix; compare
+# on the stripped name.
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    grab()
+    if (name == "BenchmarkCounterInc")              counter_ns = ns
+    if (name == "BenchmarkCounterIncParallel")      counter_par_ns = ns
+    if (name == "BenchmarkHistogramObserve")        hist_ns = ns
+    if (name == "BenchmarkWritePrometheus")         expo_ns = ns
+    if (name == "BenchmarkTracerEmit")              emit_ns = ns
+    if (name == "BenchmarkTracerUnsampled")         unsampled_ns = ns
+    if (name == "BenchmarkScheduleDrawTx4")       { draw_ns = ns; draw_a = allocs }
+    if (name == "BenchmarkSenderRound")           { bare_ns = minset(bare_ns, ns); bare_a = allocs }
+    if (name == "BenchmarkSenderRoundInstrumented") { in_ns = minset(in_ns, ns); in_a = allocs }
+}
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+END {
+    if (counter_ns == "" || hist_ns == "" || expo_ns == "" || emit_ns == "" ||
+        draw_ns == "" || bare_ns == "" || in_ns == "") {
+        print "bench_obs: missing benchmark output" > "/dev/stderr"
+        exit 1
+    }
+    if (bare_a + 0 != 0) {
+        printf "bench_obs: bare sender round allocates (%s allocs/op, want 0)\n", bare_a > "/dev/stderr"
+        exit 1
+    }
+    if (draw_a + 0 != 0) {
+        printf "bench_obs: schedule draw allocates (%s allocs/op, want 0)\n", draw_a > "/dev/stderr"
+        exit 1
+    }
+    delta = (in_ns - bare_ns) / bare_ns * 100
+    if (delta > gate + 0) {
+        printf "bench_obs: instrumented sender round is %.2f%% slower than bare (gate: %s%%)\n", delta, gate > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n" > out
+    printf "  \"benchmark\": \"obs\",\n" >> out
+    printf "  \"cpu\": \"%s\",\n", cpu >> out
+    printf "  \"counter_inc_ns\": %s,\n", counter_ns >> out
+    printf "  \"counter_inc_parallel_ns\": %s,\n", counter_par_ns >> out
+    printf "  \"histogram_observe_ns\": %s,\n", hist_ns >> out
+    printf "  \"write_prometheus_ns\": %s,\n", expo_ns >> out
+    printf "  \"tracer_emit_ns\": %s,\n", emit_ns >> out
+    printf "  \"tracer_unsampled_ns\": %s,\n", unsampled_ns >> out
+    printf "  \"schedule_draw_tx4_ns\": %s,\n", draw_ns >> out
+    printf "  \"schedule_draw_tx4_allocs\": %s,\n", draw_a >> out
+    printf "  \"sender_round_bare_ns\": %s,\n", bare_ns >> out
+    printf "  \"sender_round_bare_allocs\": %s,\n", bare_a >> out
+    printf "  \"sender_round_instrumented_ns\": %s,\n", in_ns >> out
+    printf "  \"sender_round_instrumented_allocs\": %s,\n", in_a >> out
+    printf "  \"instrumented_delta_pct\": %.2f\n", delta >> out
+    printf "}\n" >> out
+}' "$RAW"
+
+echo "wrote $OUT"
