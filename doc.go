@@ -228,6 +228,21 @@
 // tracing the same cast with the same seed sample the same objects.
 // Pass it with WithTracer; cmd/feccast writes it with -trace.
 //
+// # Performance
+//
+// The hot paths are engineered end to end. GF(2^8) multiply-accumulate
+// runs on SIMD nibble-shuffle kernels (AVX2 on amd64, NEON on arm64)
+// with runtime dispatch down to portable fallbacks — build with -tags
+// purego to force the portable tier. Session encode resolves codecs
+// from a process-wide cache and encodes straight into pooled symbol
+// buffers (3 allocs per object, ~the raw codec's throughput); receiver
+// ingest allocates nothing in steady state. Transmission schedules are
+// never materialised: sequential senders walk them through a batched
+// cursor whose draws beat iterating a pre-shuffled slice, at zero
+// allocations. BENCH_codec.json and BENCH_sched.json in the repository
+// root record the measured numbers, and the README's Performance
+// section explains the techniques.
+//
 // # Quick start
 //
 //	agg, _ := fecperf.Simulate(fecperf.WithSpec(

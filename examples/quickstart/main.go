@@ -60,7 +60,8 @@ func main() {
 	}
 	defer dec.Close()
 	sent, received := 0, 0
-	for cur := schedule.Cursor(); ; {
+	cur := schedule.Cursor()
+	for {
 		id, ok := cur.Next()
 		if !ok {
 			break

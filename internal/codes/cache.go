@@ -1,0 +1,80 @@
+package codes
+
+// Process-wide codec cache. Building a codec is far from free — the RSE
+// families derive their generator matrices through a Vandermonde
+// inversion, the LDGM families build a sparse parity-check matrix — and
+// before this cache the session layer paid that construction once per
+// *object*, which is exactly why session encode trailed the raw codec
+// benchmarks by ~4×. Codec instances are immutable and safe for
+// concurrent use (that is part of the core.Codec contract), so one
+// instance per distinct geometry serves every session, sender and
+// receiver in the process.
+
+import (
+	"math"
+	"sync"
+
+	"fecperf/internal/core"
+	"fecperf/internal/wire"
+)
+
+// codecKey identifies a codec geometry. Encode-side lookups know the
+// expansion ratio (n still to be derived); wire-side lookups know the
+// exact n from the OTI. n = -1 with ratioBits set marks the former, so
+// the two shapes never collide.
+type codecKey struct {
+	family    wire.CodeFamily
+	k, n      int
+	ratioBits uint64
+	seed      int64
+}
+
+// codecCacheMax bounds the cache. A process talks to a handful of
+// geometries in practice; when something pathological churns through
+// more, the whole map is dropped and rebuilt — an occasional re-build
+// beats unbounded growth.
+const codecCacheMax = 256
+
+var (
+	codecMu    sync.RWMutex
+	codecCache = make(map[codecKey]core.Codec)
+)
+
+func cachedCodec(key codecKey, build func() (core.Codec, error)) (core.Codec, error) {
+	codecMu.RLock()
+	c, ok := codecCache[key]
+	codecMu.RUnlock()
+	if ok {
+		return c, nil
+	}
+	// Build outside the lock: constructions are deterministic in the
+	// key, so concurrent builders producing duplicate instances is
+	// harmless (last one wins).
+	c, err := build()
+	if err != nil {
+		return nil, err
+	}
+	codecMu.Lock()
+	if len(codecCache) >= codecCacheMax {
+		codecCache = make(map[codecKey]core.Codec, codecCacheMax/4)
+	}
+	codecCache[key] = c
+	codecMu.Unlock()
+	return c, nil
+}
+
+// CachedForFamily is ForFamily through the process-wide codec cache —
+// the encode-side hot path. Use it wherever codecs for the same
+// geometry are built repeatedly (the session layer encodes every object
+// through it).
+func CachedForFamily(f wire.CodeFamily, k int, ratio float64, seed int64) (core.Codec, error) {
+	key := codecKey{family: f, k: k, n: -1, ratioBits: math.Float64bits(ratio), seed: seed}
+	return cachedCodec(key, func() (core.Codec, error) { return ForFamily(f, k, ratio, seed) })
+}
+
+// CachedForWire is ForWire through the process-wide codec cache — the
+// receive-side hot path, resolving the codec a packet's OTI describes.
+func CachedForWire(f wire.CodeFamily, k, n int, seed int64) (core.Codec, error) {
+	key := codecKey{family: f, k: k, n: n, seed: seed}
+	return cachedCodec(key, func() (core.Codec, error) { return ForWire(f, k, n, seed) })
+}

@@ -178,8 +178,12 @@ func RunTrial(schedule Schedule, ch Channel, rx Receiver, nsent int) TrialResult
 	var res TrialResult
 	res.NSent = nsent
 	mem, _ := rx.(MemoryReporter)
+	// Sequential walk → cursor: ids arrive in batched draws, which for
+	// permutation-backed schedules amortises the Feistel walk across
+	// interleaved lanes instead of paying its serial latency per packet.
+	cur := schedule.Cursor()
 	for i := 0; i < nsent; i++ {
-		id := schedule.At(i)
+		id, _ := cur.Next()
 		if ch.Lost() {
 			continue
 		}

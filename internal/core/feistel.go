@@ -70,3 +70,68 @@ func (f *feistel) at(i int) int {
 		}
 	}
 }
+
+// feistelBatchChunk is atBatch's working-set size: the fixup index
+// buffer lives on the stack, so batches are processed in chunks of this
+// many positions.
+const feistelBatchChunk = 64
+
+// atBatch fills dst[j] = f.at(start+j) for consecutive positions —
+// byte-identical ids, several times cheaper per id. A per-position at()
+// is not latency-bound on the four-round multiply chain (consecutive
+// calls are independent, so the pipeline overlaps them); it is bound on
+// the cycle-walking branch, which is genuinely unpredictable whenever
+// the Feistel domain exceeds n (a ~25% mispredict rate at worst costs
+// more than the rounds themselves). atBatch removes that branch from
+// the main pass: every position's first application is computed and
+// stored unconditionally, out-of-range landings are compacted into a
+// fixup list with branch-free arithmetic, and only the fixups — the
+// minority — pay the walk's data-dependent loop.
+func (f *feistel) atBatch(dst []int32, start int) {
+	k0, k1, k2, k3 := f.keys[0], f.keys[1], f.keys[2], f.keys[3]
+	half, mask, n := f.half, f.mask, uint32(f.n)
+	var fixIdx [feistelBatchChunk]int32
+	for base := 0; base < len(dst); base += feistelBatchChunk {
+		end := base + feistelBatchChunk
+		if end > len(dst) {
+			end = len(dst)
+		}
+		nf := 0
+		for j := base; j < end; j++ {
+			x := uint32(start + j)
+			l, r := x>>half, x&mask
+			l, r = r, l^((r^k0)*0x9e3779b9>>16&mask)
+			l, r = r, l^((r^k1)*0x85ebca6b>>16&mask)
+			l, r = r, l^((r^k2)*0xc2b2ae35>>16&mask)
+			l, r = r, l^((r^k3)*0x27d4eb2f>>16&mask)
+			x = l<<half | r
+			dst[j] = int32(x)
+			// Branch-free fixup compaction: x and n are < 2^31, so the
+			// subtraction's sign bit is exactly "x < n".
+			fixIdx[nf] = int32(j)
+			nf += int(((x - n) >> 31) ^ 1)
+		}
+		// Walk the fixups by whole passes, re-compacting the still
+		// out-of-range survivors each time: every pass shrinks the list
+		// by the in-range fraction, so the loop ends after a handful of
+		// rounds, and — unlike a per-fixup walk — no branch in it
+		// depends on the permutation's data.
+		for nf > 0 {
+			mf := 0
+			for t := 0; t < nf; t++ {
+				j := fixIdx[t]
+				x := uint32(dst[j])
+				l, r := x>>half, x&mask
+				l, r = r, l^((r^k0)*0x9e3779b9>>16&mask)
+				l, r = r, l^((r^k1)*0x85ebca6b>>16&mask)
+				l, r = r, l^((r^k2)*0xc2b2ae35>>16&mask)
+				l, r = r, l^((r^k3)*0x27d4eb2f>>16&mask)
+				x = l<<half | r
+				dst[j] = int32(x)
+				fixIdx[mf] = j
+				mf += int(((x - n) >> 31) ^ 1)
+			}
+			nf = mf
+		}
+	}
+}

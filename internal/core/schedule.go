@@ -57,6 +57,24 @@ func (pt *part) at(i int) int {
 	return pt.off + pt.p.at(i)
 }
 
+// atBatch fills dst[j] = pt.at(start+j), batching the permutation walk
+// for shuffled segments.
+func (pt *part) atBatch(dst []int32, start int) {
+	if pt.kind == partSeq {
+		for j := range dst {
+			dst[j] = int32(pt.off + start + j)
+		}
+		return
+	}
+	pt.p.atBatch(dst, start)
+	if pt.off != 0 {
+		off := int32(pt.off)
+		for j := range dst {
+			dst[j] += off
+		}
+	}
+}
+
 // Schedule is a lazy transmission order: Len gives the number of
 // transmissions and At(i) the packet id sent at position i, in O(1)
 // time and memory. The zero value is the empty schedule. Schedules are
@@ -117,6 +135,76 @@ func (s *Schedule) At(i int) int {
 		return s.rounds[r].At(i - off)
 	default:
 		panic("core: At on empty schedule")
+	}
+}
+
+// batchAt fills dst[j] = s.At(pos+j) for the consecutive positions
+// pos..pos+len(dst)-1, which must lie inside the schedule. Shapes built
+// on Feistel permutations batch the walk (feistel.atBatch's interleaved
+// lanes — the reason sequential iteration beats per-position At);
+// closed-form shapes fall back to a scalar loop that costs exactly what
+// At costs. The ids are byte-identical to At's either way.
+func (s *Schedule) batchAt(pos int, dst []int32) {
+	if len(dst) == 0 {
+		return
+	}
+	if pos < 0 || pos+len(dst) > s.length {
+		panic(fmt.Sprintf("core: schedule batch [%d,%d) outside [0,%d)", pos, pos+len(dst), s.length))
+	}
+	switch s.kind {
+	case kindParts:
+		if p0 := &s.parts[0]; pos < p0.n {
+			m := p0.n - pos
+			if m > len(dst) {
+				m = len(dst)
+			}
+			p0.atBatch(dst[:m], pos)
+			dst = dst[m:]
+			pos = p0.n
+		}
+		if len(dst) > 0 {
+			s.parts[1].atBatch(dst, pos-s.parts[0].n)
+		}
+	case kindRepeat:
+		s.parts[0].p.atBatch(dst, pos)
+		b := int32(s.b)
+		for j := range dst {
+			dst[j] %= b
+		}
+	case kindSubset:
+		// Batch the outer multiset shuffle; the inner source draw is
+		// evaluated per slot (its positions are scattered, not
+		// consecutive), exactly as At does.
+		s.parts[0].p.atBatch(dst, pos)
+		for j, v := range dst {
+			if int(v) < s.a {
+				dst[j] = int32(s.parts[1].p.at(int(v)))
+			} else {
+				dst[j] = int32(s.b + int(v) - s.a)
+			}
+		}
+	case kindRounds:
+		for len(dst) > 0 {
+			r, start := s.roundAt(pos)
+			rs := &s.rounds[r]
+			m := start + rs.length - pos
+			if m > len(dst) {
+				m = len(dst)
+			}
+			rs.batchAt(pos-start, dst[:m])
+			dst = dst[m:]
+			pos += m
+		}
+	case kindSlice:
+		for j := range dst {
+			dst[j] = int32(s.ids[pos+j])
+		}
+	default:
+		// kindPropMerge / kindInterleave are closed-form arithmetic with
+		// no walk to batch.
+		for j := range dst {
+			dst[j] = int32(s.At(pos + j))
+		}
 	}
 }
 
@@ -181,9 +269,10 @@ func (s Schedule) Truncate(n int) Schedule {
 }
 
 // Cursor returns an iterator positioned at the start of the schedule.
-// The cursor borrows the schedule; keep the schedule alive (and
-// unmoved) while iterating.
-func (s *Schedule) Cursor() Cursor { return Cursor{s: s} }
+// The cursor embeds its own copy of the schedule value (schedules are
+// immutable and copy cheaply), so it stays valid however the original
+// moves — and taking one never forces the schedule to the heap.
+func (s *Schedule) Cursor() Cursor { return Cursor{s: *s} }
 
 // AppendTo appends every id of the schedule, in order, to dst and
 // returns it — the bridge from streaming schedules back to the
@@ -195,35 +284,70 @@ func (s *Schedule) AppendTo(dst []int) []int {
 	return dst
 }
 
+// cursorBatch is the Cursor's ring size: a multiple of feistelLanes so
+// refills run whole interleaved batches, large enough to amortise the
+// refill dispatch, small enough that the Cursor stays a cheap value.
+const cursorBatch = 64
+
 // Cursor walks a Schedule sequentially. It is a value type: copying it
 // forks the iteration state, which is how a carousel sender resumes a
-// round from an arbitrary position for free.
+// round from an arbitrary position for free (the buffered ids copy with
+// it). Sequential iteration draws ids through batchAt in cursorBatch
+// chunks — for permutation-backed schedules that is several times
+// cheaper per id than calling At in a loop, with zero allocations.
+//
+// Declare the cursor before the loop ("cur := s.Cursor(); for { ... }"),
+// never as a three-clause loop variable: Go's per-iteration loop
+// variable semantics would copy the whole buffered cursor in and out on
+// every Next, costing more than the ids themselves.
 type Cursor struct {
-	s   *Schedule
-	pos int
+	s      Schedule
+	base   int // schedule position of buf[0]
+	lo, hi int // valid window of buf; buf[lo] is the next id out
+	buf    [cursorBatch]int32
 }
 
 // Next returns the next packet id, or ok=false when the schedule is
-// exhausted.
-func (c *Cursor) Next() (id int, ok bool) {
-	if c.pos >= c.s.length {
+// exhausted. The buffered fast path is small enough to inline into the
+// caller's loop.
+func (c *Cursor) Next() (int, bool) {
+	if c.lo == c.hi {
+		return c.refill()
+	}
+	id := c.buf[c.lo]
+	c.lo++
+	return int(id), true
+}
+
+// refill draws the next batch of ids and consumes the first — the slow
+// path of Next, kept out of line so Next inlines.
+func (c *Cursor) refill() (id int, ok bool) {
+	pos := c.base + c.hi
+	m := c.s.length - pos
+	if m <= 0 {
 		return 0, false
 	}
-	id = c.s.At(c.pos)
-	c.pos++
-	return id, true
+	if m > cursorBatch {
+		m = cursorBatch
+	}
+	c.s.batchAt(pos, c.buf[:m])
+	c.base = pos
+	c.lo, c.hi = 1, m
+	return int(c.buf[0]), true
 }
 
 // Pos returns the position of the next id Next would return.
-func (c *Cursor) Pos() int { return c.pos }
+func (c *Cursor) Pos() int { return c.base + c.lo }
 
 // Seek repositions the cursor: random access is O(1), so seeking —
-// e.g. a sender resuming mid-round at position p — costs nothing.
+// e.g. a sender resuming mid-round at position p — costs nothing
+// beyond dropping the buffered ids.
 func (c *Cursor) Seek(pos int) {
 	if pos < 0 || pos > c.s.length {
 		panic(fmt.Sprintf("core: cursor seek to %d outside [0,%d]", pos, c.s.length))
 	}
-	c.pos = pos
+	c.base = pos
+	c.lo, c.hi = 0, 0
 }
 
 // EmptySchedule returns the schedule with no transmissions.

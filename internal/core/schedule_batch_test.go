@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+)
+
+// Golden equivalence for the batched walk: batchAt and the ring-buffered
+// Cursor must produce ids byte-identical to At on every schedule shape,
+// at every offset and batch size — the batched Feistel lanes are an
+// implementation detail, never a behaviour change.
+
+// batchShapes covers every schedule kind, including both segment forms
+// of kindParts, the closed-form fallbacks, and nested rounds.
+func batchShapes(t *testing.T) map[string]Schedule {
+	t.Helper()
+	return map[string]Schedule{
+		"sequence":       SequenceSchedule(7, 100),
+		"shuffle":        ShuffleSchedule(3, 257, 11),
+		"take-shuffle":   TakeShuffleSchedule(0, 400, 123, 5),
+		"concat":         ConcatSchedules(SequenceSchedule(0, 37), ShuffleSchedule(37, 91, 9)),
+		"subset":         SubsetShuffleSchedule(120, 77, 60, 1, 2),
+		"repeat":         RepeatSchedule(53, 4, 17),
+		"prop-merge":     ProportionalMergeSchedule(90, 61),
+		"interleave":     InterleaveSchedule(blockLayout(t, [][2]int{{9, 4}, {9, 4}, {7, 4}})),
+		"slice":          SliceSchedule([]int{9, 3, 5, 5, 1, 0, 8, 2, 6, 4, 7, 3}),
+		"rounds-uniform": RoundsSchedule([]Schedule{ShuffleSchedule(0, 50, 1), ShuffleSchedule(0, 50, 2), ShuffleSchedule(0, 50, 3)}),
+		"rounds-ragged":  RoundsSchedule([]Schedule{SequenceSchedule(0, 13), ShuffleSchedule(0, 201, 8), RepeatSchedule(10, 3, 6)}),
+		"truncated":      ShuffleSchedule(0, 500, 21).Truncate(173),
+	}
+}
+
+func TestBatchAtMatchesAt(t *testing.T) {
+	for name, s := range batchShapes(t) {
+		want := materialize(s)
+		// Every offset × a spread of batch sizes, including sizes that
+		// split Feistel lane groups and spill past cursorBatch.
+		for _, size := range []int{1, 3, 7, 8, 9, 21, cursorBatch, cursorBatch + 17} {
+			dst := make([]int32, size)
+			for pos := 0; pos+size <= s.Len(); pos += 1 + size/2 {
+				s.batchAt(pos, dst)
+				for j, v := range dst {
+					if int(v) != want[pos+j] {
+						t.Fatalf("%s: batchAt(%d)[%d] = %d, want %d (size %d)", name, pos, j, v, want[pos+j], size)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCursorMatchesAtAllShapes(t *testing.T) {
+	for name, s := range batchShapes(t) {
+		want := materialize(s)
+		cur := s.Cursor()
+		for i := range want {
+			id, ok := cur.Next()
+			if !ok {
+				t.Fatalf("%s: cursor ended early at %d", name, i)
+			}
+			if id != want[i] {
+				t.Fatalf("%s: cursor position %d = %d, want %d", name, i, id, want[i])
+			}
+		}
+		if _, ok := cur.Next(); ok {
+			t.Fatalf("%s: cursor did not end", name)
+		}
+		// Seek mid-stream, including to a position inside a buffered
+		// window, must resume on the golden order.
+		for _, pos := range []int{0, 1, s.Len() / 3, s.Len() - 1} {
+			cur.Seek(pos)
+			if id, _ := cur.Next(); id != want[pos] {
+				t.Fatalf("%s: Seek(%d) resumed with %d, want %d", name, pos, id, want[pos])
+			}
+		}
+	}
+}
+
+func TestCursorWalkAllocsNothing(t *testing.T) {
+	s := ShuffleSchedule(0, 50000, 7)
+	sink := 0
+	avg := testing.AllocsPerRun(10, func() {
+		cur := s.Cursor()
+		for {
+			id, ok := cur.Next()
+			if !ok {
+				break
+			}
+			sink += id
+		}
+	})
+	if avg != 0 {
+		t.Errorf("cursor walk allocs/run = %.1f, want 0", avg)
+	}
+	_ = sink
+}
+
+func TestFeistelAtBatchMatchesAt(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 17, 100, 255, 1000, 4096} {
+		for seed := uint64(0); seed < 3; seed++ {
+			f := newFeistel(n, seed)
+			dst := make([]int32, n)
+			f.atBatch(dst, 0)
+			for i, v := range dst {
+				if int(v) != f.at(i) {
+					t.Fatalf("n=%d seed=%d: atBatch[%d] = %d, at = %d", n, seed, i, v, f.at(i))
+				}
+			}
+		}
+	}
+}

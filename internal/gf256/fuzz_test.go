@@ -1,0 +1,80 @@
+package gf256
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzGFKernels cross-checks the kernel tiers — the dispatch entry
+// points (SIMD on capable hardware, unrolled table otherwise), the
+// *Table byte-at-a-time kernels and the *Scalar log/exp references — on
+// fuzzer-chosen lengths, offsets and coefficients. The offsets slide the
+// slices inside a larger buffer so the vector kernels see every
+// load/store alignment, and lengths that are not multiples of the vector
+// width exercise the unaligned-tail split (SIMD body + table tail).
+func FuzzGFKernels(f *testing.F) {
+	f.Add(uint16(1024), uint8(0), uint8(0x53), []byte("seed material for the gf kernels"))
+	f.Add(uint16(33), uint8(7), uint8(2), []byte{1, 2, 3})
+	f.Add(uint16(31), uint8(31), uint8(0xff), []byte{0xaa})
+	f.Add(uint16(0), uint8(0), uint8(1), []byte{})
+	f.Add(uint16(65), uint8(13), uint8(0), []byte{9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, n16 uint16, off8, c uint8, seed []byte) {
+		n := int(n16) % 4096
+		off := int(off8) % 64
+		if len(seed) == 0 {
+			seed = []byte{0}
+		}
+		// Deterministic contents: repeat the fuzzer's seed bytes across
+		// padded buffers, then carve the working slices at off.
+		fill := func(buf []byte, salt byte) {
+			for i := range buf {
+				buf[i] = seed[i%len(seed)] ^ salt ^ byte(i)
+			}
+		}
+		srcBuf := make([]byte, off+n)
+		fill(srcBuf, 0x11)
+		src := srcBuf[off:]
+
+		mkDst := func(salt byte) (got, want []byte) {
+			buf := make([]byte, off+n)
+			fill(buf, salt)
+			return buf[off:], append([]byte(nil), buf[off:]...)
+		}
+
+		// AddMul: dispatch vs table vs scalar.
+		d, w := mkDst(0x22)
+		AddMul(d, src, c)
+		wTab := append([]byte(nil), w...)
+		AddMulTable(wTab, src, c)
+		AddMulScalar(w, src, c)
+		if !bytes.Equal(d, w) {
+			t.Fatalf("n=%d off=%d c=%#x: AddMul diverges from AddMulScalar", n, off, c)
+		}
+		if !bytes.Equal(wTab, w) {
+			t.Fatalf("n=%d off=%d c=%#x: AddMulTable diverges from AddMulScalar", n, off, c)
+		}
+
+		// AddMul4 with four related coefficients (covers degenerate rows
+		// when c is 0 or 1).
+		cs := [4]byte{c, c ^ 0x1d, c ^ 0xa7, Mul(c, 29) ^ 3}
+		var got4, want4 [4][]byte
+		for r := 0; r < 4; r++ {
+			got4[r], want4[r] = mkDst(0x33 + byte(r))
+			AddMulScalar(want4[r], src, cs[r])
+		}
+		AddMul4(got4[0], got4[1], got4[2], got4[3], src, cs[0], cs[1], cs[2], cs[3])
+		for r := 0; r < 4; r++ {
+			if !bytes.Equal(got4[r], want4[r]) {
+				t.Fatalf("n=%d off=%d cs=%v row=%d: AddMul4 diverges from AddMulScalar", n, off, cs, r)
+			}
+		}
+
+		// Xor: dispatch vs scalar.
+		d, w = mkDst(0x44)
+		Xor(d, src)
+		XorScalar(w, src)
+		if !bytes.Equal(d, w) {
+			t.Fatalf("n=%d off=%d: Xor diverges from XorScalar", n, off)
+		}
+	})
+}

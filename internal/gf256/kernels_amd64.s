@@ -1,0 +1,190 @@
+//go:build amd64 && !purego
+
+// AVX2 GF(2^8) slice kernels: low/high nibble shuffle tables (Plank et
+// al., FAST 2013). All loops require n to be a positive multiple of 32;
+// the Go wrappers split off the tail. Loads and stores are unaligned
+// (VMOVDQU), so the wrappers never need to align pooled buffers.
+
+#include "textflag.h"
+
+// func cpuHasAVX2() bool
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	// CPUID.1: ECX bit 27 = OSXSAVE, bit 28 = AVX.
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, BX
+	ANDL $(1<<27 | 1<<28), BX
+	CMPL BX, $(1<<27 | 1<<28)
+	JNE  no
+	// XCR0 bits 1,2: OS saves XMM and YMM state.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	// CPUID.7.0: EBX bit 5 = AVX2.
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	SHRL $5, BX
+	ANDL $1, BX
+	MOVB BX, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func addMulAVX2(dst, src *byte, n int, lo, hi *[16]byte)
+// dst[i] ^= lo[src[i]&0x0f] ^ hi[src[i]>>4] for i in [0,n), n % 32 == 0.
+TEXT ·addMulAVX2(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ lo+24(FP), AX
+	MOVQ hi+32(FP), BX
+	VBROADCASTI128 (AX), Y0 // low-nibble product table in both lanes
+	VBROADCASTI128 (BX), Y1 // high-nibble product table
+	MOVQ $15, AX
+	MOVQ AX, X2
+	VPBROADCASTB X2, Y2     // 0x0f in every byte lane
+	// 64-byte main loop: two independent shuffle chains per iteration.
+	CMPQ CX, $64
+	JB   tail32
+loop64:
+	VMOVDQU (SI), Y3
+	VMOVDQU 32(SI), Y6
+	VPSRLQ  $4, Y3, Y4
+	VPSRLQ  $4, Y6, Y7
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y6, Y6
+	VPAND   Y2, Y4, Y4
+	VPAND   Y2, Y7, Y7
+	VPSHUFB Y3, Y0, Y3
+	VPSHUFB Y6, Y0, Y6
+	VPSHUFB Y4, Y1, Y4
+	VPSHUFB Y7, Y1, Y7
+	VPXOR   Y3, Y4, Y3
+	VPXOR   Y6, Y7, Y6
+	VPXOR   (DI), Y3, Y3
+	VPXOR   32(DI), Y6, Y6
+	VMOVDQU Y3, (DI)
+	VMOVDQU Y6, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	CMPQ    CX, $64
+	JAE     loop64
+tail32:
+	TESTQ CX, CX
+	JZ    done
+	VMOVDQU (SI), Y3
+	VPSRLQ  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y3
+	VPSHUFB Y4, Y1, Y4
+	VPXOR   Y3, Y4, Y3
+	VPXOR   (DI), Y3, Y3
+	VMOVDQU Y3, (DI)
+done:
+	VZEROUPPER
+	RET
+
+// func addMul4AVX2(d0, d1, d2, d3, src *byte, n int, tab *[8][16]byte)
+// Four multiply-accumulates per source load: tab holds lo/hi nibble
+// tables for the four coefficients, back to back. n % 32 == 0, n > 0.
+TEXT ·addMul4AVX2(SB), NOSPLIT, $0-56
+	MOVQ d0+0(FP), DI
+	MOVQ d1+8(FP), R8
+	MOVQ d2+16(FP), R9
+	MOVQ d3+24(FP), R10
+	MOVQ src+32(FP), SI
+	MOVQ n+40(FP), CX
+	MOVQ tab+48(FP), AX
+	VBROADCASTI128 (AX), Y0    // lo0
+	VBROADCASTI128 16(AX), Y1  // hi0
+	VBROADCASTI128 32(AX), Y2  // lo1
+	VBROADCASTI128 48(AX), Y3  // hi1
+	VBROADCASTI128 64(AX), Y4  // lo2
+	VBROADCASTI128 80(AX), Y5  // hi2
+	VBROADCASTI128 96(AX), Y6  // lo3
+	VBROADCASTI128 112(AX), Y7 // hi3
+	MOVQ $15, AX
+	MOVQ AX, X8
+	VPBROADCASTB X8, Y8        // 0x0f mask
+loop:
+	VMOVDQU (SI), Y9
+	VPSRLQ  $4, Y9, Y10
+	VPAND   Y8, Y9, Y9         // low nibbles
+	VPAND   Y8, Y10, Y10       // high nibbles
+	VPSHUFB Y9, Y0, Y11
+	VPSHUFB Y10, Y1, Y12
+	VPXOR   Y11, Y12, Y11
+	VPXOR   (DI), Y11, Y11
+	VMOVDQU Y11, (DI)
+	VPSHUFB Y9, Y2, Y13
+	VPSHUFB Y10, Y3, Y14
+	VPXOR   Y13, Y14, Y13
+	VPXOR   (R8), Y13, Y13
+	VMOVDQU Y13, (R8)
+	VPSHUFB Y9, Y4, Y11
+	VPSHUFB Y10, Y5, Y12
+	VPXOR   Y11, Y12, Y11
+	VPXOR   (R9), Y11, Y11
+	VMOVDQU Y11, (R9)
+	VPSHUFB Y9, Y6, Y13
+	VPSHUFB Y10, Y7, Y14
+	VPXOR   Y13, Y14, Y13
+	VPXOR   (R10), Y13, Y13
+	VMOVDQU Y13, (R10)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	ADDQ    $32, R8
+	ADDQ    $32, R9
+	ADDQ    $32, R10
+	SUBQ    $32, CX
+	JNZ     loop
+	VZEROUPPER
+	RET
+
+// func xorAVX2(dst, src *byte, n int)
+// dst[i] ^= src[i] for i in [0,n), n % 32 == 0, n > 0.
+TEXT ·xorAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	CMPQ CX, $128
+	JB   tail32
+loop128:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VMOVDQU 64(SI), Y2
+	VMOVDQU 96(SI), Y3
+	VPXOR   (DI), Y0, Y0
+	VPXOR   32(DI), Y1, Y1
+	VPXOR   64(DI), Y2, Y2
+	VPXOR   96(DI), Y3, Y3
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	VMOVDQU Y2, 64(DI)
+	VMOVDQU Y3, 96(DI)
+	ADDQ    $128, SI
+	ADDQ    $128, DI
+	SUBQ    $128, CX
+	CMPQ    CX, $128
+	JAE     loop128
+tail32:
+	TESTQ CX, CX
+	JZ    done
+tailloop:
+	VMOVDQU (SI), Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     tailloop
+done:
+	VZEROUPPER
+	RET

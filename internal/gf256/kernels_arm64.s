@@ -1,0 +1,125 @@
+//go:build arm64 && !purego
+
+// NEON GF(2^8) slice kernels: low/high nibble shuffle tables realised
+// with TBL 16-entry lookups, two quadwords (32 bytes) per iteration.
+// All loops require n to be a positive multiple of 32; the Go wrappers
+// split off the tail.
+
+#include "textflag.h"
+
+// func addMulNEON(dst, src *byte, n int, lo, hi *[16]byte)
+// dst[i] ^= lo[src[i]&0x0f] ^ hi[src[i]>>4] for i in [0,n), n % 32 == 0.
+TEXT ·addMulNEON(SB), NOSPLIT, $0-40
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD n+16(FP), R2
+	MOVD lo+24(FP), R3
+	MOVD hi+32(FP), R4
+	VLD1 (R3), [V0.B16] // low-nibble product table
+	VLD1 (R4), [V1.B16] // high-nibble product table
+	MOVD $15, R5
+	VMOV R5, V2.B16     // 0x0f in every byte lane
+loop:
+	VLD1.P 32(R1), [V3.B16, V4.B16]
+	VUSHR  $4, V3.B16, V5.B16
+	VUSHR  $4, V4.B16, V6.B16
+	VAND   V2.B16, V3.B16, V3.B16
+	VAND   V2.B16, V4.B16, V4.B16
+	VTBL   V3.B16, [V0.B16], V3.B16
+	VTBL   V4.B16, [V0.B16], V4.B16
+	VTBL   V5.B16, [V1.B16], V5.B16
+	VTBL   V6.B16, [V1.B16], V6.B16
+	VEOR   V5.B16, V3.B16, V3.B16
+	VEOR   V6.B16, V4.B16, V4.B16
+	VLD1   (R0), [V7.B16, V8.B16]
+	VEOR   V7.B16, V3.B16, V3.B16
+	VEOR   V8.B16, V4.B16, V4.B16
+	VST1.P [V3.B16, V4.B16], 32(R0)
+	SUBS   $32, R2, R2
+	BNE    loop
+	RET
+
+// func addMul4NEON(d0, d1, d2, d3, src *byte, n int, tab *[8][16]byte)
+// Four multiply-accumulates per source load: tab holds lo/hi nibble
+// tables for the four coefficients, back to back. n % 32 == 0, n > 0.
+TEXT ·addMul4NEON(SB), NOSPLIT, $0-56
+	MOVD d0+0(FP), R0
+	MOVD d1+8(FP), R5
+	MOVD d2+16(FP), R6
+	MOVD d3+24(FP), R7
+	MOVD src+32(FP), R1
+	MOVD n+40(FP), R2
+	MOVD tab+48(FP), R3
+	VLD1.P 64(R3), [V0.B16, V1.B16, V2.B16, V3.B16] // lo0 hi0 lo1 hi1
+	VLD1   (R3), [V4.B16, V5.B16, V6.B16, V7.B16]   // lo2 hi2 lo3 hi3
+	MOVD   $15, R4
+	VMOV   R4, V8.B16
+loop:
+	VLD1.P 32(R1), [V9.B16, V10.B16]
+	VUSHR  $4, V9.B16, V11.B16
+	VUSHR  $4, V10.B16, V12.B16
+	VAND   V8.B16, V9.B16, V9.B16
+	VAND   V8.B16, V10.B16, V10.B16
+	// destination row 0
+	VTBL   V9.B16, [V0.B16], V13.B16
+	VTBL   V10.B16, [V0.B16], V14.B16
+	VTBL   V11.B16, [V1.B16], V15.B16
+	VTBL   V12.B16, [V1.B16], V16.B16
+	VEOR   V15.B16, V13.B16, V13.B16
+	VEOR   V16.B16, V14.B16, V14.B16
+	VLD1   (R0), [V15.B16, V16.B16]
+	VEOR   V15.B16, V13.B16, V13.B16
+	VEOR   V16.B16, V14.B16, V14.B16
+	VST1.P [V13.B16, V14.B16], 32(R0)
+	// destination row 1
+	VTBL   V9.B16, [V2.B16], V13.B16
+	VTBL   V10.B16, [V2.B16], V14.B16
+	VTBL   V11.B16, [V3.B16], V15.B16
+	VTBL   V12.B16, [V3.B16], V16.B16
+	VEOR   V15.B16, V13.B16, V13.B16
+	VEOR   V16.B16, V14.B16, V14.B16
+	VLD1   (R5), [V15.B16, V16.B16]
+	VEOR   V15.B16, V13.B16, V13.B16
+	VEOR   V16.B16, V14.B16, V14.B16
+	VST1.P [V13.B16, V14.B16], 32(R5)
+	// destination row 2
+	VTBL   V9.B16, [V4.B16], V13.B16
+	VTBL   V10.B16, [V4.B16], V14.B16
+	VTBL   V11.B16, [V5.B16], V15.B16
+	VTBL   V12.B16, [V5.B16], V16.B16
+	VEOR   V15.B16, V13.B16, V13.B16
+	VEOR   V16.B16, V14.B16, V14.B16
+	VLD1   (R6), [V15.B16, V16.B16]
+	VEOR   V15.B16, V13.B16, V13.B16
+	VEOR   V16.B16, V14.B16, V14.B16
+	VST1.P [V13.B16, V14.B16], 32(R6)
+	// destination row 3
+	VTBL   V9.B16, [V6.B16], V13.B16
+	VTBL   V10.B16, [V6.B16], V14.B16
+	VTBL   V11.B16, [V7.B16], V15.B16
+	VTBL   V12.B16, [V7.B16], V16.B16
+	VEOR   V15.B16, V13.B16, V13.B16
+	VEOR   V16.B16, V14.B16, V14.B16
+	VLD1   (R7), [V15.B16, V16.B16]
+	VEOR   V15.B16, V13.B16, V13.B16
+	VEOR   V16.B16, V14.B16, V14.B16
+	VST1.P [V13.B16, V14.B16], 32(R7)
+	SUBS   $32, R2, R2
+	BNE    loop
+	RET
+
+// func xorNEON(dst, src *byte, n int)
+// dst[i] ^= src[i] for i in [0,n), n % 32 == 0, n > 0.
+TEXT ·xorNEON(SB), NOSPLIT, $0-24
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD n+16(FP), R2
+loop:
+	VLD1.P 32(R1), [V0.B16, V1.B16]
+	VLD1   (R0), [V2.B16, V3.B16]
+	VEOR   V2.B16, V0.B16, V0.B16
+	VEOR   V3.B16, V1.B16, V1.B16
+	VST1.P [V0.B16, V1.B16], 32(R0)
+	SUBS   $32, R2, R2
+	BNE    loop
+	RET

@@ -133,7 +133,17 @@ func TestRowBlockedLengthMismatchPanics(t *testing.T) {
 	}
 }
 
-// Old-vs-new kernel benchmarks, consumed by scripts/bench_codec.sh.
+// TestKernelTier logs the tier the dispatch selected; scripts/
+// bench_codec.sh scrapes the line into BENCH_codec.json.
+func TestKernelTier(t *testing.T) {
+	t.Logf("kernel tier: %s", Tier())
+}
+
+// Per-tier kernel benchmarks, consumed by scripts/bench_codec.sh: the
+// unsuffixed benchmarks measure the dispatch entry points (the SIMD
+// tier where the CPU has one), *Unrolled the tuned pure-Go table
+// kernels the dispatch falls back to, *Table the previous byte-at-a-
+// time defaults, and *Scalar the log/exp references.
 
 func benchPair(n int) (dst, src []byte) {
 	rng := rand.New(rand.NewSource(9))
@@ -172,6 +182,14 @@ func BenchmarkAddMulKernelNibble(b *testing.B) {
 	}
 }
 
+func BenchmarkAddMulKernelUnrolled(b *testing.B) {
+	dst, src := benchPair(1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		addMulUnrolled(dst, src, 0x53)
+	}
+}
+
 func BenchmarkAddMul4Kernel(b *testing.B) {
 	d0, src := benchPair(1024)
 	d1, _ := benchPair(1024)
@@ -183,11 +201,44 @@ func BenchmarkAddMul4Kernel(b *testing.B) {
 	}
 }
 
+func BenchmarkAddMul4KernelUnrolled(b *testing.B) {
+	d0, src := benchPair(1024)
+	d1, _ := benchPair(1024)
+	d2, _ := benchPair(1024)
+	d3, _ := benchPair(1024)
+	b.SetBytes(4 * 1024)
+	for i := 0; i < b.N; i++ {
+		addMul4Unrolled(d0, d1, d2, d3, src, 0x53, 0x7e, 0x11, 0xc8)
+	}
+}
+
+func BenchmarkAddMul4KernelScalar(b *testing.B) {
+	d0, src := benchPair(1024)
+	d1, _ := benchPair(1024)
+	d2, _ := benchPair(1024)
+	d3, _ := benchPair(1024)
+	b.SetBytes(4 * 1024)
+	for i := 0; i < b.N; i++ {
+		AddMulScalar(d0, src, 0x53)
+		AddMulScalar(d1, src, 0x7e)
+		AddMulScalar(d2, src, 0x11)
+		AddMulScalar(d3, src, 0xc8)
+	}
+}
+
 func BenchmarkXorKernel(b *testing.B) {
 	dst, src := benchPair(1024)
 	b.SetBytes(1024)
 	for i := 0; i < b.N; i++ {
 		Xor(dst, src)
+	}
+}
+
+func BenchmarkXorKernelWords(b *testing.B) {
+	dst, src := benchPair(1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		xorWords(dst, src)
 	}
 }
 

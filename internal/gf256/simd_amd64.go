@@ -1,0 +1,68 @@
+//go:build amd64 && !purego
+
+package gf256
+
+// AVX2 nibble shuffle-table kernels. Each coefficient's 256-entry product
+// row factors into two 16-entry tables (mulLow/mulHigh, built at init):
+// c*x = lo[x&0x0f] ^ hi[x>>4]. VPSHUFB performs 32 of those 16-entry
+// lookups per instruction, so one loop iteration multiplies 32 source
+// bytes against a coefficient with two shuffles and three XORs — the
+// technique of Plank et al. (FAST 2013) used by klauspost/reedsolomon.
+
+// simdEnabled gates the SIMD tier: the nibble tables need AVX2, and the
+// OS must have enabled YMM state.
+var simdEnabled = cpuHasAVX2()
+
+const simdTierName = "avx2"
+
+// cpuHasAVX2 reports AVX2 support: CPU flags (AVX, AVX2, OSXSAVE) plus
+// XGETBV confirming the OS saves XMM/YMM state.
+func cpuHasAVX2() bool
+
+//go:noescape
+func addMulAVX2(dst, src *byte, n int, lo, hi *[16]byte)
+
+//go:noescape
+func addMul4AVX2(d0, d1, d2, d3, src *byte, n int, tab *[8][16]byte)
+
+//go:noescape
+func xorAVX2(dst, src *byte, n int)
+
+// addMulSIMD runs the vector kernel over the 32-byte-aligned body and
+// the table kernel over the tail. Callers guarantee len(src) >= 32 and
+// c > 1.
+func addMulSIMD(dst, src []byte, c byte) {
+	n := len(src) &^ 31
+	addMulAVX2(&dst[0], &src[0], n, &mulLow[c], &mulHigh[c])
+	if n < len(src) {
+		addMulUnrolled(dst[n:], src[n:], c)
+	}
+}
+
+// addMul4SIMD is the four-destination-row vector kernel: the eight
+// nibble tables (lo/hi per coefficient) are gathered into one block so
+// the assembly loads them with eight broadcasts and keeps all of them
+// in registers for the whole pass. Callers guarantee len(src) >= 32 and
+// all coefficients > 1.
+func addMul4SIMD(d0, d1, d2, d3, src []byte, c0, c1, c2, c3 byte) {
+	var tab [8][16]byte
+	tab[0], tab[1] = mulLow[c0], mulHigh[c0]
+	tab[2], tab[3] = mulLow[c1], mulHigh[c1]
+	tab[4], tab[5] = mulLow[c2], mulHigh[c2]
+	tab[6], tab[7] = mulLow[c3], mulHigh[c3]
+	n := len(src) &^ 31
+	addMul4AVX2(&d0[0], &d1[0], &d2[0], &d3[0], &src[0], n, &tab)
+	if n < len(src) {
+		addMul4Unrolled(d0[n:], d1[n:], d2[n:], d3[n:], src[n:], c0, c1, c2, c3)
+	}
+}
+
+// xorSIMD XORs the 32-byte-aligned body with YMM loads and hands the
+// tail to the word-wide kernel. Callers guarantee len(dst) >= 64.
+func xorSIMD(dst, src []byte) {
+	n := len(dst) &^ 31
+	xorAVX2(&dst[0], &src[0], n)
+	if n < len(dst) {
+		xorWords(dst[n:], src[n:])
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"fecperf/internal/gf256"
+	"fecperf/internal/symbol"
 )
 
 // ErrSingular is returned when attempting to invert a singular matrix.
@@ -29,6 +30,28 @@ func New(rows, cols int) *Matrix {
 		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", rows, cols))
 	}
 	return &Matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+// NewPooled returns a zero rows×cols matrix whose storage comes from the
+// symbol pool — decode scratch that hot paths borrow and Release instead
+// of allocating. The largest Reed-Solomon geometry (255×255) fits the
+// pool's top size class, so these never fall back to the allocator.
+// Returned by value so the header can live on the caller's stack.
+func NewPooled(rows, cols int) Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", rows, cols))
+	}
+	return Matrix{rows: rows, cols: cols, data: symbol.Get(rows * cols)}
+}
+
+// Release returns a pooled matrix's storage to the symbol pool and
+// leaves the matrix unusable. Safe to call on non-pooled matrices (the
+// pool rejects foreign buffers) and idempotent.
+func (m *Matrix) Release() {
+	if m.data != nil {
+		symbol.Put(m.data)
+		m.data = nil
+	}
 }
 
 // Identity returns the n×n identity matrix.
@@ -152,46 +175,65 @@ func (m *Matrix) MulVec(dst, src [][]byte) {
 // pivoting (any non-zero pivot works in a field). It returns ErrSingular if
 // m is not invertible and panics if m is not square.
 func (m *Matrix) Inverse() (*Matrix, error) {
+	a := m.Clone()
+	inv := New(m.rows, m.cols)
+	if err := a.InvertTo(inv); err != nil {
+		return nil, err
+	}
+	return inv, nil
+}
+
+// InvertTo computes m^-1 into dst without allocating: m itself is the
+// elimination workspace (reduced to the identity on success, garbage on
+// failure) and dst — which must share m's square shape — is overwritten
+// starting from the identity. Decode paths pair it with NewPooled
+// scratch so a block inversion touches the allocator zero times.
+func (m *Matrix) InvertTo(dst *Matrix) error {
 	if m.rows != m.cols {
 		panic("matrix: Inverse of non-square matrix")
 	}
+	if dst.rows != m.rows || dst.cols != m.cols {
+		panic(fmt.Sprintf("matrix: InvertTo into %dx%d, want %dx%d", dst.rows, dst.cols, m.rows, m.cols))
+	}
 	n := m.rows
-	a := m.Clone()
-	inv := Identity(n)
+	clear(dst.data)
+	for i := 0; i < n; i++ {
+		dst.Set(i, i, 1)
+	}
 	for col := 0; col < n; col++ {
 		// Find a pivot at or below the diagonal.
 		pivot := -1
 		for r := col; r < n; r++ {
-			if a.At(r, col) != 0 {
+			if m.At(r, col) != 0 {
 				pivot = r
 				break
 			}
 		}
 		if pivot < 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if pivot != col {
-			a.swapRows(pivot, col)
-			inv.swapRows(pivot, col)
+			m.swapRows(pivot, col)
+			dst.swapRows(pivot, col)
 		}
 		// Scale the pivot row so the pivot becomes 1.
-		if p := a.At(col, col); p != 1 {
+		if p := m.At(col, col); p != 1 {
 			ip := gf256.Inv(p)
-			gf256.MulSlice(a.Row(col), a.Row(col), ip)
-			gf256.MulSlice(inv.Row(col), inv.Row(col), ip)
+			gf256.MulSlice(m.Row(col), m.Row(col), ip)
+			gf256.MulSlice(dst.Row(col), dst.Row(col), ip)
 		}
 		// Eliminate the column everywhere else.
 		for r := 0; r < n; r++ {
 			if r == col {
 				continue
 			}
-			if c := a.At(r, col); c != 0 {
-				gf256.AddMul(a.Row(r), a.Row(col), c)
-				gf256.AddMul(inv.Row(r), inv.Row(col), c)
+			if c := m.At(r, col); c != 0 {
+				gf256.AddMul(m.Row(r), m.Row(col), c)
+				gf256.AddMul(dst.Row(r), dst.Row(col), c)
 			}
 		}
 	}
-	return inv, nil
+	return nil
 }
 
 func (m *Matrix) swapRows(i, j int) {

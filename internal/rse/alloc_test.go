@@ -1,0 +1,76 @@
+package rse
+
+import (
+	"testing"
+
+	"fecperf/internal/symbol"
+)
+
+// Alloc ceilings for the payload codec hot paths. Encode's only steady-
+// state allocation is the parity slice header; decode's scratch (block
+// matrices, inversion workspace, rhs) is pooled or reused on the
+// decoder, so what remains is the decoder's own fixed setup. The
+// pre-pooling baseline was 12 decode allocs/op (BENCH_codec).
+
+func TestCodecEncodeAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; ceilings gate the plain tier")
+	}
+	c, src := benchSource(t)
+	run := func() {
+		parity, err := c.Encode(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		symbol.PutAll(parity)
+	}
+	run() // warm the pools and build the generator
+	if avg := testing.AllocsPerRun(50, run); avg > 2 {
+		t.Errorf("Encode allocs/op = %.1f, want <= 2", avg)
+	}
+}
+
+func TestCodecDecodeAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; ceilings gate the plain tier")
+	}
+	c, src := benchSource(t)
+	parity, err := c.Encode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer symbol.PutAll(parity)
+	n := c.Layout().N
+
+	// Parity-heavy delivery: drop the first half of the sources so the
+	// decoder must invert.
+	run := func() {
+		dec, err := c.NewDecoder(benchSymLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := false
+		for id := benchK / 2; id < n && !done; id++ {
+			var pay []byte
+			if id < benchK {
+				pay = src[id]
+			} else {
+				pay = parity[id-benchK]
+			}
+			done = dec.ReceivePayload(id, pay)
+		}
+		if !done {
+			t.Fatalf("decoder did not finish from %d of %d symbols", n-benchK/2, n)
+		}
+		for i := 0; i < benchK; i++ {
+			if dec.Source(i) == nil {
+				t.Fatalf("source %d missing", i)
+			}
+		}
+		dec.Close()
+	}
+	run() // warm the pools
+	if avg := testing.AllocsPerRun(50, run); avg > 8 {
+		t.Errorf("decode allocs/op = %.1f, want <= 8", avg)
+	}
+}

@@ -28,8 +28,17 @@ func (c *Code) NewDecoder(symLen int) (core.PayloadDecoder, error) {
 		blocks:  make([]pdBlock, len(c.blocks)),
 		pending: len(c.blocks),
 	}
+	// One backing array serves every block's received-bitmap: segmented
+	// objects otherwise pay one allocation per block here.
+	total := 0
+	for _, bd := range c.blocks {
+		total += bd.nb
+	}
+	gotAll := make([]bool, total)
+	off := 0
 	for i, bd := range c.blocks {
-		d.blocks[i].got = make([]bool, bd.nb)
+		d.blocks[i].got = gotAll[off : off+bd.nb : off+bd.nb]
+		off += bd.nb
 	}
 	return d, nil
 }
@@ -41,6 +50,7 @@ type payloadDecoder struct {
 	blocks  []pdBlock
 	pending int // blocks not yet decoded
 	srcRec  int
+	rhs     [][]byte // decodeBlock scratch, reused across blocks
 }
 
 // pdBlock buffers one in-flight block. Received source payloads go
@@ -100,10 +110,16 @@ func (d *payloadDecoder) decodeBlock(bi int) {
 	if missing > 0 {
 		// Select the k_b received rows of the systematic matrix (identity
 		// for sources, generator rows for parity), invert, and multiply
-		// only the rows of missing sources.
+		// only the rows of missing sources. All scratch is pooled or
+		// reused: matrices borrow pool buffers, rhs persists on the
+		// decoder, so a block decode costs zero heap allocations.
 		g := d.code.generator(bd.kb, bd.nb)
-		rows := matrix.New(bd.kb, bd.kb)
-		rhs := make([][]byte, 0, bd.kb)
+		rows := matrix.NewPooled(bd.kb, bd.kb)
+		inv := matrix.NewPooled(bd.kb, bd.kb)
+		if cap(d.rhs) < bd.kb {
+			d.rhs = make([][]byte, 0, bd.kb)
+		}
+		rhs := d.rhs[:0]
 		for esi, used := 0, 0; esi < bd.nb && used < bd.kb; esi++ {
 			if !b.got[esi] {
 				continue
@@ -117,8 +133,7 @@ func (d *payloadDecoder) decodeBlock(bi int) {
 			}
 			used++
 		}
-		inv, err := rows.Inverse()
-		if err != nil {
+		if err := rows.InvertTo(&inv); err != nil {
 			// Any kb distinct rows of a systematic MDS matrix are
 			// independent; reaching this is a construction bug.
 			panic(fmt.Sprintf("rse: decode matrix singular (should be impossible for MDS): %v", err))
@@ -137,6 +152,8 @@ func (d *payloadDecoder) decodeBlock(bi int) {
 			d.src[bd.srcOff+esi] = out
 			d.srcRec++
 		}
+		rows.Release()
+		inv.Release()
 	}
 	symbol.PutAll(b.parity)
 	b.parity = nil

@@ -19,7 +19,7 @@ const (
 	benchRatio  = 1.5
 )
 
-func benchSource(b *testing.B) (*Code, [][]byte) {
+func benchSource(b testing.TB) (*Code, [][]byte) {
 	b.Helper()
 	c, err := New(Params{K: benchK, Ratio: benchRatio})
 	if err != nil {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package rse
+
+const raceEnabled = false

@@ -33,9 +33,33 @@ func benchDraw(b *testing.B, s core.Scheduler) {
 	}
 }
 
-// benchWalk measures a draw plus a full sequential evaluation — the
-// whole per-trial schedule cost including At.
+// benchWalk measures a draw plus a full sequential evaluation through a
+// Cursor — how RunTrial, the session sender and the transport carousel
+// actually walk a schedule. The cursor draws ids in batches, amortising
+// the Feistel walk's serial latency across interleaved lanes; expect 0
+// allocs/op.
 func benchWalk(b *testing.B, s core.Scheduler) {
+	l := benchLayout()
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := s.Schedule(l, r)
+		cur := sc.Cursor()
+		for {
+			id, ok := cur.Next()
+			if !ok {
+				break
+			}
+			benchSink += id
+		}
+	}
+}
+
+// benchWalkAt is the same walk through per-position At calls — the
+// random-access path, kept as its own row so the batched-cursor gain
+// over it stays visible.
+func benchWalkAt(b *testing.B, s core.Scheduler) {
 	l := benchLayout()
 	r := rand.New(rand.NewSource(1))
 	b.ReportAllocs()
@@ -56,6 +80,8 @@ func BenchmarkScheduleDrawTx6(b *testing.B) { benchDraw(b, TxModel6{}) }
 func BenchmarkScheduleWalkTx2(b *testing.B) { benchWalk(b, TxModel2{}) }
 func BenchmarkScheduleWalkTx4(b *testing.B) { benchWalk(b, TxModel4{}) }
 func BenchmarkScheduleWalkTx6(b *testing.B) { benchWalk(b, TxModel6{}) }
+
+func BenchmarkScheduleWalkAtTx4(b *testing.B) { benchWalkAt(b, TxModel4{}) }
 
 func BenchmarkScheduleWalkTx5MultiBlock(b *testing.B) {
 	l := rseLayout(196, 102, 153)

@@ -1,0 +1,115 @@
+package session
+
+import (
+	"testing"
+
+	"fecperf/internal/wire"
+)
+
+// Alloc ceilings for the session hot paths, asserting the flat pooled
+// design: encode scatters straight into pooled symbols through a cached
+// codec (baseline before the rewrite: 40 allocs/op), a full receive+
+// decode cycle reuses pooled decoder scratch (baseline: 115), and
+// steady-state datagram ingest — scratch header, pooled payload copy —
+// allocates nothing at all (baseline: 7).
+
+func TestSessionEncodeAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; ceilings gate the plain tier")
+	}
+	data := benchData(64 << 10)
+	cfg := SenderConfig{ObjectID: 1, Family: wire.CodeRSE, Ratio: 1.5, PayloadSize: 1024}
+	run := func() {
+		obj, err := EncodeObject(data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj.Close()
+	}
+	run() // warm the pools and the codec cache
+	if avg := testing.AllocsPerRun(50, run); avg > 4 {
+		t.Errorf("EncodeObject allocs/op = %.1f, want <= 4", avg)
+	}
+}
+
+func TestSessionDecodeAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; ceilings gate the plain tier")
+	}
+	data := benchData(64 << 10)
+	cfg := SenderConfig{ObjectID: 1, Family: wire.CodeRSE, Ratio: 1.5, PayloadSize: 1024}
+	obj, err := EncodeObject(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	// Parity-heavy delivery so the decoder must invert: skip the first
+	// quarter of the sources and backfill with parity.
+	k, n := obj.K(), obj.N()
+	var datagrams [][]byte
+	for id := k / 4; id < n; id++ {
+		d, err := obj.Datagram(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		datagrams = append(datagrams, d)
+	}
+	run := func() {
+		rx := NewReceiver()
+		for _, d := range datagrams {
+			_, done, out, err := rx.Ingest(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				if len(out) != len(data) {
+					t.Fatalf("decoded %d bytes, want %d", len(out), len(data))
+				}
+				return
+			}
+		}
+		t.Fatal("object did not decode")
+	}
+	run() // warm the pools and the codec cache
+	if avg := testing.AllocsPerRun(50, run); avg > 16 {
+		t.Errorf("receive+decode allocs/op = %.1f, want <= 16", avg)
+	}
+}
+
+func TestSessionIngestAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; ceilings gate the plain tier")
+	}
+	data := benchData(256 << 10)
+	cfg := SenderConfig{ObjectID: 1, Family: wire.CodeLDGMStaircase, Ratio: 2.5, PayloadSize: 1024, Seed: 9}
+	obj, err := EncodeObject(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	datagrams := make([][]byte, obj.N())
+	for id := range datagrams {
+		d, err := obj.Datagram(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		datagrams[id] = d
+	}
+	// Steady-state ingest: k=256, so the warm-up plus 100 measured
+	// datagrams never complete the object (completion would tear down
+	// the receiver's state and cloud the measurement).
+	rx := NewReceiver()
+	fed := 0
+	run := func() {
+		if _, done, _, err := rx.Ingest(datagrams[fed]); err != nil {
+			t.Fatal(err)
+		} else if done {
+			t.Fatal("object completed mid-measurement")
+		}
+		fed++
+	}
+	run() // warm the pools and per-object state
+	if avg := testing.AllocsPerRun(100, run); avg > 4 {
+		t.Errorf("Ingest allocs/op = %.1f, want <= 4", avg)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"fecperf/internal/codes"
+	"fecperf/internal/symbol"
 	"fecperf/internal/wire"
 )
 
@@ -29,6 +31,39 @@ func BenchmarkSessionEncode(b *testing.B) {
 			b.Fatal(err)
 		}
 		obj.Close()
+	}
+}
+
+// BenchmarkSessionEncodeRawCodec is the raw codec run over exactly the
+// geometry BenchmarkSessionEncode produces (same k, symbol size and
+// ratio — per-source-byte parity work scales with n-k, so MB/s is only
+// comparable at matched geometry). The session/raw ratio is the session
+// layer's true overhead; scripts/bench_codec.sh tracks it.
+func BenchmarkSessionEncodeRawCodec(b *testing.B) {
+	data := benchData(64 << 10)
+	const payload = 1024
+	k := (lengthPrefix + len(data) + payload - 1) / payload
+	code, err := codes.ForFamily(wire.CodeRSE, k, 1.5, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := make([][]byte, k)
+	for i := range src {
+		src[i] = make([]byte, payload)
+		lo := i * payload
+		if lo < len(data) {
+			copy(src[i], data[lo:])
+		}
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parity, err := code.Encode(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		symbol.PutAll(parity)
 	}
 }
 

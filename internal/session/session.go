@@ -98,27 +98,34 @@ func EncodeObject(data []byte, cfg SenderConfig) (*Object, error) {
 	if in != nil {
 		start = time.Now()
 	}
-	buf := make([]byte, lengthPrefix+len(data))
-	binary.BigEndian.PutUint64(buf, uint64(len(data)))
-	copy(buf[lengthPrefix:], data)
-
-	k := (len(buf) + cfg.PayloadSize - 1) / cfg.PayloadSize
-	src := make([][]byte, k)
-	for i := range src {
-		src[i] = symbol.Get(cfg.PayloadSize)
-		lo := i * cfg.PayloadSize
-		hi := lo + cfg.PayloadSize
-		if hi > len(buf) {
-			hi = len(buf)
-		}
-		copy(src[i], buf[lo:hi])
-	}
-
-	code, err := codes.ForFamily(cfg.Family, k, cfg.Ratio, cfg.Seed)
+	// Resolve the codec before touching the pool: geometries repeat
+	// across objects, so this is a cache hit on every object but the
+	// first — previously the codec (and for RSE its inverted Vandermonde
+	// generator) was rebuilt per object, which dominated encode time.
+	k := (lengthPrefix + len(data) + cfg.PayloadSize - 1) / cfg.PayloadSize
+	code, err := codes.CachedForFamily(cfg.Family, k, cfg.Ratio, cfg.Seed)
 	if err != nil {
-		symbol.PutAll(src)
 		return nil, fmt.Errorf("session: %w", err)
 	}
+
+	// Scatter the virtual stream (length prefix ++ data) straight into
+	// pooled symbols — no contiguous staging copy. Get zeroes its
+	// buffers, so the final symbol's padding is already in place.
+	var pre [lengthPrefix]byte
+	binary.BigEndian.PutUint64(pre[:], uint64(len(data)))
+	src := make([][]byte, k, code.Layout().N)
+	off := 0
+	for i := range src {
+		s := symbol.Get(cfg.PayloadSize)
+		src[i] = s
+		if off < lengthPrefix {
+			n := copy(s, pre[off:])
+			off += n
+			s = s[n:]
+		}
+		off += copy(s, data[off-lengthPrefix:])
+	}
+
 	parity, err := code.Encode(src)
 	if err != nil {
 		symbol.PutAll(src)
@@ -209,7 +216,8 @@ func (o *Object) Schedule(rng *rand.Rand) core.Schedule {
 // Each datagram is freshly allocated; emit may retain it.
 func (o *Object) Send(rng *rand.Rand, emit func([]byte) error) error {
 	schedule := o.Schedule(rng)
-	for cur := schedule.Cursor(); ; {
+	cur := schedule.Cursor()
+	for {
 		id, ok := cur.Next()
 		if !ok {
 			return nil
@@ -229,6 +237,7 @@ func (o *Object) Send(rng *rand.Rand, emit func([]byte) error) error {
 type Receiver struct {
 	objects map[uint32]*objectState
 	done    map[uint32][]byte
+	scratch wire.Packet // header scratch reused by Ingest
 }
 
 type objectState struct {
@@ -242,9 +251,14 @@ type objectState struct {
 	start   time.Time // first datagram arrival, for decode latency
 }
 
-// NewReceiver returns an empty receiver.
+// NewReceiver returns an empty receiver. The reassembly maps are
+// pre-sized for a typical multiplexed session so steady-state ingest
+// never grows them.
 func NewReceiver() *Receiver {
-	return &Receiver{objects: make(map[uint32]*objectState), done: make(map[uint32][]byte)}
+	return &Receiver{
+		objects: make(map[uint32]*objectState, 8),
+		done:    make(map[uint32][]byte, 8),
+	}
 }
 
 // Ingest processes one datagram. It returns (objectID, true, data) when
@@ -252,11 +266,13 @@ func NewReceiver() *Receiver {
 // objects are ignored. Malformed datagrams return an error and are
 // otherwise harmless.
 func (r *Receiver) Ingest(datagram []byte) (objectID uint32, complete bool, data []byte, err error) {
-	p, err := wire.Decode(datagram)
-	if err != nil {
+	// Decode into the receiver's scratch packet: the payload decoder
+	// copies what it retains, so nothing outlives this call and the
+	// per-datagram Packet allocation disappears.
+	if err := wire.DecodeTo(&r.scratch, datagram); err != nil {
 		return 0, false, nil, err
 	}
-	return r.IngestPacket(p)
+	return r.IngestPacket(&r.scratch)
 }
 
 // IngestResult describes what one datagram did to the receiver's state.
@@ -377,7 +393,7 @@ func newObjectState(p *wire.Packet) (*objectState, error) {
 	if st.symLen == 0 {
 		return nil, fmt.Errorf("session: zero-length symbol")
 	}
-	code, err := codes.ForWire(p.Family, st.k, st.n, st.seed)
+	code, err := codes.CachedForWire(p.Family, st.k, st.n, st.seed)
 	if err != nil {
 		return nil, fmt.Errorf("session: %w", err)
 	}

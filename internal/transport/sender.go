@@ -107,6 +107,7 @@ type senderObject struct {
 	scheduler core.Scheduler
 	nsent     int           // per-round schedule truncation (0 = all)
 	sched     core.Schedule // current round's order, redrawn each round
+	cur       core.Cursor   // batched walk over sched, rebuilt with it
 	txStarted bool          // first datagram already traced
 }
 
@@ -196,17 +197,27 @@ func (s *Sender) Run(ctx context.Context) error {
 			// Honour the object's Section-6 n_sent truncation, exactly
 			// as session.Object.Send does for a single pass.
 			o.sched = sc.Schedule(o.layout, rng).Truncate(o.nsent)
+			o.cur = o.sched.Cursor()
 		}
-		pos := 0
 		if round == startRound && s.cfg.StartPos > 0 {
-			pos = s.cfg.StartPos
+			// Resume mid-round: random access is O(1), so seeking every
+			// object's cursor costs nothing.
+			for _, o := range s.objs {
+				pos := s.cfg.StartPos
+				if pos > o.sched.Len() {
+					pos = o.sched.Len()
+				}
+				o.cur.Seek(pos)
+			}
 		}
 		// Round-robin interleave across objects: one packet from each
-		// in turn, objects with longer schedules trailing off last.
-		for remaining := len(s.objs); remaining > 0; pos++ {
+		// in turn, objects with longer schedules trailing off last. Each
+		// object's cursor walks its schedule in batched draws.
+		for remaining := len(s.objs); remaining > 0; {
 			remaining = 0
 			for _, o := range s.objs {
-				if pos >= o.sched.Len() {
+				id, ok := o.cur.Next()
+				if !ok {
 					continue
 				}
 				remaining++
@@ -214,7 +225,7 @@ func (s *Sender) Run(ctx context.Context) error {
 					return err
 				}
 				var err error
-				scratch, err = o.obj.AppendDatagram(o.sched.At(pos), scratch[:0])
+				scratch, err = o.obj.AppendDatagram(id, scratch[:0])
 				if err != nil {
 					return fmt.Errorf("transport: encoding object %d: %w", o.obj.ObjectID(), err)
 				}
@@ -229,7 +240,7 @@ func (s *Sender) Run(ctx context.Context) error {
 						tr.Emit(obs.Event{
 							Event:  obs.TraceFirstTx,
 							Object: o.obj.ObjectID(),
-							Packet: o.sched.At(pos),
+							Packet: id,
 							Round:  round,
 							Bytes:  int64(len(scratch)),
 						})

@@ -173,20 +173,33 @@ func (p *Packet) Encode() ([]byte, error) { return p.AppendEncode(nil) }
 // Decode parses a datagram. The returned packet's Payload aliases data;
 // copy it if the buffer is reused.
 func Decode(data []byte) (*Packet, error) {
+	p := new(Packet)
+	if err := DecodeTo(p, data); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DecodeTo parses a datagram into p, the allocation-free variant of
+// Decode for receive loops that reuse one scratch Packet per read
+// buffer. Every field of p is overwritten; p.Payload aliases data, so p
+// is only valid until the buffer is reused. On error p is left in an
+// unspecified state.
+func DecodeTo(p *Packet, data []byte) error {
 	if len(data) < HeaderLen {
-		return nil, ErrTooShort
+		return ErrTooShort
 	}
 	h := data[:HeaderLen]
 	if h[0] != Magic[0] || h[1] != Magic[1] || h[2] != Magic[2] || h[3] != Magic[3] {
-		return nil, ErrBadMagic
+		return ErrBadMagic
 	}
 	if h[4] != Version {
-		return nil, ErrBadVersion
+		return ErrBadVersion
 	}
 	if binary.BigEndian.Uint32(h[36:]) != crc32.ChecksumIEEE(h[:36]) {
-		return nil, ErrBadChecksum
+		return ErrBadChecksum
 	}
-	p := &Packet{
+	*p = Packet{
 		Family:   CodeFamily(h[5]),
 		ObjectID: binary.BigEndian.Uint32(h[8:]),
 		PacketID: binary.BigEndian.Uint32(h[12:]),
@@ -196,11 +209,8 @@ func Decode(data []byte) (*Packet, error) {
 	}
 	payLen := int(binary.BigEndian.Uint32(h[32:]))
 	if len(data) < HeaderLen+payLen {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	p.Payload = data[HeaderLen : HeaderLen+payLen]
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	return p, nil
+	return p.Validate()
 }

@@ -19,7 +19,10 @@ OUT="${2:-BENCH_codec.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'CodecEncode|CodecDecode|Kernel|Session' \
+# TestKernelTier logs which dispatch tier CPU detection picked
+# (avx2 / neon / unrolled / scalar); -v surfaces the log line for the
+# parser so the JSON records what hardware the numbers mean.
+go test -run 'TestKernelTier' -v -bench 'CodecEncode|CodecDecode|Kernel|Session' \
     -benchtime "$BENCHTIME" -count 1 \
     ./internal/rse ./internal/codes ./internal/gf256 ./internal/gf65536 ./internal/session \
     | tee "$RAW"
@@ -35,6 +38,7 @@ awk -v out="$OUT" '
     }
 }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/kernel tier:/ { tier = $NF }
 function fam(tag, enc, dec) {
     printf "    \"%s\": {\"encode_mb_per_sec\": %s, \"encode_allocs_per_op\": %s, \"decode_mb_per_sec\": %s, \"decode_allocs_per_op\": %s}", \
         tag, mbps[enc], allocs[enc], mbps[dec], allocs[dec] >> out
@@ -66,10 +70,16 @@ END {
     fam("ldgm-triangle",  "CodecEncode/ldgm-triangle",  "CodecDecode/ldgm-triangle");  printf ",\n" >> out
     fam("no-fec",         "CodecEncode/no-fec",         "CodecDecode/no-fec");         printf "\n" >> out
     printf "  },\n" >> out
+    printf "  \"gf256_kernel_tier\": \"%s\",\n", tier >> out
     printf "  \"gf256_kernels_mb_per_sec\": {\n" >> out
-    printf "    \"addmul\": %s, \"addmul_table\": %s, \"addmul_scalar\": %s, \"addmul_nibble\": %s, \"addmul4\": %s,\n", \
-        mbps["AddMulKernel"], mbps["AddMulKernelTable"], mbps["AddMulKernelScalar"], mbps["AddMulKernelNibble"], mbps["AddMul4Kernel"] >> out
-    printf "    \"xor\": %s, \"xor_scalar\": %s\n", mbps["XorKernel"], mbps["XorKernelScalar"] >> out
+    printf "    \"addmul\": %s, \"addmul_table\": %s, \"addmul_scalar\": %s, \"addmul_nibble\": %s, \"addmul_unrolled\": %s,\n", \
+        mbps["AddMulKernel"], mbps["AddMulKernelTable"], mbps["AddMulKernelScalar"], mbps["AddMulKernelNibble"], mbps["AddMulKernelUnrolled"] >> out
+    printf "    \"addmul4\": %s, \"addmul4_unrolled\": %s, \"addmul4_scalar\": %s,\n", \
+        mbps["AddMul4Kernel"], mbps["AddMul4KernelUnrolled"], mbps["AddMul4KernelScalar"] >> out
+    printf "    \"addmul_speedup_vs_table\": %.2f, \"addmul4_speedup_vs_table\": %.2f,\n", \
+        mbps["AddMulKernel"] / mbps["AddMulKernelTable"], mbps["AddMul4Kernel"] / mbps["AddMulKernelTable"] >> out
+    printf "    \"xor\": %s, \"xor_words\": %s, \"xor_scalar\": %s\n", \
+        mbps["XorKernel"], mbps["XorKernelWords"], mbps["XorKernelScalar"] >> out
     printf "  },\n" >> out
     printf "  \"gf65536_kernels_mb_per_sec\": {\n" >> out
     printf "    \"addmul\": %s, \"addmul_scalar\": %s,\n", mbps["AddMulKernelGF16"], mbps["AddMulKernelGF16Scalar"] >> out
@@ -77,6 +87,8 @@ END {
     printf "  },\n" >> out
     printf "  \"session\": {\n" >> out
     printf "    \"encode_mb_per_sec\": %s, \"encode_allocs_per_op\": %s,\n", mbps["SessionEncode"], allocs["SessionEncode"] >> out
+    printf "    \"encode_raw_codec_mb_per_sec\": %s,\n", mbps["SessionEncodeRawCodec"] >> out
+    printf "    \"encode_vs_raw_codec\": %.3f,\n", mbps["SessionEncode"] / mbps["SessionEncodeRawCodec"] >> out
     printf "    \"decode_mb_per_sec\": %s, \"decode_allocs_per_op\": %s,\n", mbps["SessionDecode"], allocs["SessionDecode"] >> out
     printf "    \"ingest_packet_mb_per_sec\": %s, \"ingest_packet_allocs_per_op\": %s\n", mbps["SessionIngestPacket"], allocs["SessionIngestPacket"] >> out
     printf "  }\n" >> out

@@ -19,7 +19,7 @@ OUT="${2:-BENCH_sched.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkScheduleDraw(Old)?Tx4$|BenchmarkScheduleWalk(Old)?Tx4$' \
+go test -run '^$' -bench 'BenchmarkScheduleDraw(Old)?Tx4$|BenchmarkScheduleWalk(Old|At)?Tx4$' \
     -benchtime "$BENCHTIME" -count 1 ./internal/sched | tee "$RAW"
 go test -run '^$' -bench 'BenchmarkSenderRound$' \
     -benchtime "$BENCHTIME" -count 1 ./internal/transport | tee -a "$RAW"
@@ -35,11 +35,12 @@ function grab(line,    i) {
 /^BenchmarkScheduleDrawTx4/    { grab(); dn_ns = ns; dn_b = bytes; dn_a = allocs }
 /^BenchmarkScheduleDrawOldTx4/ { grab(); do_ns = ns; do_b = bytes; do_a = allocs }
 /^BenchmarkScheduleWalkTx4/    { grab(); wn_ns = ns; wn_a = allocs }
+/^BenchmarkScheduleWalkAtTx4/  { grab(); wa_ns = ns; wa_a = allocs }
 /^BenchmarkScheduleWalkOldTx4/ { grab(); wo_ns = ns; wo_a = allocs }
 /^BenchmarkSenderRound/        { grab(); sr_ns = ns; sr_b = bytes; sr_a = allocs }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 END {
-    if (dn_ns == "" || do_ns == "" || wn_ns == "" || wo_ns == "" || sr_ns == "") {
+    if (dn_ns == "" || do_ns == "" || wn_ns == "" || wa_ns == "" || wo_ns == "" || sr_ns == "") {
         print "bench_sched: missing benchmark output" > "/dev/stderr"
         exit 1
     }
@@ -56,9 +57,12 @@ END {
     printf "  \"schedule_draw_speedup\": %.1f,\n", do_ns / dn_ns >> out
     printf "  \"schedule_walk_tx4_old_ns\": %s,\n", wo_ns >> out
     printf "  \"schedule_walk_tx4_old_allocs\": %s,\n", wo_a >> out
+    printf "  \"schedule_walk_tx4_at_ns\": %s,\n", wa_ns >> out
+    printf "  \"schedule_walk_tx4_at_allocs\": %s,\n", wa_a >> out
     printf "  \"schedule_walk_tx4_new_ns\": %s,\n", wn_ns >> out
     printf "  \"schedule_walk_tx4_new_allocs\": %s,\n", wn_a >> out
     printf "  \"schedule_walk_speedup\": %.2f,\n", wo_ns / wn_ns >> out
+    printf "  \"schedule_walk_cursor_vs_at\": %.2f,\n", wa_ns / wn_ns >> out
     printf "  \"sender_round_ns\": %s,\n", sr_ns >> out
     printf "  \"sender_round_bytes\": %s,\n", sr_b >> out
     printf "  \"sender_round_allocs\": %s\n", sr_a >> out
