@@ -76,6 +76,58 @@ func TestRunPlanFacade(t *testing.T) {
 	}
 }
 
+func TestRunFleetFacade(t *testing.T) {
+	code, err := NewCode("rse", 64, 1.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SchedulerByName("tx2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := FleetRunSpec{
+		Code:      code,
+		Scheduler: s,
+		Fleet: FleetSpec{
+			Receivers: 500,
+			Mix: []MixComponent{
+				{Channel: GilbertChannelSpec(0.1, 0.5), Weight: 2},
+				{Channel: BernoulliChannelSpec(0.05)},
+			},
+		},
+		Seed: 11,
+	}
+	sum, err := RunFleet(context.Background(), spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Receivers != 500 || len(sum.Groups) != 2 || sum.Completed == 0 {
+		t.Fatalf("fleet summary: %+v", sum)
+	}
+	if sum.BytesPerReceiver > 64 {
+		t.Fatalf("fleet state %g B/receiver exceeds the 64-byte budget", sum.BytesPerReceiver)
+	}
+	// Fleet points also run as a Plan axis.
+	plan := Plan{
+		Codes:      []string{"rse"},
+		Ks:         []int{64},
+		Ratios:     []float64{1.5},
+		Schedulers: []string{"tx2"},
+		Fleets:     []FleetSpec{spec.Fleet},
+		Seed:       11,
+	}
+	res, err := RunPlan(context.Background(), plan, PlanOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Aggregate.Fleet == nil {
+		t.Fatalf("fleet plan results: %+v", res)
+	}
+	if res[0].Aggregate.Trials != 500 {
+		t.Fatalf("fleet aggregate counts %d trials, want the population", res[0].Aggregate.Trials)
+	}
+}
+
 func TestMeasureWorkersDeterministic(t *testing.T) {
 	c, _ := NewCode("ldgm-staircase", 150, 2.5, 1)
 	m := Measurement{Code: c, Scheduler: TxModel4(), P: 0.1, Q: 0.5, Trials: 24, Seed: 6}

@@ -21,6 +21,18 @@
 // individual flags:
 //
 //	fecsim -spec "codec=ldgm-staircase(k=20000,ratio=2.5),sched=tx2,channel=gilbert,trials=100,seed=7"
+//
+// -fleet switches from the (p, q) sweep to fleet mode: one shared
+// transmission order fanned out to N receivers whose loss channels are
+// drawn from the -mix components, reported as completion-time and
+// inefficiency percentile curves instead of a grid:
+//
+//	fecsim -code rse -tx tx2 -ratio 1.5 -k 256 \
+//	    -fleet 100000 -mix "gilbert(p=0.05,q=0.5):2,bernoulli(p=0.03):1"
+//
+// Fleet runs share the -resume checkpoint machinery: Ctrl-C, then the
+// same command again, restores finished fleet points from the JSONL
+// file without recomputing them.
 package main
 
 import (
@@ -69,6 +81,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		progress = fs.Bool("progress", false, "report per-cell completion on stderr")
 		metrics  = fs.String("metrics", "", `serve Prometheus/expvar engine metrics on this address while the sweep runs (e.g. ":9090"; also spec key metrics=addr)`)
 		specLine = fs.String("spec", "", `one-line configuration spec overriding the flags above, e.g. "codec=ldgm-staircase(k=20000,ratio=2.5),sched=tx2,channel=gilbert,trials=100,seed=7"`)
+		fleetN   = fs.Int("fleet", 0, "fleet mode: simulate this many receivers of one shared transmission instead of the (p,q) sweep (0 = off)")
+		mixSpec  = fs.String("mix", "gilbert(p=0.05,q=0.5)", `fleet channel mix: comma-separated "channelspec:weight" components (weight defaults to 1), e.g. "gilbert(p=0.05,q=0.5):2,bernoulli(p=0.03):1"`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -129,18 +143,38 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	grid, err := parseGrid(*gridSpec)
-	if err != nil {
-		return err
+	fleetMode := *fleetN > 0
+	var (
+		plan     engine.Plan
+		grid     []float64
+		cellKeys [][]string
+	)
+	if fleetMode {
+		mix, err := parseMix(*mixSpec)
+		if err != nil {
+			return err
+		}
+		fleet := engine.FleetSpec{Receivers: *fleetN, Mix: mix}
+		if err := fleet.Validate(); err != nil {
+			return err
+		}
+		plan = buildFleetPlan(*codeName, *txName, *ratio, *k, *nsent, *seed, fleet)
+	} else {
+		var err error
+		grid, err = parseGrid(*gridSpec)
+		if err != nil {
+			return err
+		}
+		if grid == nil {
+			grid = sim.PaperGrid
+		}
+		if _, err := channel.ByName(*chName); err != nil {
+			return err
+		}
+		var channels []engine.ChannelSpec
+		channels, cellKeys = gridChannels(*chName, grid)
+		plan = buildPlan(*codeName, *txName, *ratio, *k, *trials, *nsent, *seed, channels)
 	}
-	if grid == nil {
-		grid = sim.PaperGrid
-	}
-	if _, err := channel.ByName(*chName); err != nil {
-		return err
-	}
-	channels, cellKeys := gridChannels(*chName, grid)
-	plan := buildPlan(*codeName, *txName, *ratio, *k, *trials, *nsent, *seed, channels)
 
 	opts := engine.Options{Workers: *workers, CheckpointPath: *resume}
 	if *metrics != "" {
@@ -159,8 +193,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			if ev.FromCheckpoint {
 				state = "resumed"
 			}
+			key := ev.Point.Channel.Key()
+			if ev.Point.Fleet != nil {
+				key = ev.Point.Fleet.Key()
+			}
 			fmt.Fprintf(stderr, "fecsim: %d/%d %s %s: %s\n",
-				ev.Done, ev.Total, ev.Point.Channel.Key(), state, ev.Aggregate.String())
+				ev.Done, ev.Total, key, state, ev.Aggregate.String())
 		}
 	}
 
@@ -170,6 +208,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stderr, "fecsim: interrupted; rerun with -resume %s to continue\n", *resume)
 		}
 		return err
+	}
+
+	if fleetMode {
+		fmt.Fprintf(stdout, "# fleet: %s, %s, FEC expansion ratio %.2f, k=%d, receivers=%d, seed=%d\n",
+			*codeName, *txName, *ratio, *k, *fleetN, *seed)
+		for _, r := range res {
+			if r.Aggregate.Fleet == nil {
+				return fmt.Errorf("fleet point %s returned no fleet summary", r.Point.Key())
+			}
+			printFleet(stdout, r.Aggregate.Fleet)
+		}
+		return nil
 	}
 
 	byKey := make(map[string]sim.Aggregate, len(res))
@@ -225,6 +275,134 @@ func buildPlan(codeName, txName string, ratio float64, k, trials, nsent int, see
 		NSents:     []int{nsent},
 		Trials:     trials,
 		Seed:       seed,
+	}
+}
+
+// buildFleetPlan declares a fleet run: one code/scheduler, one fleet
+// population in place of the channel axis. Trials is irrelevant — a
+// fleet's sample count is its receiver population.
+func buildFleetPlan(codeName, txName string, ratio float64, k, nsent int, seed int64, fleet engine.FleetSpec) engine.Plan {
+	return engine.Plan{
+		Codes:      []string{codeName},
+		Ks:         []int{k},
+		Ratios:     []float64{ratio},
+		Schedulers: []string{txName},
+		Fleets:     []engine.FleetSpec{fleet},
+		NSents:     []int{nsent},
+		Seed:       seed,
+	}
+}
+
+// parseMix parses the -mix flag: comma-separated "channelspec:weight"
+// components. Commas and colons inside a channel spec's parentheses do
+// not split — "gilbert(p=0.05,q=0.5):2,noloss" is two components.
+func parseMix(s string) ([]engine.MixComponent, error) {
+	var mix []engine.MixComponent
+	for _, field := range splitTopLevel(s, ',') {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			return nil, fmt.Errorf("empty fleet mix component in %q", s)
+		}
+		specPart, weightPart := field, ""
+		if cut := splitTopLevel(field, ':'); len(cut) == 2 {
+			specPart, weightPart = strings.TrimSpace(cut[0]), strings.TrimSpace(cut[1])
+		} else if len(cut) > 2 {
+			return nil, fmt.Errorf("fleet mix component %q has more than one weight", field)
+		}
+		ch, err := mixChannel(specPart)
+		if err != nil {
+			return nil, err
+		}
+		mc := engine.MixComponent{Channel: ch}
+		if weightPart != "" {
+			w, err := strconv.ParseFloat(weightPart, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad fleet mix weight %q: %v", weightPart, err)
+			}
+			if w <= 0 {
+				return nil, fmt.Errorf("fleet mix weight %g must be positive", w)
+			}
+			mc.Weight = w
+		}
+		mix = append(mix, mc)
+	}
+	return mix, nil
+}
+
+// splitTopLevel splits s on sep occurrences outside parentheses.
+func splitTopLevel(s string, sep byte) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case sep:
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// mixChannel resolves a parameterized channel spec (the channel.ParseName
+// grammar) into the engine's serializable ChannelSpec form.
+func mixChannel(name string) (engine.ChannelSpec, error) {
+	fac, err := channel.ParseName(name)
+	if err != nil {
+		return engine.ChannelSpec{}, err
+	}
+	switch f := fac.(type) {
+	case channel.GilbertFactory:
+		return engine.GilbertChannel(f.P, f.Q), nil
+	case channel.BernoulliFactory:
+		return engine.BernoulliChannel(f.P), nil
+	case channel.NoLossFactory:
+		return engine.NoLossChannel(), nil
+	case channel.MarkovFactory:
+		// Mapped so fleet validation reports "cannot be batch-stepped"
+		// rather than a parse error.
+		return engine.MarkovChannel(f.Spec), nil
+	default:
+		return engine.ChannelSpec{}, fmt.Errorf("channel %q has no fleet mix mapping", name)
+	}
+}
+
+// printFleet renders a fleet summary: one row for the whole population,
+// one per mix component. Completion percentiles are in symbols sent;
+// -1 means the fleet never reached that completion fraction.
+func printFleet(w io.Writer, s *engine.FleetSummary) {
+	fmt.Fprintf(w, "# %d/%d receivers completed, %d symbols sent, %d receiver-symbol events\n",
+		s.Completed, s.Receivers, s.NSent, s.Events)
+	fmt.Fprintf(w, "# completion percentiles in symbols sent; \"-\" = fleet never reached that fraction\n")
+	fmt.Fprintf(w, "%-26s %10s %10s %8s %8s %8s %8s %10s %10s\n",
+		"group", "receivers", "completed", "p50", "p90", "p99", "p999", "ineff-p99", "mean-ineff")
+	row := func(name string, receivers, completed int, c, ineff engine.FleetPercentiles, mean float64) {
+		cell := func(v float64) string {
+			if v < 0 {
+				return "-"
+			}
+			return strconv.FormatFloat(v, 'f', 0, 64)
+		}
+		ineffCell := "-"
+		if ineff.P99 >= 0 {
+			ineffCell = strconv.FormatFloat(ineff.P99, 'f', 3, 64)
+		}
+		meanCell := "-"
+		if completed > 0 {
+			meanCell = strconv.FormatFloat(mean, 'f', 3, 64)
+		}
+		fmt.Fprintf(w, "%-26s %10d %10d %8s %8s %8s %8s %10s %10s\n",
+			name, receivers, completed, cell(c.P50), cell(c.P90), cell(c.P99), cell(c.P999),
+			ineffCell, meanCell)
+	}
+	row("all", s.Receivers, s.Completed, s.Completion, s.Ineff, s.IneffStats.Mean())
+	for _, g := range s.Groups {
+		row(g.Channel, g.Receivers, g.Completed, g.Completion, g.Ineff, g.IneffStats.Mean())
 	}
 }
 

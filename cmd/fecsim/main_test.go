@@ -170,6 +170,104 @@ func TestRunResumeSkipsFinishedCells(t *testing.T) {
 	}
 }
 
+func fleetArgs(extra ...string) []string {
+	return append([]string{
+		"-code", "rse", "-tx", "tx2", "-ratio", "1.5", "-k", "64",
+		"-fleet", "800", "-mix", "gilbert(p=0.1,q=0.5):2,bernoulli(p=0.05):1",
+		"-workers", "2", "-seed", "5",
+	}, extra...)
+}
+
+func TestRunFleetEndToEnd(t *testing.T) {
+	var out, errs bytes.Buffer
+	if err := run(context.Background(), fleetArgs(), &out, &errs); err != nil {
+		t.Fatalf("run -fleet: %v (stderr: %s)", err, errs.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"fleet: rse, tx2", "receivers=800",
+		"group", "all", "gilbert(p=0.1,q=0.5)", "bernoulli(p=0.05)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("fleet output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("gilbert(p=0.05,q=0.5):2, bernoulli(p=0.03):1.5,noloss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 3 {
+		t.Fatalf("parseMix split %d components", len(mix))
+	}
+	if mix[0].Channel.Kind != "gilbert" || mix[0].Channel.P != 0.05 || mix[0].Channel.Q != 0.5 || mix[0].Weight != 2 {
+		t.Fatalf("component 0 = %+v", mix[0])
+	}
+	if mix[1].Channel.Kind != "bernoulli" || mix[1].Weight != 1.5 {
+		t.Fatalf("component 1 = %+v", mix[1])
+	}
+	if mix[2].Channel.Kind != "noloss" || mix[2].Weight != 0 {
+		t.Fatalf("component 2 = %+v", mix[2])
+	}
+}
+
+func TestRunFleetRejectsBadMix(t *testing.T) {
+	for _, mix := range []string{
+		"",                    // empty
+		"bogus(p=0.1)",        // unknown family
+		"gilbert(p=2,q=0.5)",  // invalid parameters
+		"markov(p=0.1,q=0.5)", // parses, but cannot be batch-stepped
+		"gilbert(p=0.1):0",    // non-positive weight
+		"gilbert(p=0.1):-1",   // negative weight
+		"gilbert(p=0.1):1:2",  // double weight
+		"gilbert(p=0.1):two",  // non-numeric weight
+		"gilbert(p=0.1),,tx2", // empty component
+	} {
+		var out, errs bytes.Buffer
+		if err := run(context.Background(), fleetArgs("-mix", mix), &out, &errs); err == nil {
+			t.Errorf("-mix %q accepted", mix)
+		}
+	}
+}
+
+func TestRunFleetResumeSkipsFinishedPoints(t *testing.T) {
+	// Interrupting a fleet run (here: a context cancelled before any
+	// point completes) reports the resume hint and leaves the checkpoint
+	// usable; a completed run then restores from it byte-identically
+	// without recomputing the fleet.
+	ckpt := filepath.Join(t.TempDir(), "fleet.jsonl")
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out0, errs0 bytes.Buffer
+	if err := run(cancelled, fleetArgs("-resume", ckpt), &out0, &errs0); err == nil {
+		t.Fatal("cancelled fleet run reported success")
+	}
+	if !strings.Contains(errs0.String(), "-resume") {
+		t.Fatalf("no resume hint after interruption:\n%s", errs0.String())
+	}
+
+	var out1, errs1 bytes.Buffer
+	if err := run(context.Background(), fleetArgs("-resume", ckpt), &out1, &errs1); err != nil {
+		t.Fatal(err)
+	}
+	var out2, errs2 bytes.Buffer
+	if err := run(context.Background(), fleetArgs("-resume", ckpt, "-progress"), &out2, &errs2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.String() != out1.String() {
+		t.Fatalf("resumed fleet report differs:\n%s\nvs\n%s", out2.String(), out1.String())
+	}
+	prog := errs2.String()
+	if !strings.Contains(prog, "resumed") || !strings.Contains(prog, "fleet(n=800") {
+		t.Fatalf("no resumed fleet point reported:\n%s", prog)
+	}
+	if strings.Contains(prog, " done:") {
+		t.Fatalf("resume recomputed the fleet:\n%s", prog)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out, errs bytes.Buffer
 	if err := run(context.Background(), []string{"-grid", "2,3"}, &out, &errs); err == nil {

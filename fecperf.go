@@ -92,6 +92,22 @@ type (
 	PointResult = engine.PointResult
 	// ChannelSpec is a serializable loss-channel description for plans.
 	ChannelSpec = engine.ChannelSpec
+	// FleetSpec declares a fleet point — a receiver population and its
+	// channel mix — for Plan.Fleets or RunFleet.
+	FleetSpec = engine.FleetSpec
+	// MixComponent is one receiver class of a fleet: a channel and its
+	// relative share of the population.
+	MixComponent = engine.MixComponent
+	// FleetRunSpec is a materialised fleet work unit for RunFleet.
+	FleetRunSpec = engine.FleetRunSpec
+	// FleetSummary is a fleet point's result: completion-time and
+	// inefficiency percentile curves, overall and per mix component.
+	FleetSummary = engine.FleetSummary
+	// FleetGroupSummary is one mix component's completion distribution.
+	FleetGroupSummary = engine.FleetGroupSummary
+	// FleetPercentiles are nearest-rank percentiles over a fleet
+	// population (-1 = the fleet never reached that completion fraction).
+	FleetPercentiles = engine.FleetPercentiles
 	// PlanOptions tunes a RunPlan call: workers, progress callback,
 	// streaming results channel and checkpoint path.
 	PlanOptions = engine.Options

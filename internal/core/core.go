@@ -112,6 +112,20 @@ type Receiver interface {
 	SourceRecovered() int
 }
 
+// BlockMDS is an optional Code capability marking codes whose decoding
+// is exactly threshold-per-block (MDS): a block with k_b source packets
+// decodes the moment k_b distinct packets of that block have arrived —
+// never earlier, never later. The fleet engine requires it: a fleet
+// receiver is then a per-block countdown counter instead of real
+// decoder state. Iterative codes (LDGM/LDPC), whose completion point
+// depends on *which* packets arrived, must not implement this.
+type BlockMDS interface {
+	Code
+	// BlockMDS reports whether this instance decodes every block at
+	// exactly its distinct-symbol threshold.
+	BlockMDS() bool
+}
+
 // MemoryReporter is an optional Receiver capability implementing the
 // metric the paper's conclusion defers to future work: the maximum memory
 // a receiver needs. BufferedSymbols reports how many symbols the decoder

@@ -208,6 +208,58 @@ func (s *Schedule) batchAt(pos int, dst []int32) {
 	}
 }
 
+// DistinctIDs reports whether the schedule provably never transmits the
+// same packet id twice. It is conservative: true is a guarantee, false
+// means "may repeat". The fleet engine uses it to decide whether
+// receivers need a per-id dedup bitmap — permutation-shaped orders
+// (tx1–tx6) need none, while carousels and repeat schemes do.
+func (s *Schedule) DistinctIDs() bool {
+	switch s.kind {
+	case kindEmpty, kindSubset, kindPropMerge, kindInterleave:
+		// Permutations (or permutation prefixes) by construction.
+		return true
+	case kindRepeat:
+		// A permutation of [0, k·times) reduced mod k: distinct only when
+		// the domain is a single copy. For times ≥ 2 even a truncated
+		// prefix can repeat (two preimages congruent mod k may land
+		// adjacently in the shuffle), so the length proves nothing.
+		return s.parts[0].p.n == s.b
+	case kindParts:
+		// Each segment is itself duplicate-free (a sequence, or a prefix
+		// of a permutation); two segments are safe when their id ranges
+		// cannot overlap.
+		if s.nparts == 1 {
+			return true
+		}
+		lo0, hi0 := s.parts[0].idRange()
+		lo1, hi1 := s.parts[1].idRange()
+		return hi0 <= lo1 || hi1 <= lo0
+	case kindRounds:
+		return len(s.rounds) == 1 && s.rounds[0].DistinctIDs()
+	case kindSlice:
+		seen := make(map[int]struct{}, len(s.ids))
+		for _, id := range s.ids[:s.length] {
+			if _, dup := seen[id]; dup {
+				return false
+			}
+			seen[id] = struct{}{}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// idRange returns the half-open id interval a segment's outputs lie in.
+// A permutation segment may emit any value of its full Feistel domain
+// prefix [off, off+p.n); a sequence exactly [off, off+n).
+func (pt *part) idRange() (lo, hi int) {
+	if pt.kind == partSeq {
+		return pt.off, pt.off + pt.n
+	}
+	return pt.off, pt.off + pt.p.n
+}
+
 // roundAt locates the sub-schedule covering position i and the offset
 // where it starts.
 func (s *Schedule) roundAt(i int) (round, start int) {

@@ -1,0 +1,59 @@
+package core
+
+import "testing"
+
+// TestDistinctIDs pins the conservative duplicate-detection the fleet
+// engine keys its dedup-bitmap allocation on: true must be a guarantee
+// (verified against a materialised scan), false merely conservative.
+func TestDistinctIDs(t *testing.T) {
+	mustLayout := Layout{K: 6, N: 12, Blocks: []Block{
+		{Source: []int{0, 1, 2}, Parity: []int{6, 7, 8}},
+		{Source: []int{3, 4, 5}, Parity: []int{9, 10, 11}},
+	}}
+	cases := []struct {
+		name string
+		s    Schedule
+		want bool
+	}{
+		{"empty", EmptySchedule(), true},
+		{"sequence", SequenceSchedule(0, 10), true},
+		{"shuffle", ShuffleSchedule(0, 10, 3), true},
+		{"shuffle prefix", TakeShuffleSchedule(0, 10, 4, 3), true},
+		{"concat disjoint", ConcatSchedules(SequenceSchedule(0, 5), SequenceSchedule(5, 5)), true},
+		{"concat disjoint shuffles", ConcatSchedules(ShuffleSchedule(0, 5, 1), ShuffleSchedule(5, 5, 2)), true},
+		{"concat overlapping", ConcatSchedules(ShuffleSchedule(0, 10, 1), ShuffleSchedule(0, 10, 2)), false},
+		// A shuffle prefix may emit any id of its full domain, so the
+		// conservative range check must treat it as covering all of it.
+		{"concat prefix overlap", ConcatSchedules(TakeShuffleSchedule(0, 10, 2, 1), SequenceSchedule(5, 5)), false},
+		{"subset", SubsetShuffleSchedule(8, 4, 3, 1, 2), true},
+		{"repeat once", RepeatSchedule(7, 1, 5), true},
+		{"repeat twice", RepeatSchedule(7, 2, 5), false},
+		// Truncating a multi-copy repeat below k proves nothing: two
+		// preimages congruent mod k can land adjacently in the shuffle.
+		{"repeat truncated", RepeatSchedule(7, 2, 5).Truncate(5), false},
+		{"propmerge", ProportionalMergeSchedule(6, 4), true},
+		{"interleave", InterleaveSchedule(mustLayout), true},
+		{"rounds single", RoundsSchedule([]Schedule{ShuffleSchedule(0, 6, 1)}), true},
+		{"rounds carousel", RoundsSchedule([]Schedule{ShuffleSchedule(0, 6, 1), ShuffleSchedule(0, 6, 2)}), false},
+		{"slice distinct", SliceSchedule([]int{3, 1, 4, 2}), true},
+		{"slice duplicate", SliceSchedule([]int{3, 1, 3, 2}), false},
+		{"slice truncated past dup", SliceSchedule([]int{3, 1, 3, 2}).Truncate(2), true},
+	}
+	for _, c := range cases {
+		if got := c.s.DistinctIDs(); got != c.want {
+			t.Errorf("%s: DistinctIDs() = %t, want %t", c.name, got, c.want)
+		}
+		// Soundness: whenever DistinctIDs claims true, a full scan must
+		// find no duplicate.
+		if c.s.DistinctIDs() {
+			seen := map[int]bool{}
+			for _, id := range c.s.AppendTo(nil) {
+				if seen[id] {
+					t.Errorf("%s: DistinctIDs() = true but id %d repeats", c.name, id)
+					break
+				}
+				seen[id] = true
+			}
+		}
+	}
+}

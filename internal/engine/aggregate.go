@@ -20,6 +20,12 @@ type Aggregate struct {
 	// ReceivedOverK aggregates n_received/k over all trials: the
 	// companion curve the paper plots alongside the inefficiency.
 	ReceivedOverK stats.Accumulator `json:"received_over_k"`
+	// Fleet holds the completion distribution of a fleet point. For
+	// fleet points Trials is the receiver population, Failures the
+	// receivers that never completed, and Ineff aggregates per-receiver
+	// inefficiency; ReceivedOverK stays empty (fleet receivers stop
+	// consuming symbols at completion).
+	Fleet *FleetSummary `json:"fleet,omitempty"`
 }
 
 // Merge folds another partial aggregate into a. Merging the same parts
@@ -29,6 +35,11 @@ func (a *Aggregate) Merge(b Aggregate) {
 	a.Failures += b.Failures
 	a.Ineff.Merge(b.Ineff)
 	a.ReceivedOverK.Merge(b.ReceivedOverK)
+	if b.Fleet != nil {
+		// Fleet summaries are computed whole, never sharded: merging can
+		// only ever install one, not combine two.
+		a.Fleet = b.Fleet
+	}
 }
 
 // Failed reports whether at least one trial failed — the paper's strict

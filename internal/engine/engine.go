@@ -331,9 +331,14 @@ func RunPoints(ctx context.Context, points []Point, opts Options) (res []PointRe
 	}
 
 	// Restore checkpointed points, then materialise and run the rest.
+	// Fleet points take their own path: each runs whole (internally
+	// parallel across receiver shards), so they are materialised and
+	// validated up front alongside the scalar points.
 	var (
-		pending []PointSpec
-		indices []int
+		pending      []PointSpec
+		indices      []int
+		fleetPending []FleetRunSpec
+		fleetIndices []int
 	)
 	codeCache := map[string]core.Code{}
 	for i, pt := range points {
@@ -343,12 +348,33 @@ func RunPoints(ctx context.Context, points []Point, opts Options) (res []PointRe
 				continue
 			}
 		}
+		if pt.Fleet != nil {
+			spec, err := materializeFleet(pt, codeCache)
+			if err != nil {
+				return nil, err
+			}
+			fleetPending = append(fleetPending, spec)
+			fleetIndices = append(fleetIndices, i)
+			continue
+		}
 		spec, err := materialize(pt, codeCache)
 		if err != nil {
 			return nil, err
 		}
 		pending = append(pending, spec)
 		indices = append(indices, i)
+	}
+
+	fm := newFleetMetrics(opts.Metrics)
+	for j, spec := range fleetPending {
+		summary, err := runFleet(ctx, spec, opts.workers(), fm)
+		if err != nil {
+			// Specs were validated at materialisation; the only error
+			// left is cancellation, which leaves the remaining points
+			// zero-valued like a cancelled scalar run.
+			return results, err
+		}
+		deliver(fleetIndices[j], fleetAggregate(summary), false)
 	}
 
 	var mu sync.Mutex // serialises deliver across worker goroutines

@@ -1,0 +1,697 @@
+package engine
+
+// Fleet mode: one carousel, a million receivers. The scalar engine
+// answers the paper's question — how inefficient is one reception? —
+// by running independent trials. Fleet mode answers the operational
+// question behind ROADMAP item 1: when one sender transmits one shared
+// schedule to 10⁵–10⁶ heterogeneous receivers, what does the completion
+// CDF of the whole fleet look like?
+//
+// Three structural choices make that population size cheap:
+//
+//   - The transmission order is drawn once per point and fanned out:
+//     every shard walks its own core.Schedule cursor copy over the same
+//     lazy order, so the schedule costs O(1) memory however many
+//     receivers watch it.
+//
+//   - Receiver state is struct-of-arrays. A block-MDS code
+//     (core.BlockMDS) decodes a block at exactly k_b distinct symbols,
+//     so a receiver is not a decoder object but a row across a few
+//     parallel arrays: packed per-block countdown counters, a channel
+//     state word, a reception count. Tens of bytes per receiver, laid
+//     out so the inner loop streams through them.
+//
+//   - Channel sampling is batched: channel.Stepper advances a
+//     receiver's Gilbert chain up to 64 transmissions per call on its
+//     raw splitmix64 state word — branch-free integer arithmetic,
+//     golden-equivalent to the scalar Gilbert.Lost() chain.
+//
+// Receivers are sharded in fixed-size contiguous ranges; workers drain
+// the shard queue. Every per-receiver result lands in that receiver's
+// own array slot and the summary is computed single-threaded afterwards,
+// so percentile curves are byte-identical under any worker count — the
+// same determinism contract as the scalar engine.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"fecperf/internal/channel"
+	"fecperf/internal/codes"
+	"fecperf/internal/core"
+	"fecperf/internal/obs"
+	"fecperf/internal/sched"
+	"fecperf/internal/stats"
+)
+
+// Stream tags for DeriveSeed: the shared schedule draw and the
+// per-receiver channel chains must live on unrelated rand streams.
+const (
+	fleetSchedStream uint64 = 0xf1ee7001
+	fleetRxStream    uint64 = 0xf1ee7002
+)
+
+// fleetShardReceivers is the fixed shard width. It must not depend on
+// the worker count (shard boundaries are part of the deterministic
+// result layout); it only has to be small enough that a fleet fans out
+// across every worker and large enough to amortise scheduling.
+const fleetShardReceivers = 4096
+
+// MixComponent is one receiver class of a fleet: a loss channel and its
+// relative share of the population.
+type MixComponent struct {
+	Channel ChannelSpec `json:"channel"`
+	// Weight is the component's relative share; 0 means 1. Receiver
+	// counts are apportioned by largest remainder, so weights need not
+	// divide the population evenly.
+	Weight float64 `json:"weight,omitempty"`
+}
+
+func (mc MixComponent) weight() float64 {
+	if mc.Weight == 0 {
+		return 1
+	}
+	return mc.Weight
+}
+
+// FleetSpec is the serializable Fleet plan axis: a receiver population
+// and its channel mix. A fleet point measures the one-sender/N-receiver
+// completion distribution instead of repeated independent trials.
+type FleetSpec struct {
+	// Receivers is the fleet population size.
+	Receivers int `json:"receivers"`
+	// Mix partitions the population into channel classes. Receivers are
+	// assigned contiguously in mix order (component 0 gets the lowest
+	// receiver indices), which fixes every receiver's channel seed.
+	Mix []MixComponent `json:"mix"`
+}
+
+// Validate checks the spec without building anything expensive. Every
+// mix channel must support batched stepping (gilbert, bernoulli,
+// noloss); markov and trace channels cannot be fleet-stepped.
+func (f FleetSpec) Validate() error {
+	if f.Receivers <= 0 {
+		return fmt.Errorf("engine: fleet needs a positive receiver count, got %d", f.Receivers)
+	}
+	if len(f.Mix) == 0 {
+		return fmt.Errorf("engine: fleet needs at least one mix component")
+	}
+	for i, mc := range f.Mix {
+		if mc.Weight < 0 {
+			return fmt.Errorf("engine: fleet mix component %d has negative weight %g", i, mc.Weight)
+		}
+		if _, err := mc.batchFactory(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (mc MixComponent) batchFactory() (channel.BatchFactory, error) {
+	fac, err := mc.Channel.Factory()
+	if err != nil {
+		return nil, err
+	}
+	bf, ok := fac.(channel.BatchFactory)
+	if !ok {
+		return nil, fmt.Errorf("engine: fleet mix channel %s cannot be batch-stepped (supported: gilbert, bernoulli, noloss)",
+			mc.Channel.Key())
+	}
+	return bf, nil
+}
+
+// Key returns the fleet's stable identity for checkpointing; it stands
+// in for the channel key in a fleet point's configuration key.
+func (f FleetSpec) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet(n=%d", f.Receivers)
+	for _, mc := range f.Mix {
+		fmt.Fprintf(&b, ",%s:%g", mc.Channel.Key(), mc.weight())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// apportion splits the population across mix components by largest
+// remainder: exact proportional floors first, then the leftover
+// receivers to the largest fractional parts (ties to the earlier
+// component). Deterministic, and off by at most one per component.
+func (f FleetSpec) apportion() []int {
+	total := 0.0
+	for _, mc := range f.Mix {
+		total += mc.weight()
+	}
+	counts := make([]int, len(f.Mix))
+	order := make([]int, len(f.Mix))
+	fracs := make([]float64, len(f.Mix))
+	assigned := 0
+	for i, mc := range f.Mix {
+		exact := float64(f.Receivers) * mc.weight() / total
+		counts[i] = int(exact)
+		fracs[i] = exact - float64(counts[i])
+		order[i] = i
+		assigned += counts[i]
+	}
+	sort.SliceStable(order, func(a, b int) bool { return fracs[order[a]] > fracs[order[b]] })
+	for j := 0; assigned < f.Receivers; j++ {
+		counts[order[j%len(order)]]++
+		assigned++
+	}
+	return counts
+}
+
+// FleetPercentiles are nearest-rank percentile values over a receiver
+// population, with receivers that never completed ranked after every
+// completion. A value of -1 means the rank falls on an incomplete
+// receiver — the fleet never reached that completion fraction.
+type FleetPercentiles struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+}
+
+// percentilesOf computes nearest-rank percentiles from the sorted
+// values of the completed receivers out of a population of n.
+func percentilesOf(sorted []float64, n int) FleetPercentiles {
+	pick := func(p float64) float64 {
+		if n == 0 {
+			return -1
+		}
+		rank := int(math.Ceil(p * float64(n)))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(sorted) {
+			return -1
+		}
+		return sorted[rank-1]
+	}
+	return FleetPercentiles{P50: pick(0.50), P90: pick(0.90), P99: pick(0.99), P999: pick(0.999)}
+}
+
+// FleetGroupSummary is the completion distribution of one mix component.
+type FleetGroupSummary struct {
+	// Channel is the component's channel key.
+	Channel string `json:"channel"`
+	// Receivers and Completed count the component's population and how
+	// many of them finished decoding within the schedule.
+	Receivers int `json:"receivers"`
+	Completed int `json:"completed"`
+	// Completion is the distribution of symbols sent (schedule
+	// positions, 1-based) at the moment a receiver completed.
+	Completion FleetPercentiles `json:"completion_symbols"`
+	// Ineff is the distribution of n_necessary/k over the population —
+	// the paper's metric, per receiver instead of per trial.
+	Ineff FleetPercentiles `json:"ineff"`
+	// IneffStats aggregates inefficiency over completed receivers, in
+	// receiver-index order.
+	IneffStats stats.Accumulator `json:"ineff_stats"`
+}
+
+// FleetSummary is a fleet point's result: overall and per-component
+// completion-time and inefficiency distributions, plus the run's scale
+// counters. It is byte-identical under any worker count.
+type FleetSummary struct {
+	Receivers int `json:"receivers"`
+	Completed int `json:"completed"`
+	// NSent is the number of schedule positions walked.
+	NSent int `json:"nsent"`
+	// Events counts receiver-symbol channel steps actually performed —
+	// completed receivers stop consuming the schedule, so this is the
+	// work metric the events/s benchmark divides by.
+	Events int64 `json:"events"`
+	// BytesPerReceiver is the steady-state fleet state footprint per
+	// receiver: all receiver-proportional arrays divided by the
+	// population (the shared schedule and id→block table are excluded;
+	// they are per-fleet, not per-receiver).
+	BytesPerReceiver float64             `json:"bytes_per_receiver"`
+	Completion       FleetPercentiles    `json:"completion_symbols"`
+	Ineff            FleetPercentiles    `json:"ineff"`
+	IneffStats       stats.Accumulator   `json:"ineff_stats"`
+	Groups           []FleetGroupSummary `json:"groups"`
+}
+
+// FleetRunSpec is a materialised fleet work unit: live code and
+// scheduler rather than declarative names, mirroring PointSpec.
+type FleetRunSpec struct {
+	// Code must implement core.BlockMDS: fleet receivers are per-block
+	// countdown counters, valid only for threshold-decoding codes.
+	Code      core.Code
+	Scheduler core.Scheduler
+	Fleet     FleetSpec
+	// Seed derives the shared schedule draw and every receiver's
+	// channel chain.
+	Seed int64
+	// NSent truncates the shared schedule when positive.
+	NSent int
+}
+
+// fleetMetrics is the fleet's instrument set; the zero value is inert.
+type fleetMetrics struct {
+	receivers  *obs.Counter
+	completed  *obs.Counter
+	events     *obs.Counter
+	shards     *obs.Counter
+	live       *obs.Gauge
+	completion *obs.Histogram
+}
+
+func newFleetMetrics(r *obs.Registry) fleetMetrics {
+	if r == nil {
+		return fleetMetrics{}
+	}
+	return fleetMetrics{
+		receivers:  r.Counter("engine_fleet_receivers_total", "Fleet receivers simulated.", nil),
+		completed:  r.Counter("engine_fleet_receivers_completed_total", "Fleet receivers that completed decoding.", nil),
+		events:     r.Counter("engine_fleet_events_total", "Receiver-symbol channel events stepped.", nil),
+		shards:     r.Counter("engine_fleet_shards_total", "Fleet receiver shards completed.", nil),
+		live:       r.Gauge("engine_fleet_live_shards", "Fleet shards currently executing.", nil),
+		completion: r.Histogram("engine_fleet_completion_symbols", "Symbols sent until receiver completion.", obs.ExpBuckets(64, 2, 18), 0, nil),
+	}
+}
+
+// RunFleet executes one fleet point. Workers ≤ 0 means GOMAXPROCS; the
+// summary is identical for every worker count. On cancellation the
+// returned error is ctx.Err().
+func RunFleet(ctx context.Context, spec FleetRunSpec, workers int) (*FleetSummary, error) {
+	return runFleet(ctx, spec, workers, fleetMetrics{})
+}
+
+func runFleet(ctx context.Context, spec FleetRunSpec, workers int, m fleetMetrics) (*FleetSummary, error) {
+	mds, ok := spec.Code.(core.BlockMDS)
+	if !ok || !mds.BlockMDS() {
+		return nil, fmt.Errorf("engine: fleet mode needs a block-MDS code; %s does not decode at a per-block threshold",
+			spec.Code.Name())
+	}
+	if err := spec.Fleet.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// The shared transmission order, drawn exactly once per point.
+	layout := spec.Code.Layout()
+	rng := rand.New(&core.SplitMixSource{})
+	rng.Seed(DeriveSeed(spec.Seed, fleetSchedStream))
+	schedule := spec.Scheduler.Schedule(layout, rng)
+	nsent := spec.NSent
+	if nsent <= 0 || nsent > schedule.Len() {
+		nsent = schedule.Len()
+	}
+
+	st, err := newFleetState(layout, spec.Fleet, schedule, nsent, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	m.receivers.Add(uint64(spec.Fleet.Receivers))
+
+	tasks := st.shardTasks()
+	var (
+		wg     sync.WaitGroup
+		events atomic.Int64
+		queue  = make(chan fleetShardRange)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sh := range queue {
+				m.live.Add(1)
+				ev, done := st.runShard(ctx, sh)
+				m.live.Add(-1)
+				events.Add(ev)
+				m.events.Add(uint64(ev))
+				if !done {
+					continue // cancelled mid-shard
+				}
+				m.shards.Inc()
+				for r := sh.lo; r < sh.hi; r++ {
+					if at := st.completedAt[r]; at > 0 {
+						m.completed.Inc()
+						m.completion.Observe(int64(at))
+					}
+				}
+			}
+		}()
+	}
+feed:
+	for _, sh := range tasks {
+		select {
+		case queue <- sh:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(queue)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return st.summarize(nsent, events.Load()), nil
+}
+
+// fleetGroup is one mix component's contiguous receiver range and its
+// immutable channel stepper.
+type fleetGroup struct {
+	key     string
+	stepper channel.Stepper
+	lo, hi  int
+}
+
+// fleetState is the struct-of-arrays receiver population. Every array
+// is indexed by receiver; shards own disjoint index ranges, so workers
+// never touch the same element.
+type fleetState struct {
+	layout   core.Layout
+	schedule core.Schedule
+	nsent    int
+	nblocks  int
+	groups   []fleetGroup
+
+	// blockIdx maps a packet id to its block — shared, not per receiver.
+	blockIdx []uint16
+
+	// Per-receiver state. The steady-state budget: 8 (chanState) +
+	// 1 (lost) + 4 (received) + 4 (completedAt) + 2 (blocksLeft) +
+	// 4 (active slot) + 2·nblocks (remaining) bytes, plus N/8 bytes of
+	// dedup bitmap only when the schedule may repeat an id.
+	chanState   []uint64 // raw splitmix64 channel stream state
+	lost        []bool   // Gilbert chain state (in the loss state?)
+	received    []uint32 // receptions incl. duplicates; frozen at completion
+	completedAt []int32  // 1-based schedule position of completion; 0 = never
+	blocksLeft  []uint16 // blocks not yet at their threshold
+	remaining   []uint16 // [r*nblocks+b]: distinct symbols block b still needs
+	active      []int32  // per-shard swap-remove scratch, one slot per receiver
+	seen        []uint64 // dedup bitmap arena, nil for duplicate-free schedules
+	seenWords   int      // bitmap words per receiver
+}
+
+func newFleetState(layout core.Layout, f FleetSpec, schedule core.Schedule, nsent int, seed int64) (*fleetState, error) {
+	nb := len(layout.Blocks)
+	if nb > math.MaxUint16 {
+		return nil, fmt.Errorf("engine: fleet cannot index %d blocks", nb)
+	}
+	for _, b := range layout.Blocks {
+		if len(b.Source) > math.MaxUint16 {
+			return nil, fmt.Errorf("engine: fleet block threshold %d exceeds %d", len(b.Source), math.MaxUint16)
+		}
+	}
+	if nsent > math.MaxInt32 {
+		return nil, fmt.Errorf("engine: fleet schedule length %d exceeds %d", nsent, math.MaxInt32)
+	}
+
+	r := f.Receivers
+	st := &fleetState{
+		layout:      layout,
+		schedule:    schedule,
+		nsent:       nsent,
+		nblocks:     nb,
+		blockIdx:    make([]uint16, layout.N),
+		chanState:   make([]uint64, r),
+		lost:        make([]bool, r),
+		received:    make([]uint32, r),
+		completedAt: make([]int32, r),
+		blocksLeft:  make([]uint16, r),
+		remaining:   make([]uint16, r*nb),
+		active:      make([]int32, r),
+	}
+	for bi, b := range layout.Blocks {
+		for _, id := range b.Source {
+			st.blockIdx[id] = uint16(bi)
+		}
+		for _, id := range b.Parity {
+			st.blockIdx[id] = uint16(bi)
+		}
+	}
+	// Duplicate-free schedules (the paper's permutation models) need no
+	// dedup state at all; carousels and repeat schemes pay N bits per
+	// receiver for it.
+	if !schedule.DistinctIDs() {
+		st.seenWords = (layout.N + 63) / 64
+		st.seen = make([]uint64, r*st.seenWords)
+	}
+
+	counts := f.apportion()
+	lo := 0
+	for i, mc := range f.Mix {
+		bf, err := mc.batchFactory()
+		if err != nil {
+			return nil, err
+		}
+		stepper, ok := bf.Batch()
+		if !ok {
+			return nil, fmt.Errorf("engine: fleet mix channel %s refused a batch stepper", mc.Channel.Key())
+		}
+		st.groups = append(st.groups, fleetGroup{
+			key: mc.Channel.Key(), stepper: stepper, lo: lo, hi: lo + counts[i],
+		})
+		lo += counts[i]
+	}
+
+	for r := range st.chanState {
+		// Receiver r's channel chain: its own derived splitmix64 stream,
+		// independent of its group — adding a mix component never
+		// reseeds the receivers after it.
+		st.chanState[r] = uint64(DeriveSeed(seed, fleetRxStream, uint64(r)))
+		st.blocksLeft[r] = uint16(st.nblocks)
+		base := r * st.nblocks
+		for bi, b := range layout.Blocks {
+			st.remaining[base+bi] = uint16(len(b.Source))
+		}
+	}
+	return st, nil
+}
+
+// fleetShardRange is one work unit: a contiguous receiver range inside
+// one mix group.
+type fleetShardRange struct {
+	group  int
+	lo, hi int
+}
+
+// shardTasks cuts every group into fixed-width receiver ranges. The
+// partition is independent of the worker count — it is part of the
+// deterministic result layout.
+func (st *fleetState) shardTasks() []fleetShardRange {
+	var out []fleetShardRange
+	for gi := range st.groups {
+		g := &st.groups[gi]
+		for lo := g.lo; lo < g.hi; lo += fleetShardReceivers {
+			hi := lo + fleetShardReceivers
+			if hi > g.hi {
+				hi = g.hi
+			}
+			out = append(out, fleetShardRange{group: gi, lo: lo, hi: hi})
+		}
+	}
+	return out
+}
+
+// runShard simulates receivers [sh.lo, sh.hi) over the whole shared
+// schedule, 64 symbols per batch, and returns how many receiver-symbol
+// events it stepped (false when cancelled mid-shard).
+//
+// The loop is receiver-major within each batch: the batch's ids and
+// block translations are drawn once from the shard's own cursor copy,
+// then every still-active receiver advances its channel chain 64 steps
+// in one StepMask call and walks its received bits. Receivers that
+// complete are swap-removed from the shard's active window, so a
+// receiver costs nothing after its completion position.
+func (st *fleetState) runShard(ctx context.Context, sh fleetShardRange) (int64, bool) {
+	arena := st.active[sh.lo:sh.hi]
+	for i := range arena {
+		arena[i] = int32(sh.lo + i)
+	}
+	n := len(arena)
+	stepper := st.groups[sh.group].stepper
+	nb := st.nblocks
+
+	var (
+		ids    [64]int32
+		blk    [64]uint16
+		events int64
+	)
+	cur := st.schedule.Cursor()
+	for pos := 0; pos < st.nsent && n > 0; {
+		select {
+		case <-ctx.Done():
+			return events, false
+		default:
+		}
+		m := st.nsent - pos
+		if m > 64 {
+			m = 64
+		}
+		for j := 0; j < m; j++ {
+			id, _ := cur.Next()
+			ids[j] = int32(id)
+			blk[j] = st.blockIdx[id]
+		}
+		full := ^uint64(0)
+		if m < 64 {
+			full = 1<<uint(m) - 1
+		}
+		events += int64(n) * int64(m)
+		for i := 0; i < n; {
+			r := arena[i]
+			lostMask := stepper.StepMask(&st.chanState[r], &st.lost[r], m)
+			rbits := ^lostMask & full
+			base := int(r) * nb
+			completed := false
+			for rbits != 0 {
+				j := bits.TrailingZeros64(rbits)
+				rbits &= rbits - 1
+				// Count the reception before any dedup/threshold skip:
+				// n_necessary counts duplicates too, like RunTrial's
+				// NReceived.
+				st.received[r]++
+				if st.seen != nil {
+					id := ids[j]
+					w := &st.seen[int(r)*st.seenWords+int(id)>>6]
+					bit := uint64(1) << (uint32(id) & 63)
+					if *w&bit != 0 {
+						continue
+					}
+					*w |= bit
+				}
+				rem := &st.remaining[base+int(blk[j])]
+				if *rem == 0 {
+					continue // block already at its threshold
+				}
+				*rem--
+				if *rem == 0 {
+					st.blocksLeft[r]--
+					if st.blocksLeft[r] == 0 {
+						st.completedAt[r] = int32(pos + j + 1)
+						completed = true
+						break
+					}
+				}
+			}
+			if completed {
+				n--
+				arena[i] = arena[n]
+			} else {
+				i++
+			}
+		}
+		pos += m
+	}
+	return events, true
+}
+
+// summarize builds the deterministic fleet summary: per-group and
+// overall nearest-rank percentiles plus inefficiency accumulators, all
+// computed single-threaded from the per-receiver arrays in receiver
+// order — no trace of which worker ran which shard survives.
+func (st *fleetState) summarize(nsent int, events int64) *FleetSummary {
+	k := float64(st.layout.K)
+	r := len(st.chanState)
+	sum := &FleetSummary{
+		Receivers:        r,
+		NSent:            nsent,
+		Events:           events,
+		BytesPerReceiver: st.bytesPerReceiver(),
+	}
+	allComp := make([]float64, 0, r)
+	allIneff := make([]float64, 0, r)
+	for gi := range st.groups {
+		g := &st.groups[gi]
+		gs := FleetGroupSummary{Channel: g.key, Receivers: g.hi - g.lo}
+		comp := make([]float64, 0, gs.Receivers)
+		ineff := make([]float64, 0, gs.Receivers)
+		for r := g.lo; r < g.hi; r++ {
+			if at := st.completedAt[r]; at > 0 {
+				comp = append(comp, float64(at))
+				inf := float64(st.received[r]) / k
+				ineff = append(ineff, inf)
+				gs.IneffStats.Add(inf)
+			}
+		}
+		gs.Completed = len(comp)
+		allComp = append(allComp, comp...)
+		allIneff = append(allIneff, ineff...)
+		sort.Float64s(comp)
+		sort.Float64s(ineff)
+		gs.Completion = percentilesOf(comp, gs.Receivers)
+		gs.Ineff = percentilesOf(ineff, gs.Receivers)
+		sum.Completed += gs.Completed
+		sum.IneffStats.Merge(gs.IneffStats)
+		sum.Groups = append(sum.Groups, gs)
+	}
+	sort.Float64s(allComp)
+	sort.Float64s(allIneff)
+	sum.Completion = percentilesOf(allComp, r)
+	sum.Ineff = percentilesOf(allIneff, r)
+	return sum
+}
+
+// bytesPerReceiver reports the steady-state receiver-proportional
+// footprint: every array indexed by receiver, divided by the
+// population. Shared per-fleet tables (schedule, blockIdx) are excluded.
+func (st *fleetState) bytesPerReceiver() float64 {
+	r := len(st.chanState)
+	if r == 0 {
+		return 0
+	}
+	total := len(st.chanState)*8 + len(st.lost) + len(st.received)*4 +
+		len(st.completedAt)*4 + len(st.blocksLeft)*2 + len(st.remaining)*2 +
+		len(st.active)*4 + len(st.seen)*8
+	return float64(total) / float64(r)
+}
+
+// materializeFleet builds the live fleet work unit for a point, sharing
+// the code cache with scalar materialisation. A fleet point has no
+// scalar channel, so it cannot go through materialize().
+func materializeFleet(pt Point, codeCache map[string]core.Code) (FleetRunSpec, error) {
+	codeKey := pt.codeKey()
+	code, ok := codeCache[codeKey]
+	if !ok {
+		var err error
+		if code, err = codes.Make(pt.Code, pt.K, pt.Ratio, pt.CodeSeed); err != nil {
+			return FleetRunSpec{}, err
+		}
+		codeCache[codeKey] = code
+	}
+	if mds, ok := code.(core.BlockMDS); !ok || !mds.BlockMDS() {
+		return FleetRunSpec{}, fmt.Errorf("engine: fleet mode needs a block-MDS code; %s does not decode at a per-block threshold",
+			code.Name())
+	}
+	if err := pt.Fleet.Validate(); err != nil {
+		return FleetRunSpec{}, err
+	}
+	s, err := sched.ByName(pt.Scheduler)
+	if err != nil {
+		return FleetRunSpec{}, err
+	}
+	return FleetRunSpec{
+		Code:      code,
+		Scheduler: s,
+		Fleet:     *pt.Fleet,
+		Seed:      pt.Seed,
+		NSent:     pt.NSent,
+	}, nil
+}
+
+// fleetAggregate wraps a fleet summary in the scalar Aggregate shape:
+// receivers count as trials, incomplete receivers as failures, and the
+// inefficiency accumulator carries over, so grids, checkpoints and the
+// appendix-table String() render fleet points unchanged.
+func fleetAggregate(s *FleetSummary) Aggregate {
+	return Aggregate{
+		Trials:   s.Receivers,
+		Failures: s.Receivers - s.Completed,
+		Ineff:    s.IneffStats,
+		Fleet:    s,
+	}
+}

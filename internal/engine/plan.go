@@ -123,8 +123,14 @@ type Plan struct {
 	Ratios []float64 `json:"ratios,omitempty"`
 	// Schedulers are transmission model names ("tx1".."tx6").
 	Schedulers []string `json:"schedulers"`
-	// Channels are the loss models to sweep.
-	Channels []ChannelSpec `json:"channels"`
+	// Channels are the loss models to sweep. Mutually exclusive with
+	// Fleets: a plan measures either independent trials or fleets.
+	Channels []ChannelSpec `json:"channels,omitempty"`
+	// Fleets replaces the Channels axis with fleet populations: each
+	// fleet becomes one point measuring the one-sender/N-receiver
+	// completion distribution (see FleetSpec). Fleet plans ignore
+	// Trials — a fleet's sample count is its receiver population.
+	Fleets []FleetSpec `json:"fleets,omitempty"`
 	// NSents are schedule truncation points; 0 sends the full schedule
 	// (default {0}).
 	NSents []int `json:"nsents,omitempty"`
@@ -154,8 +160,16 @@ func (p Plan) withDefaults() Plan {
 // Validate checks that every axis value resolves, without running
 // anything expensive (codes are not constructed).
 func (p Plan) Validate() error {
-	if len(p.Codes) == 0 || len(p.Schedulers) == 0 || len(p.Channels) == 0 {
+	if len(p.Codes) == 0 || len(p.Schedulers) == 0 || (len(p.Channels) == 0 && len(p.Fleets) == 0) {
 		return fmt.Errorf("engine: plan needs at least one code, scheduler and channel")
+	}
+	if len(p.Channels) > 0 && len(p.Fleets) > 0 {
+		return fmt.Errorf("engine: the Channels and Fleets axes are mutually exclusive")
+	}
+	for _, f := range p.Fleets {
+		if err := f.Validate(); err != nil {
+			return err
+		}
 	}
 	for _, c := range p.Codes {
 		ok := false
@@ -199,7 +213,11 @@ func (p Plan) Validate() error {
 // NumPoints returns the size of the expanded scenario space.
 func (p Plan) NumPoints() int {
 	p = p.withDefaults()
-	return len(p.Codes) * len(p.Ks) * len(p.Ratios) * len(p.Schedulers) * len(p.Channels) * len(p.NSents)
+	chans := len(p.Channels)
+	if len(p.Fleets) > 0 {
+		chans = len(p.Fleets)
+	}
+	return len(p.Codes) * len(p.Ks) * len(p.Ratios) * len(p.Schedulers) * chans * len(p.NSents)
 }
 
 // Point is one serializable work unit: a fully specified measurement
@@ -214,8 +232,12 @@ type Point struct {
 	Ratio     float64     `json:"ratio"`
 	Scheduler string      `json:"scheduler"`
 	Channel   ChannelSpec `json:"channel"`
-	NSent     int         `json:"nsent,omitempty"`
-	Trials    int         `json:"trials"`
+	// Fleet, when set, makes this a fleet point: Channel is unused and
+	// the result is the fleet's completion distribution. Fleet points
+	// carry Trials == 0 (the sample count is the receiver population).
+	Fleet  *FleetSpec `json:"fleet,omitempty"`
+	NSent  int        `json:"nsent,omitempty"`
+	Trials int        `json:"trials"`
 	// Seed is the per-point seed, derived from the plan seed and the
 	// configuration key; trial t then draws from DeriveSeed(Seed, t).
 	Seed int64 `json:"seed"`
@@ -228,8 +250,12 @@ type Point struct {
 // matched on (Key, Seed), so resuming with a different plan seed never
 // reuses stale results.
 func (pt Point) Key() string {
+	ch := pt.Channel.Key()
+	if pt.Fleet != nil {
+		ch = pt.Fleet.Key()
+	}
 	return fmt.Sprintf("code=%s|k=%d|ratio=%g|sched=%s|ch=%s|trials=%d|nsent=%d|cseed=%d",
-		pt.Code, pt.K, pt.Ratio, pt.Scheduler, pt.Channel.Key(), pt.Trials, pt.NSent, pt.CodeSeed)
+		pt.Code, pt.K, pt.Ratio, pt.Scheduler, ch, pt.Trials, pt.NSent, pt.CodeSeed)
 }
 
 // Points expands the plan into its cartesian scenario space. The
@@ -248,6 +274,26 @@ func (p Plan) Points() ([]Point, error) {
 		for _, k := range p.Ks {
 			for _, ratio := range p.Ratios {
 				for _, s := range p.Schedulers {
+					if len(p.Fleets) > 0 {
+						for fi := range p.Fleets {
+							for _, nsent := range p.NSents {
+								f := p.Fleets[fi]
+								pt := Point{
+									Index:     len(out),
+									Code:      code,
+									K:         k,
+									Ratio:     ratio,
+									Scheduler: s,
+									Fleet:     &f,
+									NSent:     nsent,
+									CodeSeed:  p.Seed,
+								}
+								pt.Seed = DeriveSeed(p.Seed, hashString(pt.Key()))
+								out = append(out, pt)
+							}
+						}
+						continue
+					}
 					for _, ch := range p.Channels {
 						for _, nsent := range p.NSents {
 							pt := Point{

@@ -1,0 +1,5 @@
+//go:build race
+
+package gf65536
+
+const raceEnabled = true

@@ -40,6 +40,10 @@ func (c *Code) Name() string { return "no-fec" }
 // Layout implements core.Code.
 func (c *Code) Layout() core.Layout { return c.layout }
 
+// BlockMDS implements core.BlockMDS: with no parity, the single block's
+// threshold is all k distinct source packets — trivially MDS.
+func (c *Code) BlockMDS() bool { return true }
+
 // NewReceiver implements core.Code: done once all k distinct source
 // packets have arrived.
 func (c *Code) NewReceiver() core.Receiver {

@@ -143,6 +143,11 @@ func (c *Code) Layout() core.Layout { return c.layout }
 // NumBlocks returns the number of blocks the object was segmented into.
 func (c *Code) NumBlocks() int { return len(c.blocks) }
 
+// BlockMDS implements core.BlockMDS: Reed-Solomon is MDS, so every block
+// decodes at exactly k_b distinct symbols — the counting rule NewReceiver
+// already embodies.
+func (c *Code) BlockMDS() bool { return true }
+
 // blockOf maps a global packet ID to its block and in-block index
 // (0..nb-1, with source symbols first).
 func (c *Code) blockOf(id int) (bi, esi int) {

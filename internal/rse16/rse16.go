@@ -77,6 +77,10 @@ func (c *Code) Name() string { return "rse16" }
 // Layout implements core.Code.
 func (c *Code) Layout() core.Layout { return c.layout }
 
+// BlockMDS implements core.BlockMDS: a single-block MDS code, done at
+// exactly k distinct packets.
+func (c *Code) BlockMDS() bool { return true }
+
 // NewReceiver implements core.Code: pure MDS counting — done at exactly k
 // distinct packets.
 func (c *Code) NewReceiver() core.Receiver {

@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# Runs the fleet engine benchmark and emits BENCH_fleet.json — the perf
+# trajectory record for fleet mode (one shared transmission order fanned
+# out to a struct-of-arrays receiver population). Usage:
+#
+#   scripts/bench_fleet.sh [benchtime] [output.json]
+#
+# benchtime defaults to 1s; output defaults to BENCH_fleet.json in the
+# repository root. The reference point is BenchmarkFleet: 100k receivers
+# of rse(k=256,ratio=1.5) under tx2 on a 2:1 gilbert/bernoulli mix,
+# reporting aggregate receiver-symbol events/s (target: >= 1e7),
+# steady-state receiver state bytes (budget: <= 64), amortised heap
+# allocations per receiver and the fleet's p99 completion position.
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-1s}"
+OUT="${2:-BENCH_fleet.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'Fleet$' -benchtime "$BENCHTIME" -count 1 \
+    ./internal/engine \
+    | tee "$RAW"
+
+awk -v out="$OUT" '
+/^BenchmarkFleet/ {
+    for (i = 1; i <= NF; i++) {
+        if ($(i+1) == "events/s")    ev = $i
+        if ($(i+1) == "state-B/rx")  bpr = $i
+        if ($(i+1) == "allocs/rx")   apr = $i
+        if ($(i+1) == "p99-symbols") p99 = $i
+    }
+}
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+END {
+    if (ev == "") {
+        print "bench_fleet: missing BenchmarkFleet output" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n" > out
+    printf "  \"benchmark\": \"fleet\",\n" >> out
+    printf "  \"cpu\": \"%s\",\n", cpu >> out
+    printf "  \"point\": {\n" >> out
+    printf "    \"receivers\": 100000,\n" >> out
+    printf "    \"code\": \"rse(k=256,ratio=1.5)\",\n" >> out
+    printf "    \"scheduler\": \"tx2\",\n" >> out
+    printf "    \"mix\": \"gilbert(p=0.05,q=0.5):2,bernoulli(p=0.03):1\"\n" >> out
+    printf "  },\n" >> out
+    printf "  \"events_per_sec\": %s,\n", ev >> out
+    printf "  \"events_per_sec_target\": 1e7,\n" >> out
+    printf "  \"state_bytes_per_receiver\": %s,\n", bpr >> out
+    printf "  \"state_bytes_per_receiver_budget\": 64,\n" >> out
+    printf "  \"allocs_per_receiver\": %s,\n", apr >> out
+    printf "  \"p99_completion_symbols\": %s\n", p99 >> out
+    printf "}\n" >> out
+}' "$RAW"
+
+echo "wrote $OUT"

@@ -77,6 +77,18 @@ func RunPlan(ctx context.Context, plan Plan, opts PlanOptions) ([]PointResult, e
 	return engine.Run(ctx, plan, opts)
 }
 
+// RunFleet executes one fleet point: one shared transmission order
+// fanned out to a population of receivers whose loss channels are drawn
+// from the spec's mix, in struct-of-arrays state a few tens of bytes
+// per receiver. The code must decode at a per-block threshold (rse,
+// rse16, repetition); the mix channels must batch-step (gilbert,
+// bernoulli, noloss). Workers ≤ 0 means GOMAXPROCS; the summary is
+// byte-identical for every worker count. Fleet points also run inside
+// plans via Plan.Fleets.
+func RunFleet(ctx context.Context, spec FleetRunSpec, workers int) (*FleetSummary, error) {
+	return engine.RunFleet(ctx, spec, workers)
+}
+
 // Channel spec constructors for Plan.Channels.
 
 // GilbertChannelSpec declares a two-state Gilbert channel.
