@@ -12,6 +12,7 @@ package fecperf
 import (
 	"io"
 
+	"fecperf/internal/channel"
 	"fecperf/internal/session"
 	"fecperf/internal/transport"
 	"fecperf/internal/wire"
@@ -66,6 +67,7 @@ func NewCaster(conn TransportConn, src io.Reader, opts ...Option) (*Caster, erro
 		Scheduler:    c.Scheduler,
 		Rate:         c.Rate,
 		Burst:        c.Burst,
+		BatchSize:    c.BatchSize,
 		Window:       c.Window,
 		Rounds:       c.Rounds,
 		OnProgress:   c.OnCastProgress,
@@ -92,6 +94,7 @@ func NewCollector(conn TransportConn, dst io.Writer, opts ...Option) (*Collector
 		BaseObjectID: c.BaseObjectID,
 		MaxPending:   c.MaxPending,
 		MTU:          mtu,
+		ReadBatch:    c.BatchSize,
 		OnProgress:   c.OnCollectProgress,
 		Metrics:      c.Metrics,
 		Tracer:       c.Tracer,
@@ -222,4 +225,22 @@ func NewImpairment(channelSpec string, seed int64) (Channel, error) {
 		return nil, err
 	}
 	return f.New(newRand(seed)), nil
+}
+
+// NewBatchImpairment builds the batched stepper form of a channel spec
+// for Loopback.ReceiverStepper — the loss process that steps in 64-wide
+// masks under one lock when senders write batches. ok is false when the
+// channel kind cannot be batch-stepped (trace channels); the error is
+// reserved for unparseable specs.
+func NewBatchImpairment(channelSpec string) (st ChannelStepper, ok bool, err error) {
+	f, err := ChannelByName(channelSpec)
+	if err != nil {
+		return ChannelStepper{}, false, err
+	}
+	bf, isBatch := f.(channel.BatchFactory)
+	if !isBatch {
+		return ChannelStepper{}, false, nil
+	}
+	st, ok = bf.Batch()
+	return st, ok, nil
 }

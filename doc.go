@@ -157,6 +157,25 @@
 // Gilbert-loss broadcast is one process with no sockets: see
 // examples/filecast. cmd/feccast is the same pipeline over real UDP.
 //
+// The datapath is kernel-batched. Every Conn accepts WriteBatch /
+// ReadBatch (transport.BatchConn; package-level helpers fall back to
+// per-datagram loops for any other Conn): on Linux amd64/arm64 the UDP
+// backend moves up to 64 datagrams per sendmmsg/recvmmsg crossing and
+// coalesces equal-size runs into UDP GSO superpackets (probed at dial
+// time, latched off on the first kernel refusal), while other
+// platforms keep the portable loop behind build tags. Configured with
+// a batch size (Config.BatchSize, spec key "batch", feccast -batch),
+// the carousel packs each round into a scratch region flushed as
+// full batches — one pacer debit and one kernel crossing per batch,
+// amortized zero allocations — and the receiver daemon drains its
+// socket a batch per crossing. Batching never changes the carousel:
+// the datagram sequence, loopback loss pattern (the channel chain
+// steps in 64-wide masks over the same splitmix64 stream) and decoded
+// bytes are identical to the scalar path, only syscall count and
+// pacing granularity change. scripts/bench_net.sh records the measured
+// speedup in BENCH_net.json (gated at 4x packets/s over the
+// per-datagram baseline on the mmsg datapath).
+//
 // # Experiment engine
 //
 // Simulate and SweepGrid cover single points and (p, q) grids; RunPlan is
@@ -243,13 +262,16 @@
 // The metric catalog, all under the fecperf_ namespace. Broadcast
 // carousel (WithMetrics via BroadcasterConfig.Metrics): sender_packets_total,
 // sender_bytes_total, sender_rounds_total, sender_pacer_wait_ns_total,
-// sender_resumes_total. Receiver daemon: receiver_packets_total,
+// sender_resumes_total, sender_batches_total,
+// sender_syscalls_saved_total, the sender_batch_size histogram and the
+// sender_gso_enabled gauge. Receiver daemon: receiver_packets_total,
 // receiver_bytes_total, receiver_packets_ingested_total,
 // receiver_packets_duplicate_total, receiver_packets_dropped_total
 // {reason=bad|late|inconsistent|truncated}, receiver_objects_started_total,
 // receiver_objects_decoded_total, receiver_objects_evicted_total,
-// receiver_inflight_objects, and the receiver_decode_seconds histogram
-// (first ingested datagram to decoded object). Caster:
+// receiver_inflight_objects, receiver_read_batches_total, the
+// receiver_read_batch_size histogram, and the receiver_decode_seconds
+// histogram (first ingested datagram to decoded object). Caster:
 // caster_packets_total, caster_bytes_total, caster_chunks_total,
 // caster_bytes_read_total, caster_pacer_wait_ns_total,
 // caster_window_chunks. Collector: collector_chunks_written_total,

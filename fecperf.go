@@ -70,6 +70,11 @@ type (
 	// gilbert/bernoulli/noloss factories round-trip their Name through
 	// ChannelByName.
 	ChannelFactory = channel.Factory
+	// ChannelStepper is the batched loss-process stepper consumed by
+	// Loopback.ReceiverStepper: it advances a Gilbert chain up to 64
+	// transmissions per call on raw splitmix64 state, bit-identical to
+	// the scalar chain. Build one with NewBatchImpairment.
+	ChannelStepper = channel.Stepper
 	// Layout describes the packet-ID structure of an encoded object.
 	Layout = core.Layout
 	// TrialResult is the outcome of a single simulated reception.
@@ -138,6 +143,13 @@ type Config struct {
 	// Burst is the token-bucket depth (key "burst").
 	Rate  float64
 	Burst int
+	// BatchSize groups datagrams per kernel crossing on the transport
+	// hot paths (key "batch"): casters and broadcasters flush
+	// BatchSize-datagram batches through one batch write (sendmmsg/GSO
+	// on Linux UDP, one lock per batch on the loopback) and collectors
+	// read up to BatchSize datagrams per crossing. 0 keeps the scalar
+	// per-datagram paths; values above 64 are clamped.
+	BatchSize int
 	// BaseObjectID tags delivery objects; a cast train's manifest rides
 	// at this ID, chunk i at BaseObjectID+1+i (key "object").
 	BaseObjectID uint32
@@ -282,6 +294,15 @@ func WithBurst(n int) Option {
 	}
 }
 
+// WithBatchSize groups datagrams per kernel crossing on the transport
+// hot paths (0 = scalar per-datagram I/O).
+func WithBatchSize(n int) Option {
+	return func(c *Config) error {
+		c.BatchSize = n
+		return nil
+	}
+}
+
 // WithBaseObjectID sets the delivery object ID (a cast train's base).
 func WithBaseObjectID(id uint32) Option {
 	return func(c *Config) error {
@@ -376,7 +397,7 @@ func NewConfig(opts ...Option) (Config, error) {
 // configKeys are the spec keys ParseSpec accepts, in the canonical
 // render order of Config.Spec.
 var configKeys = []string{
-	"codec", "sched", "channel", "payload", "rate", "burst",
+	"codec", "sched", "channel", "payload", "rate", "burst", "batch",
 	"object", "window", "rounds", "seed", "nsent", "trials",
 	"workers", "pending", "metrics",
 }
@@ -431,6 +452,9 @@ func ParseSpec(line string) (Config, error) {
 	if c.Burst, _, e = params.Int("burst"); e != nil {
 		return fail(e)
 	}
+	if c.BatchSize, _, e = params.Int("batch"); e != nil {
+		return fail(e)
+	}
 	if c.BaseObjectID, _, e = params.Uint32("object"); e != nil {
 		return fail(e)
 	}
@@ -482,6 +506,9 @@ func (c Config) Spec() string {
 	if c.Burst != 0 {
 		add("burst", strconv.Itoa(c.Burst))
 	}
+	if c.BatchSize != 0 {
+		add("batch", strconv.Itoa(c.BatchSize))
+	}
 	if c.BaseObjectID != 0 {
 		add("object", strconv.FormatUint(uint64(c.BaseObjectID), 10))
 	}
@@ -531,6 +558,9 @@ func (c Config) overlay(dst *Config) {
 	}
 	if c.Burst != 0 {
 		dst.Burst = c.Burst
+	}
+	if c.BatchSize != 0 {
+		dst.BatchSize = c.BatchSize
 	}
 	if c.BaseObjectID != 0 {
 		dst.BaseObjectID = c.BaseObjectID

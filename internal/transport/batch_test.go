@@ -1,0 +1,599 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"fecperf/internal/channel"
+	"fecperf/internal/core"
+	"fecperf/internal/wire"
+)
+
+// --- batch Conn contract over real UDP sockets ---
+
+func udpPair(t *testing.T) (rx, tx Conn) {
+	t.Helper()
+	rx, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ListenUDP: %v", err)
+	}
+	t.Cleanup(func() { rx.Close() })
+	tx, err = DialUDP(rx.LocalAddr())
+	if err != nil {
+		t.Fatalf("DialUDP: %v", err)
+	}
+	t.Cleanup(func() { tx.Close() })
+	return rx, tx
+}
+
+// TestUDPBatchRoundTrip pushes a mixed-size batch (GSO can only coalesce
+// equal-size runs, so this exercises run grouping, singles and the
+// plain-sendmmsg path together) through a socket pair and checks every
+// datagram arrives intact and in order.
+func TestUDPBatchRoundTrip(t *testing.T) {
+	rx, tx := udpPair(t)
+	var batch []wire.Datagram
+	for i := 0; i < 150; i++ {
+		size := 300 + 200*(i%3) // runs of up to 3 equal-size datagrams
+		d := bytes.Repeat([]byte{byte(i)}, size)
+		d[0] = byte(i >> 8)
+		batch = append(batch, d)
+	}
+	n, err := WriteBatch(tx, batch)
+	if n != len(batch) || err != nil {
+		t.Fatalf("WriteBatch = %d, %v; want %d, nil", n, err, len(batch))
+	}
+	rx.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	got := 0
+	for got < len(batch) {
+		bufs := make([]wire.Datagram, 32)
+		for i := range bufs {
+			bufs[i] = make([]byte, 2048)
+		}
+		m, err := ReadBatch(rx, bufs)
+		if err != nil {
+			t.Fatalf("ReadBatch after %d datagrams: %v", got, err)
+		}
+		if m == 0 {
+			t.Fatal("ReadBatch returned 0 with nil error")
+		}
+		for i := 0; i < m; i++ {
+			want := batch[got+i]
+			if !bytes.Equal(bufs[i], want) {
+				t.Fatalf("datagram %d: got %d bytes (first %x), want %d bytes",
+					got+i, len(bufs[i]), bufs[i][:2], len(want))
+			}
+		}
+		got += m
+	}
+}
+
+// TestUDPBatchEqualSizeGSO sends more equal-size datagrams than one GSO
+// super-datagram may carry, forcing the writer to split runs across
+// headers and crossings, and verifies the kernel re-segments them into
+// the original datagram boundaries.
+func TestUDPBatchEqualSizeGSO(t *testing.T) {
+	rx, tx := udpPair(t)
+	const count, size = 300, 512
+	batch := make([]wire.Datagram, count)
+	for i := range batch {
+		d := bytes.Repeat([]byte{0xA5}, size)
+		d[0], d[1] = byte(i>>8), byte(i)
+		batch[i] = d
+	}
+	if n, err := WriteBatch(tx, batch); n != count || err != nil {
+		t.Fatalf("WriteBatch = %d, %v; want %d, nil", n, err, count)
+	}
+	rx.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	for got := 0; got < count; {
+		bufs := make([]wire.Datagram, 64)
+		for i := range bufs {
+			bufs[i] = make([]byte, 2048)
+		}
+		m, err := ReadBatch(rx, bufs)
+		if err != nil {
+			t.Fatalf("ReadBatch after %d datagrams: %v", got, err)
+		}
+		for i := 0; i < m; i++ {
+			if len(bufs[i]) != size {
+				t.Fatalf("datagram %d: %d bytes, want %d (bad GSO segmentation?)", got+i, len(bufs[i]), size)
+			}
+			if idx := int(bufs[i][0])<<8 | int(bufs[i][1]); idx != got+i {
+				t.Fatalf("datagram %d carries index %d: order not preserved", got+i, idx)
+			}
+		}
+		got += m
+	}
+}
+
+// TestUDPReadBatchTruncation checks ReadBatch truncates oversized
+// datagrams to the caller's buffer exactly like Recv does.
+func TestUDPReadBatchTruncation(t *testing.T) {
+	rx, tx := udpPair(t)
+	if err := tx.Send(bytes.Repeat([]byte{7}, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	rx.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	bufs := []wire.Datagram{make([]byte, 100)}
+	n, err := ReadBatch(rx, bufs)
+	if n != 1 || err != nil {
+		t.Fatalf("ReadBatch = %d, %v", n, err)
+	}
+	if len(bufs[0]) != 100 {
+		t.Fatalf("truncated read re-sliced to %d, want 100", len(bufs[0]))
+	}
+}
+
+// TestUDPBatchDeadline checks ReadBatch honours the read deadline with a
+// timeout net.Error, like Recv.
+func TestUDPBatchDeadline(t *testing.T) {
+	rx, _ := udpPair(t)
+	rx.SetReadDeadline(time.Now().Add(20 * time.Millisecond)) //nolint:errcheck
+	bufs := []wire.Datagram{make([]byte, 64)}
+	n, err := ReadBatch(rx, bufs)
+	if n != 0 || !isTimeout(err) {
+		t.Fatalf("ReadBatch past deadline = %d, %v; want 0 and a timeout", n, err)
+	}
+}
+
+// TestUDPWriteBatchICMPSwallowed writes batches at a port nothing
+// listens on: the kernel's async ICMP feedback (connection refused)
+// must be swallowed exactly as the scalar Send swallows it — a
+// broadcast is feedback-free.
+func TestUDPWriteBatchICMPSwallowed(t *testing.T) {
+	probe, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.LocalAddr()
+	probe.Close() // the port is now (very likely) dead
+	tx, err := DialUDP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+	batch := make([]wire.Datagram, 20)
+	for i := range batch {
+		batch[i] = bytes.Repeat([]byte{1}, 128)
+	}
+	// The first write provokes the ICMP error; later ones surface it.
+	for round := 0; round < 5; round++ {
+		if n, err := WriteBatch(tx, batch); err != nil || n != len(batch) {
+			t.Fatalf("round %d: WriteBatch = %d, %v; want %d, nil", round, n, err, len(batch))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// --- portable helpers against a batch-less Conn ---
+
+// scalarOnlyConn is a Conn with no batch methods: the package helpers
+// must fall back to per-datagram Sends and single Recvs.
+type scalarOnlyConn struct {
+	sent [][]byte
+	rx   [][]byte
+}
+
+func (c *scalarOnlyConn) Send(d []byte) error {
+	c.sent = append(c.sent, append([]byte(nil), d...))
+	return nil
+}
+
+func (c *scalarOnlyConn) Recv(buf []byte) (int, error) {
+	if len(c.rx) == 0 {
+		return 0, ErrClosed
+	}
+	d := c.rx[0]
+	c.rx = c.rx[1:]
+	return copy(buf, d), nil
+}
+
+func (c *scalarOnlyConn) SetReadDeadline(time.Time) error { return nil }
+func (c *scalarOnlyConn) Close() error                    { return nil }
+func (c *scalarOnlyConn) LocalAddr() string               { return "scalar-only" }
+
+func TestBatchHelpersScalarFallback(t *testing.T) {
+	c := &scalarOnlyConn{rx: [][]byte{{1, 2, 3}, {4, 5}}}
+	batch := []wire.Datagram{{10}, {11, 11}, {12}}
+	if n, err := WriteBatch(c, batch); n != 3 || err != nil {
+		t.Fatalf("WriteBatch = %d, %v", n, err)
+	}
+	if len(c.sent) != 3 || !bytes.Equal(c.sent[1], []byte{11, 11}) {
+		t.Fatalf("scalar fallback sent %v", c.sent)
+	}
+	// ReadBatch on a scalar conn fills exactly one buffer per call.
+	bufs := []wire.Datagram{make([]byte, 8), make([]byte, 8)}
+	n, err := ReadBatch(c, bufs)
+	if n != 1 || err != nil {
+		t.Fatalf("ReadBatch = %d, %v; want 1, nil", n, err)
+	}
+	if !bytes.Equal(bufs[0], []byte{1, 2, 3}) {
+		t.Fatalf("ReadBatch filled %v", bufs[0])
+	}
+}
+
+// --- loopback: batched and scalar sends are behaviourally identical ---
+
+// TestLoopbackBatchScalarEquivalence drives the same datagram sequence
+// through a stepper-backed loopback receiver three ways — scalar Sends,
+// WriteBatch in ragged chunks, and scalar Sends through the equivalent
+// scalar Gilbert chain — and requires byte-identical delivery: the same
+// datagrams lost, the same order through the queue.
+func TestLoopbackBatchScalarEquivalence(t *testing.T) {
+	const (
+		seed  = 421
+		p, q  = 0.2, 0.4
+		total = 500
+	)
+	payload := func(i int) []byte { return []byte{byte(i >> 8), byte(i), 0xEE} }
+
+	drain := func(rx Conn) []string {
+		rx.SetReadDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
+		var got []string
+		buf := make([]byte, 16)
+		for {
+			n, err := rx.Recv(buf)
+			if err != nil {
+				return got
+			}
+			got = append(got, fmt.Sprintf("%x", buf[:n]))
+		}
+	}
+
+	stepper, ok := channel.GilbertFactory{P: p, Q: q}.Batch()
+	if !ok {
+		t.Fatal("GilbertFactory should support batched stepping")
+	}
+
+	// Scalar sends through the stepper-backed receiver.
+	hubA := NewLoopback()
+	rxA := hubA.ReceiverStepper(stepper, seed, total)
+	txA := hubA.Sender()
+	for i := 0; i < total; i++ {
+		if err := txA.Send(payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gotScalar := drain(rxA)
+	hubA.Close()
+
+	// Batched sends, ragged chunk sizes (never a multiple of 64, so
+	// StepMask widths vary across and within calls).
+	hubB := NewLoopback()
+	rxB := hubB.ReceiverStepper(stepper, seed, total)
+	txB := hubB.Sender()
+	for i, sizes := 0, []int{7, 64, 13, 1, 100}; i < total; {
+		n := sizes[i%len(sizes)]
+		if i+n > total {
+			n = total - i
+		}
+		batch := make([]wire.Datagram, n)
+		for j := range batch {
+			batch[j] = payload(i + j)
+		}
+		if w, err := WriteBatch(txB, batch); w != n || err != nil {
+			t.Fatalf("WriteBatch = %d, %v", w, err)
+		}
+		i += n
+	}
+	gotBatch := drain(rxB)
+	hubB.Close()
+
+	// Scalar Gilbert chain over the same splitmix64 stream — the golden
+	// reference the stepper is documented to reproduce bit for bit.
+	src := &core.SplitMixSource{}
+	src.Seed(seed)
+	hubC := NewLoopback()
+	rxC := hubC.Receiver(channel.NewGilbert(p, q, rand.New(src)), total)
+	txC := hubC.Sender()
+	for i := 0; i < total; i++ {
+		if err := txC.Send(payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gotChain := drain(rxC)
+	hubC.Close()
+
+	if len(gotScalar) == total {
+		t.Fatalf("loss model erased nothing across %d sends — test is vacuous", total)
+	}
+	for name, got := range map[string][]string{"batched": gotBatch, "scalar chain": gotChain} {
+		if len(got) != len(gotScalar) {
+			t.Fatalf("%s delivered %d datagrams, scalar stepper %d", name, len(got), len(gotScalar))
+		}
+		for i := range got {
+			if got[i] != gotScalar[i] {
+				t.Fatalf("%s diverges at delivery %d: %s vs %s", name, i, got[i], gotScalar[i])
+			}
+		}
+	}
+}
+
+// TestLoopbackReadBatchDrain checks the loopback ReadBatch blocks for
+// the first datagram and drains the queued rest without blocking.
+func TestLoopbackReadBatchDrain(t *testing.T) {
+	hub := NewLoopback()
+	defer hub.Close()
+	rx := hub.Receiver(nil, 64)
+	tx := hub.Sender()
+	batch := make([]wire.Datagram, 10)
+	for i := range batch {
+		batch[i] = []byte{byte(i)}
+	}
+	if _, err := WriteBatch(tx, batch); err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([]wire.Datagram, 16)
+	for i := range bufs {
+		bufs[i] = make([]byte, 8)
+	}
+	n, err := ReadBatch(rx, bufs)
+	if err != nil || n != 10 {
+		t.Fatalf("ReadBatch = %d, %v; want 10, nil", n, err)
+	}
+	for i := 0; i < n; i++ {
+		if len(bufs[i]) != 1 || bufs[i][0] != byte(i) {
+			t.Fatalf("datagram %d = %v", i, bufs[i])
+		}
+	}
+}
+
+// --- pacer: batch debit converges to the scalar long-run rate ---
+
+func TestPacerBatchConvergence(t *testing.T) {
+	const (
+		rate   = 50_000.0
+		burst  = 32
+		tokens = 5_000
+	)
+	ctx := context.Background()
+	elapse := func(step int) time.Duration {
+		p := newPacer(rate, burst, nil)
+		start := time.Now()
+		for taken := 0; taken < tokens; taken += step {
+			if err := p.take(ctx, step); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	scalar := elapse(1)
+	batched := elapse(16)
+	// The burst is free; the rest must be admitted at ~rate either way.
+	ideal := time.Duration(float64(tokens-burst) / rate * float64(time.Second))
+	for name, d := range map[string]time.Duration{"scalar": scalar, "batched": batched} {
+		if d < ideal*7/10 {
+			t.Errorf("%s pacing admitted %d tokens in %v — faster than the configured rate (ideal %v)", name, tokens, d, ideal)
+		}
+		if d > ideal*3 {
+			t.Errorf("%s pacing took %v for %d tokens — far above the configured rate (ideal %v)", name, d, tokens, ideal)
+		}
+	}
+	// take(n) with n above the burst must not deadlock and must still
+	// average the configured rate via debt accounting.
+	p := newPacer(rate, burst, nil)
+	start := time.Now()
+	const bigBatches = 20
+	for i := 0; i < bigBatches; i++ {
+		if err := p.take(ctx, 100); err != nil { // 100 > burst 32
+			t.Fatal(err)
+		}
+	}
+	d := time.Since(start)
+	idealBig := time.Duration(float64(bigBatches*100-burst) / rate * float64(time.Second))
+	if d < idealBig*7/10 {
+		t.Errorf("over-burst batches admitted in %v, ideal %v — debt accounting broken", d, idealBig)
+	}
+}
+
+// --- sender: batched round loop emits the identical carousel ---
+
+// captureBatchConn is sender_test.go's captureConn with a batch path:
+// WriteBatch records datagram by datagram, so the sender's batched
+// flushes hit a real BatchConn and land in frames in wire order.
+type captureBatchConn struct {
+	captureConn
+	batches int
+}
+
+func (c *captureBatchConn) WriteBatch(batch []wire.Datagram) (int, error) {
+	c.batches++
+	for _, d := range batch {
+		c.frames = append(c.frames, append([]byte(nil), d...))
+	}
+	return len(batch), nil
+}
+
+func (c *captureBatchConn) ReadBatch(bufs []wire.Datagram) (int, error) {
+	return readBatchScalar(c, bufs)
+}
+
+func TestSenderBatchedScalarIdenticalCarousel(t *testing.T) {
+	run := func(conn Conn, batchSize int) SenderStats {
+		t.Helper()
+		objA := encodeTestObject(t, testFile(t, 32<<10, 1), 1, wire.CodeLDGMStaircase, 2.0, 512)
+		objB := encodeTestObject(t, testFile(t, 16<<10, 2), 2, wire.CodeRSE, 1.5, 512)
+		s := NewSender(conn, SenderConfig{Rounds: 3, Seed: 9, BatchSize: batchSize})
+		if err := s.Add(objA); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Add(objB); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		s.Close()
+		return st
+	}
+	scalar := &captureConn{}
+	scalarStats := run(scalar, 0)
+	batched := &captureBatchConn{}
+	batchedStats := run(batched, 7) // odd size forces ragged tail flushes
+
+	if len(scalar.frames) != len(batched.frames) {
+		t.Fatalf("scalar sent %d datagrams, batched %d", len(scalar.frames), len(batched.frames))
+	}
+	for i := range scalar.frames {
+		if !bytes.Equal(scalar.frames[i], batched.frames[i]) {
+			t.Fatalf("carousel diverges at datagram %d", i)
+		}
+	}
+	if scalarStats.PacketsSent != batchedStats.PacketsSent || scalarStats.BytesSent != batchedStats.BytesSent {
+		t.Fatalf("stats diverge: scalar %+v, batched %+v", scalarStats, batchedStats)
+	}
+	if batchedStats.Batches == 0 || batched.batches == 0 {
+		t.Fatal("batched run recorded no batch flushes")
+	}
+	if want := batchedStats.PacketsSent - batchedStats.Batches; batchedStats.SyscallsSaved != want {
+		t.Fatalf("SyscallsSaved = %d, want packets-batches = %d", batchedStats.SyscallsSaved, want)
+	}
+	if scalarStats.Batches != 0 {
+		t.Fatalf("scalar run recorded %d batch flushes", scalarStats.Batches)
+	}
+}
+
+// discardBatchConn is discardConn with a batch path, for the alloc
+// ceiling: WriteBatch must not make the conn the allocation.
+type discardBatchConn struct {
+	packets int
+	batches int
+}
+
+func (c *discardBatchConn) Send([]byte) error { c.packets++; return nil }
+func (c *discardBatchConn) WriteBatch(batch []wire.Datagram) (int, error) {
+	c.packets += len(batch)
+	c.batches++
+	return len(batch), nil
+}
+func (c *discardBatchConn) Recv([]byte) (int, error) { return 0, ErrClosed }
+func (c *discardBatchConn) ReadBatch(bufs []wire.Datagram) (int, error) {
+	return readBatchScalar(c, bufs)
+}
+func (c *discardBatchConn) SetReadDeadline(time.Time) error { return nil }
+func (c *discardBatchConn) Close() error                    { return nil }
+func (c *discardBatchConn) LocalAddr() string               { return "discard-batch" }
+
+// TestSenderBatchedRoundAllocCeiling asserts the steady-state batched
+// round loop allocates nothing: across many rounds the amortized
+// allocations per round must stay below one (the handful of setup
+// allocations — sender, batch scratch, cursors — divided away).
+func TestSenderBatchedRoundAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation ceilings are meaningless under the race detector")
+	}
+	objA := encodeTestObject(t, testFile(t, 128<<10, 1), 1, wire.CodeLDGMStaircase, 2.5, 1024)
+	objB := encodeTestObject(t, testFile(t, 64<<10, 2), 2, wire.CodeRSE, 1.5, 1024)
+	defer objA.Close()
+	defer objB.Close()
+	conn := &discardBatchConn{}
+	const rounds = 64
+	allocs := testing.AllocsPerRun(5, func() {
+		s := NewSender(conn, SenderConfig{Seed: 2, Rounds: rounds, BatchSize: 32})
+		if err := s.Add(objA); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Add(objB); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perRound := allocs / rounds; perRound >= 1 {
+		t.Errorf("batched round loop allocates %.2f/round (%.0f total over %d rounds); want amortized 0",
+			perRound, allocs, rounds)
+	}
+	if conn.batches == 0 {
+		t.Fatal("batched path never flushed")
+	}
+}
+
+// --- end to end: a lossy cast over batched UDP sockets ---
+
+// gilbertLossConn wraps a real Conn and erases datagrams with a Gilbert
+// chain before they reach the socket — live loss injection for the e2e
+// test, applied identically on the scalar and batched write paths.
+type gilbertLossConn struct {
+	Conn
+	ch core.Channel
+}
+
+func (c *gilbertLossConn) Send(d []byte) error {
+	if c.ch.Lost() {
+		return nil
+	}
+	return c.Conn.Send(d)
+}
+
+func (c *gilbertLossConn) WriteBatch(batch []wire.Datagram) (int, error) {
+	kept := make([]wire.Datagram, 0, len(batch))
+	for _, d := range batch {
+		if !c.ch.Lost() {
+			kept = append(kept, d)
+		}
+	}
+	if _, err := WriteBatch(c.Conn, kept); err != nil {
+		return 0, err
+	}
+	return len(batch), nil
+}
+
+func (c *gilbertLossConn) ReadBatch(bufs []wire.Datagram) (int, error) {
+	return ReadBatch(c.Conn, bufs)
+}
+
+// TestCastBatchedUDPGilbertEndToEnd casts 500 KiB through Gilbert loss
+// over real UDP sockets with the whole batched datapath engaged —
+// batched carousel flushes, sendmmsg/GSO where available, recvmmsg
+// ingest — and requires the collected stream to hash identically to the
+// source.
+func TestCastBatchedUDPGilbertEndToEnd(t *testing.T) {
+	rxConn, txConn := udpPair(t)
+	src := &core.SplitMixSource{}
+	src.Seed(77)
+	lossy := &gilbertLossConn{Conn: txConn, ch: channel.NewGilbert(0.02, 0.5, rand.New(src))}
+
+	source := testFile(t, 500<<10, 3)
+	var sink bytes.Buffer
+	col := NewCollector(rxConn, &sink, CollectorConfig{BaseObjectID: 900, ReadBatch: 32})
+	colCtx, cancelCol := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancelCol()
+	colDone := make(chan error, 1)
+	go func() { colDone <- col.Run(colCtx) }()
+
+	caster, err := NewCaster(lossy, bytes.NewReader(source), CasterConfig{
+		BaseObjectID: 900,
+		K:            64,
+		PayloadSize:  1024,
+		Ratio:        1.8,
+		Rounds:       3,
+		BatchSize:    32,
+		// Pace below the loopback interface's comfort zone so kernel
+		// buffers cannot overflow even on a loaded runner; loss comes
+		// from the Gilbert chain, not congestion.
+		Rate: 20_000,
+		Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := caster.Run(context.Background()); err != nil {
+		t.Fatalf("caster: %v", err)
+	}
+	if err := <-colDone; err != nil {
+		t.Fatalf("collector: %v (stats %+v)", err, col.CollectStats())
+	}
+	if sha256.Sum256(sink.Bytes()) != sha256.Sum256(source) {
+		t.Fatal("collected stream hash differs from source")
+	}
+	if lossyStats := col.Stats(); lossyStats.PacketsSeen == 0 {
+		t.Fatal("collector saw no packets")
+	}
+}

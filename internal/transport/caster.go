@@ -54,6 +54,9 @@ type CasterConfig struct {
 	// Burst is the token-bucket depth.
 	Rate  float64
 	Burst int
+	// BatchSize vectorizes the group senders' round loops — see
+	// SenderConfig.BatchSize. 0 or 1 keeps the scalar path.
+	BatchSize int
 	// Window bounds how many chunks are FEC-encoded and resident at
 	// once (default DefaultWindow) — the sender-side memory bound and
 	// the backpressure on the source reader: reading pauses while a
@@ -224,6 +227,7 @@ func (c *Caster) Run(ctx context.Context) error {
 		s := NewSender(c.conn, SenderConfig{
 			Rate:      c.cfg.Rate,
 			Burst:     c.cfg.Burst,
+			BatchSize: c.cfg.BatchSize,
 			Rounds:    c.cfg.Rounds,
 			Scheduler: c.cfg.Scheduler,
 			// Every group draws fresh schedules: the sender reseeds per

@@ -33,11 +33,12 @@ type CollectorConfig struct {
 	// the sender's Window. Overflow is a hard error — on a one-pass
 	// stream a chunk that outruns the bound will never be writable.
 	MaxPending int
-	// MaxInFlight, MaxObjectPackets and MTU pass through to the
-	// underlying ReceiverDaemon (see ReceiverConfig).
+	// MaxInFlight, MaxObjectPackets, MTU and ReadBatch pass through to
+	// the underlying ReceiverDaemon (see ReceiverConfig).
 	MaxInFlight      int
 	MaxObjectPackets int
 	MTU              int
+	ReadBatch        int
 	// OnProgress, when set, is called — on the Run goroutine — after
 	// every in-order chunk write and when the manifest arrives.
 	OnProgress func(CollectProgress)
@@ -104,6 +105,7 @@ func NewCollector(conn Conn, dst io.Writer, cfg CollectorConfig) *Collector {
 		MaxInFlight:      cfg.MaxInFlight,
 		MaxObjectPackets: cfg.MaxObjectPackets,
 		MTU:              cfg.MTU,
+		ReadBatch:        cfg.ReadBatch,
 		// The collector consumes every object as it decodes; the
 		// daemon's completed-bytes ring only needs to exist.
 		MaxCompleted: 1,

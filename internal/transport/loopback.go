@@ -7,7 +7,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fecperf/internal/channel"
 	"fecperf/internal/core"
+	"fecperf/internal/wire"
 )
 
 // DefaultLoopbackQueue is the per-receiver queue depth when
@@ -44,16 +46,41 @@ func (l *Loopback) Sender() Conn {
 // is owned by the endpoint afterwards; do not share one core.Channel
 // between receivers — the models are stateful.
 func (l *Loopback) Receiver(ch core.Channel, queue int) Conn {
+	c := newLoopConn(l, queue)
+	c.ch = ch
+	return l.attach(c)
+}
+
+// ReceiverStepper attaches a receiving endpoint whose loss process is
+// the batched stepper st over a splitmix64 stream seeded with seed. It
+// is the batch-native sibling of Receiver: a WriteBatch fan-out steps
+// the chain in 64-wide StepMask calls — one lock acquisition and no
+// interface dispatch per batch — while scalar Sends step it one mask
+// bit at a time, so the loss sequence is bit-identical either way (and
+// identical to the scalar chain the stepper's factory builds over a
+// core.SplitMixSource with the same seed). queue <= 0 selects
+// DefaultLoopbackQueue.
+func (l *Loopback) ReceiverStepper(st channel.Stepper, seed int64, queue int) Conn {
+	c := newLoopConn(l, queue)
+	c.useStepper = true
+	c.stepper = st
+	c.chState = uint64(seed)
+	return l.attach(c)
+}
+
+func newLoopConn(l *Loopback, queue int) *loopConn {
 	if queue <= 0 {
 		queue = DefaultLoopbackQueue
 	}
-	c := &loopConn{
+	return &loopConn{
 		hub:      l,
-		ch:       ch,
 		queue:    make(chan []byte, queue),
 		closed:   make(chan struct{}),
 		deadline: newDeadline(),
 	}
+}
+
+func (l *Loopback) attach(c *loopConn) Conn {
 	l.mu.Lock()
 	if l.closed {
 		// Attaching to a closed medium yields an already-closed conn
@@ -101,6 +128,35 @@ func (l *Loopback) broadcast(datagram []byte) error {
 	return nil
 }
 
+// broadcastBatch offers a batch to every attached receiver. The copies
+// all receivers share live in one backing allocation, and each receiver
+// applies its loss model to the whole batch under a single lock.
+func (l *Loopback) broadcastBatch(batch []wire.Datagram) (int, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("transport: loopback: %w", ErrClosed)
+	}
+	rxs := make([]*loopConn, len(l.receivers))
+	copy(rxs, l.receivers)
+	l.mu.Unlock()
+	total := 0
+	for _, d := range batch {
+		total += len(d)
+	}
+	backing := make([]byte, 0, total)
+	copies := make([][]byte, len(batch))
+	for i, d := range batch {
+		start := len(backing)
+		backing = append(backing, d...)
+		copies[i] = backing[start:len(backing):len(backing)]
+	}
+	for _, c := range rxs {
+		c.deliverBatch(copies)
+	}
+	return len(batch), nil
+}
+
 // loopSender is the transmitting endpoint of a Loopback.
 type loopSender struct {
 	hub    *Loopback
@@ -114,7 +170,21 @@ func (s *loopSender) Send(datagram []byte) error {
 	return s.hub.broadcast(datagram)
 }
 
+// WriteBatch implements BatchConn: the whole batch crosses the hub with
+// one lock round trip and one backing copy per receiver set, and each
+// receiver steps its loss model over the batch in 64-wide masks.
+func (s *loopSender) WriteBatch(batch []wire.Datagram) (int, error) {
+	if s.closed.Load() {
+		return 0, fmt.Errorf("transport: loopback sender: %w", ErrClosed)
+	}
+	return s.hub.broadcastBatch(batch)
+}
+
 func (s *loopSender) Recv([]byte) (int, error) {
+	return 0, fmt.Errorf("transport: loopback sender cannot receive")
+}
+
+func (s *loopSender) ReadBatch([]wire.Datagram) (int, error) {
 	return 0, fmt.Errorf("transport: loopback sender cannot receive")
 }
 
@@ -127,13 +197,20 @@ func (s *loopSender) Close() error {
 
 func (s *loopSender) LocalAddr() string { return "loopback(sender)" }
 
-// loopConn is a receiving endpoint: a bounded queue behind a loss model.
+// loopConn is a receiving endpoint: a bounded queue behind a loss model
+// — either a scalar core.Channel or, for ReceiverStepper endpoints, a
+// batched channel.Stepper over raw splitmix64 state.
 type loopConn struct {
 	hub   *Loopback
 	queue chan []byte
 
-	chMu sync.Mutex // guards ch (stateful, shared across senders' deliveries)
+	chMu sync.Mutex // guards ch / (chState, chLost): stateful, shared across senders' deliveries
 	ch   core.Channel
+
+	useStepper bool
+	stepper    channel.Stepper
+	chState    uint64 // raw splitmix64 stream state
+	chLost     bool   // Gilbert chain state (in the loss state?)
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -153,7 +230,15 @@ func (c *loopConn) deliver(datagram []byte) {
 		return
 	default:
 	}
-	if c.ch != nil {
+	if c.useStepper {
+		c.chMu.Lock()
+		lost := c.stepper.StepMask(&c.chState, &c.chLost, 1) != 0
+		c.chMu.Unlock()
+		if lost {
+			c.erased.Add(1)
+			return
+		}
+	} else if c.ch != nil {
 		c.chMu.Lock()
 		lost := c.ch.Lost()
 		c.chMu.Unlock()
@@ -169,8 +254,55 @@ func (c *loopConn) deliver(datagram []byte) {
 	}
 }
 
+// deliverBatch is deliver for a whole batch: one lock acquisition, the
+// loss model stepped in up to 64-wide masks. A stepper endpoint draws
+// exactly the same splitmix64 sequence as n scalar delivers would —
+// StepMask's chunking does not change the stream — so batched and
+// scalar sends produce byte-identical loss patterns.
+func (c *loopConn) deliverBatch(datagrams [][]byte) {
+	select {
+	case <-c.closed:
+		return
+	default:
+	}
+	c.chMu.Lock()
+	defer c.chMu.Unlock()
+	for i := 0; i < len(datagrams); i += 64 {
+		n := len(datagrams) - i
+		if n > 64 {
+			n = 64
+		}
+		var mask uint64
+		switch {
+		case c.useStepper:
+			mask = c.stepper.StepMask(&c.chState, &c.chLost, n)
+		case c.ch != nil:
+			for j := 0; j < n; j++ {
+				if c.ch.Lost() {
+					mask |= 1 << uint(j)
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			if mask&(1<<uint(j)) != 0 {
+				c.erased.Add(1)
+				continue
+			}
+			select {
+			case c.queue <- datagrams[i+j]:
+			default:
+				c.dropped.Add(1)
+			}
+		}
+	}
+}
+
 func (c *loopConn) Send([]byte) error {
 	return fmt.Errorf("transport: loopback receiver cannot send")
+}
+
+func (c *loopConn) WriteBatch([]wire.Datagram) (int, error) {
+	return 0, fmt.Errorf("transport: loopback receiver cannot send")
 }
 
 func (c *loopConn) Recv(buf []byte) (int, error) {
@@ -196,6 +328,31 @@ func (c *loopConn) Recv(buf []byte) (int, error) {
 			// applies to pending reads too).
 		}
 	}
+}
+
+// ReadBatch implements BatchConn: it blocks for the first datagram with
+// Recv's exact deadline/close semantics, then drains whatever else is
+// already queued without blocking again.
+func (c *loopConn) ReadBatch(bufs []wire.Datagram) (int, error) {
+	if len(bufs) == 0 {
+		return 0, nil
+	}
+	n, err := c.Recv(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	bufs[0] = bufs[0][:n]
+	filled := 1
+	for filled < len(bufs) {
+		select {
+		case d := <-c.queue:
+			bufs[filled] = bufs[filled][:copy(bufs[filled], d)]
+			filled++
+		default:
+			return filled, nil
+		}
+	}
+	return filled, nil
 }
 
 func (c *loopConn) SetReadDeadline(t time.Time) error {

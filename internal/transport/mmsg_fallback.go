@@ -1,0 +1,29 @@
+//go:build !(linux && (amd64 || arm64))
+
+package transport
+
+import "fecperf/internal/wire"
+
+// Portable batch datapath: platforms without sendmmsg/recvmmsg (or
+// where the mmsghdr ABI here isn't vetted) satisfy the BatchConn
+// contract with the per-datagram loops, so callers program against one
+// API and the build tags decide how many syscalls it costs.
+
+// udpBatch has no portable state.
+type udpBatch struct{}
+
+func (u *udpConn) initBatch() {}
+
+// GSOEnabled reports false: UDP generic segmentation offload is a
+// Linux-only socket feature.
+func (u *udpConn) GSOEnabled() bool { return false }
+
+// WriteBatch implements BatchConn with one Send per datagram.
+func (u *udpConn) WriteBatch(batch []wire.Datagram) (int, error) {
+	return writeBatchScalar(u, batch)
+}
+
+// ReadBatch implements BatchConn with a single Recv.
+func (u *udpConn) ReadBatch(bufs []wire.Datagram) (int, error) {
+	return readBatchScalar(u, bufs)
+}

@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package transport
+
+// sendmmsg/recvmmsg syscall numbers for linux/amd64. The frozen stdlib
+// syscall package predates both calls, so the numbers live here (they
+// are ABI-stable per architecture).
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

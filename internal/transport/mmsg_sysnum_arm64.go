@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package transport
+
+// sendmmsg/recvmmsg syscall numbers for linux/arm64 (the asm-generic
+// table all 64-bit non-x86 Linux ports share).
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

@@ -36,8 +36,18 @@ func newPacer(rate float64, burst int, waitNS *obs.Counter) *pacer {
 // wait blocks until one token is available (or ctx is done) and consumes
 // it. Refill accounting is exact: tokens accrue continuously at rate and
 // cap at burst.
-func (p *pacer) wait(ctx context.Context) error {
-	if p == nil {
+func (p *pacer) wait(ctx context.Context) error { return p.take(ctx, 1) }
+
+// take blocks until n tokens are available (or ctx is done) and consumes
+// them in one debit — the batched sender charges a whole flush with one
+// call instead of n. Refill accounting is exact: tokens accrue
+// continuously at rate and cap at burst. n may exceed the burst: the
+// bucket then goes into debt (tokens become negative after the debit),
+// so a steady stream of over-burst batches still averages exactly rate
+// packets per second — the same long-run admission the scalar path
+// gives, delivered in batch-sized bursts.
+func (p *pacer) take(ctx context.Context, n int) error {
+	if p == nil || n <= 0 {
 		// Still honour cancellation on the fast path.
 		select {
 		case <-ctx.Done():
@@ -46,17 +56,25 @@ func (p *pacer) wait(ctx context.Context) error {
 			return nil
 		}
 	}
+	need := float64(n)
+	// Over-burst batches cannot wait for the bucket to hold n at once —
+	// it never will. Wait only until the bucket is full (or holds n),
+	// then debit and run negative; the debt throttles later takes.
+	target := need
+	if target > p.burst {
+		target = p.burst
+	}
 	now := time.Now()
 	p.tokens += now.Sub(p.last).Seconds() * p.rate
 	p.last = now
 	if p.tokens > p.burst {
 		p.tokens = p.burst
 	}
-	if p.tokens >= 1 {
-		p.tokens--
+	if p.tokens >= target {
+		p.tokens -= need
 		return nil
 	}
-	delay := time.Duration((1 - p.tokens) / p.rate * float64(time.Second))
+	delay := time.Duration((target - p.tokens) / p.rate * float64(time.Second))
 	p.waitNS.Add(uint64(delay))
 	t := time.NewTimer(delay)
 	defer t.Stop()
@@ -69,7 +87,7 @@ func (p *pacer) wait(ctx context.Context) error {
 		if p.tokens > p.burst {
 			p.tokens = p.burst
 		}
-		p.tokens--
+		p.tokens -= need
 		return nil
 	}
 }

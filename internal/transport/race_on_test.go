@@ -1,0 +1,7 @@
+//go:build race
+
+package transport
+
+// raceEnabled skips the alloc-ceiling tests under the race detector,
+// whose instrumentation allocates on its own.
+const raceEnabled = true

@@ -8,11 +8,14 @@ import (
 	"time"
 )
 
-// udpConn adapts *net.UDPConn to the Conn interface. The sender side is
-// a connected socket (unicast, broadcast or multicast destination); the
-// receiver side is a bound — and, for multicast groups, joined — socket.
+// udpConn adapts *net.UDPConn to the Conn interface — and, through the
+// udpBatch state (mmsg_linux.go / mmsg_fallback.go), to BatchConn. The
+// sender side is a connected socket (unicast, broadcast or multicast
+// destination); the receiver side is a bound — and, for multicast
+// groups, joined — socket.
 type udpConn struct {
-	c *net.UDPConn
+	c     *net.UDPConn
+	batch udpBatch
 }
 
 // DialUDP returns a sending endpoint for addr ("host:port"). A multicast
@@ -27,7 +30,9 @@ func DialUDP(addr string) (Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %q: %w", addr, err)
 	}
-	return &udpConn{c: c}, nil
+	u := &udpConn{c: c}
+	u.initBatch()
+	return u, nil
 }
 
 // ListenUDP returns a receiving endpoint bound to addr ("host:port" or
@@ -51,7 +56,9 @@ func ListenUDP(addr string) (Conn, error) {
 	// FEC broadcasts are bursty; absorb what the scheduler hands the
 	// kernel between our reads. Best effort — some systems clamp it.
 	c.SetReadBuffer(8 << 20) //nolint:errcheck
-	return &udpConn{c: c}, nil
+	u := &udpConn{c: c}
+	u.initBatch()
+	return u, nil
 }
 
 func (u *udpConn) Send(datagram []byte) error {

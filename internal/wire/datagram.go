@@ -1,0 +1,12 @@
+package wire
+
+// Datagram is one encoded datagram as raw wire bytes — the unit the
+// transport layer's batch APIs move. A batch of datagrams is a
+// []Datagram whose elements typically view one packed scratch region
+// (the sender encodes a whole batch into a single buffer and flushes it
+// with one kernel crossing), but any byte slice works.
+//
+// On the read side, a []Datagram doubles as a buffer set: callers pass
+// slices sized for the expected MTU and implementations re-slice each
+// filled element to the received datagram's length.
+type Datagram = []byte

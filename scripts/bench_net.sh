@@ -1,0 +1,99 @@
+#!/usr/bin/env sh
+# Runs the kernel-batched datapath benchmarks and emits BENCH_net.json —
+# the perf record for the sendmmsg/recvmmsg + UDP GSO transport: scalar
+# (one syscall per datagram) vs batched (32 datagrams per kernel
+# crossing) write rates on a real connected UDP socket and on the
+# in-process loopback hub, plus the vectorized sender carousel round.
+# The headline is udp_batch_speedup: batched UDP writes must move at
+# least 4x the packets per second of the per-datagram baseline (the
+# gate is skipped when the kernel lacks the mmsg datapath, e.g. on
+# non-Linux). Usage:
+#
+#   scripts/bench_net.sh [benchtime] [output.json] [scope]
+#
+# benchtime defaults to 1s per benchmark; output defaults to
+# BENCH_net.json in the repository root. scope "loopback" runs only the
+# in-process benchmarks (the CI smoke — no UDP sockets, no 4x gate);
+# the default "all" runs everything.
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-1s}"
+OUT="${2:-BENCH_net.json}"
+SCOPE="${3:-all}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+case "$SCOPE" in
+loopback)
+    PAT='BenchmarkLoopbackWrite(Scalar|Batch)$|BenchmarkSenderRoundBatched$'
+    ;;
+all)
+    PAT='BenchmarkUDPWrite(Scalar|Batch)$|BenchmarkLoopbackWrite(Scalar|Batch)$|BenchmarkSenderRound(Batched)?$'
+    ;;
+*)
+    echo "bench_net: unknown scope '$SCOPE' (want all or loopback)" >&2
+    exit 2
+    ;;
+esac
+
+go test -run '^$' -bench "$PAT" -benchtime "$BENCHTIME" -count 1 \
+    ./internal/transport | tee "$RAW"
+
+# The 4x gate only holds where the sendmmsg/GSO datapath exists; on
+# other platforms WriteBatch is the portable per-datagram fallback.
+GATE=0
+case "$(go env GOOS)/$(go env GOARCH)" in
+linux/amd64 | linux/arm64) GATE=1 ;;
+esac
+
+awk -v out="$OUT" -v scope="$SCOPE" -v gate="$GATE" '
+function grab(line,    i) {
+    pps = ""; ns = ""; allocs = ""
+    for (i = 1; i <= NF; i++) {
+        if ($(i+1) == "pkts/s")    pps = $i
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+}
+/^BenchmarkUDPWriteScalar/      { grab(); us_pps = pps }
+/^BenchmarkUDPWriteBatch/       { grab(); ub_pps = pps }
+/^BenchmarkLoopbackWriteScalar/ { grab(); ls_pps = pps }
+/^BenchmarkLoopbackWriteBatch/  { grab(); lb_pps = pps }
+/^BenchmarkSenderRound-|^BenchmarkSenderRound /        { grab(); sr_ns = ns }
+/^BenchmarkSenderRoundBatched/  { grab(); sb_ns = ns; sb_a = allocs }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+END {
+    if (ls_pps == "" || lb_pps == "" || sb_ns == "") {
+        print "bench_net: missing benchmark output" > "/dev/stderr"
+        exit 1
+    }
+    if (scope == "all" && (us_pps == "" || ub_pps == "" || sr_ns == "")) {
+        print "bench_net: missing UDP benchmark output" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n" > out
+    printf "  \"benchmark\": \"net\",\n" >> out
+    printf "  \"cpu\": \"%s\",\n", cpu >> out
+    printf "  \"scope\": \"%s\",\n", scope >> out
+    printf "  \"datagram_bytes\": 1024,\n" >> out
+    printf "  \"batch_size\": 32,\n" >> out
+    if (scope == "all") {
+        printf "  \"udp_scalar_pkts_per_sec\": %s,\n", us_pps >> out
+        printf "  \"udp_batch_pkts_per_sec\": %s,\n", ub_pps >> out
+        printf "  \"udp_batch_speedup\": %.2f,\n", ub_pps / us_pps >> out
+        printf "  \"sender_round_scalar_ns\": %s,\n", sr_ns >> out
+        printf "  \"sender_round_batched_ns\": %s,\n", sb_ns >> out
+    }
+    printf "  \"loopback_scalar_pkts_per_sec\": %s,\n", ls_pps >> out
+    printf "  \"loopback_batch_pkts_per_sec\": %s,\n", lb_pps >> out
+    printf "  \"loopback_batch_speedup\": %.2f,\n", lb_pps / ls_pps >> out
+    printf "  \"sender_round_batched_allocs\": %s\n", sb_a >> out
+    printf "}\n" >> out
+    if (scope == "all" && gate == 1 && ub_pps / us_pps < 4) {
+        printf "bench_net: udp batch speedup %.2fx below the 4x gate\n", ub_pps / us_pps > "/dev/stderr"
+        exit 1
+    }
+}' "$RAW"
+
+echo "wrote $OUT"

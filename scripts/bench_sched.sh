@@ -21,7 +21,7 @@ trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' -bench 'BenchmarkScheduleDraw(Old)?Tx4$|BenchmarkScheduleWalk(Old|At)?Tx4$' \
     -benchtime "$BENCHTIME" -count 1 ./internal/sched | tee "$RAW"
-go test -run '^$' -bench 'BenchmarkSenderRound$' \
+go test -run '^$' -bench 'BenchmarkSenderRound(Batched)?$' \
     -benchtime "$BENCHTIME" -count 1 ./internal/transport | tee -a "$RAW"
 
 awk -v out="$OUT" '
@@ -37,10 +37,11 @@ function grab(line,    i) {
 /^BenchmarkScheduleWalkTx4/    { grab(); wn_ns = ns; wn_a = allocs }
 /^BenchmarkScheduleWalkAtTx4/  { grab(); wa_ns = ns; wa_a = allocs }
 /^BenchmarkScheduleWalkOldTx4/ { grab(); wo_ns = ns; wo_a = allocs }
-/^BenchmarkSenderRound/        { grab(); sr_ns = ns; sr_b = bytes; sr_a = allocs }
+/^BenchmarkSenderRound-|^BenchmarkSenderRound /        { grab(); sr_ns = ns; sr_b = bytes; sr_a = allocs }
+/^BenchmarkSenderRoundBatched/ { grab(); sb_ns = ns; sb_b = bytes; sb_a = allocs }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 END {
-    if (dn_ns == "" || do_ns == "" || wn_ns == "" || wa_ns == "" || wo_ns == "" || sr_ns == "") {
+    if (dn_ns == "" || do_ns == "" || wn_ns == "" || wa_ns == "" || wo_ns == "" || sr_ns == "" || sb_ns == "") {
         print "bench_sched: missing benchmark output" > "/dev/stderr"
         exit 1
     }
@@ -65,7 +66,10 @@ END {
     printf "  \"schedule_walk_cursor_vs_at\": %.2f,\n", wa_ns / wn_ns >> out
     printf "  \"sender_round_ns\": %s,\n", sr_ns >> out
     printf "  \"sender_round_bytes\": %s,\n", sr_b >> out
-    printf "  \"sender_round_allocs\": %s\n", sr_a >> out
+    printf "  \"sender_round_allocs\": %s,\n", sr_a >> out
+    printf "  \"sender_round_batched_ns\": %s,\n", sb_ns >> out
+    printf "  \"sender_round_batched_bytes\": %s,\n", sb_b >> out
+    printf "  \"sender_round_batched_allocs\": %s\n", sb_a >> out
     printf "}\n" >> out
 }' "$RAW"
 
