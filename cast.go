@@ -67,6 +67,7 @@ func NewCaster(conn TransportConn, src io.Reader, opts ...Option) (*Caster, erro
 		Scheduler:    c.Scheduler,
 		Rate:         c.Rate,
 		Burst:        c.Burst,
+		Pacer:        c.Pacer,
 		BatchSize:    c.BatchSize,
 		Window:       c.Window,
 		Rounds:       c.Rounds,

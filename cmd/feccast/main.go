@@ -47,6 +47,13 @@ func main() {
 	}
 }
 
+// signalContext returns the context every subcommand runs under:
+// cancelled by SIGINT and SIGTERM alike, so an orchestrator's shutdown
+// signal stops a carousel as cleanly as an interactive Ctrl-C.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
 // setupObs starts the observability side of a subcommand: a metrics
 // endpoint on metricsAddr (empty = none) and a JSONL lifecycle tracer
 // to traceFile (empty = none, "-" = stderr). The returned registry and
@@ -219,7 +226,7 @@ func runSend(args []string) error {
 	fmt.Fprintf(os.Stderr, "broadcasting %s (%d bytes) as object %d to %s: k=%d n=%d codec=%s @ %.0f pkt/s\n",
 		*file, len(data), cfg.BaseObjectID, *addr, obj.K(), obj.N(), cfg.Codec.Name(), cfg.Rate)
 
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stopSignals := signalContext()
 	defer stopSignals()
 	err = s.Run(ctx)
 	st := s.Stats()
@@ -257,7 +264,7 @@ func runRecv(args []string) error {
 	}
 	defer obsDone()
 
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stopSignals := signalContext()
 	defer stopSignals()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -378,7 +385,7 @@ func runCast(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "casting %s to %s (spec %q)\n", *file, *addr, *specLine)
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stopSignals := signalContext()
 	defer stopSignals()
 	err = caster.Run(ctx)
 	st := caster.Stats()
@@ -444,7 +451,7 @@ func runCollect(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "collecting on %s (spec %q)\n", conn.LocalAddr(), *specLine)
 
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stopSignals := signalContext()
 	defer stopSignals()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

@@ -44,6 +44,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"fecperf"
 	"fecperf/internal/channel"
@@ -53,14 +54,23 @@ import (
 )
 
 func main() {
-	// Ctrl-C cancels cleanly: cells finished so far are already in the
-	// checkpoint file, so the same command resumes the sweep.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C or SIGTERM cancels cleanly: cells finished so far are
+	// already in the checkpoint file, so the same command resumes the
+	// sweep. Supervisors (systemd, container runtimes) send SIGTERM, so
+	// it must checkpoint as gracefully as an interactive interrupt.
+	ctx, stop := signalContext()
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "fecsim:", err)
 		os.Exit(1)
 	}
+}
+
+// signalContext returns the process-lifetime context: cancelled by
+// SIGINT and SIGTERM alike, so interactive interrupts and supervisor
+// shutdowns take the same graceful checkpoint-and-exit path.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSIGTERMCancelsSweep regression-tests the exact wiring main
+// installs: a real SIGTERM must cancel signalContext — same as SIGINT
+// — so supervised runs checkpoint and exit instead of dying mid-cell.
+func TestSIGTERMCancelsSweep(t *testing.T) {
+	ctx, stop := signalContext()
+	defer stop()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("SIGTERM did not cancel the signal context")
+	}
+	// The cancelled context aborts the sweep the way an interactive
+	// interrupt does: run returns the context error, and the resume
+	// hint appears because a checkpoint file was named.
+	var out, errs bytes.Buffer
+	resume := t.TempDir() + "/cells.jsonl"
+	err := run(ctx, []string{"-k", "100", "-trials", "2", "-grid", "0,0.1", "-resume", resume}, &out, &errs)
+	if err == nil {
+		t.Fatal("run completed despite the terminated context")
+	}
+	if !bytes.Contains(errs.Bytes(), []byte("-resume")) {
+		t.Fatalf("no resume hint on interrupted sweep (stderr: %s)", errs.String())
+	}
+}

@@ -32,7 +32,11 @@
 //   - streaming large-object delivery on top of it: a Caster that cuts an
 //     io.Reader of arbitrary size into a train of FEC-encoded chunks with
 //     bounded memory, and a Collector that reassembles the train in order
-//     into an io.Writer with end-to-end verification.
+//     into an io.Writer with end-to-end verification;
+//   - a long-running broadcast daemon (NewBroadcastDaemon, cmd/feccastd)
+//     multiplexing many live casts over one shared hierarchical pacer,
+//     with an HTTP control plane, round-boundary reloads and graceful
+//     drain.
 //
 // # The unified spec grammar
 //
@@ -176,6 +180,34 @@
 // speedup in BENCH_net.json (gated at 4x packets/s over the
 // per-datagram baseline on the mmsg datapath).
 //
+// # Broadcast daemon
+//
+// NewBroadcastDaemon multiplexes many concurrent casts — file
+// carousels and streaming Caster trains — through one process, one
+// shared rate budget and one batched socket per destination group.
+// The budget is a hierarchical token-bucket pacer (NewSharedPacer):
+// each cast's share is assured rate·weight/Σweights, idle capacity
+// spills into a surplus pool any busy cast may borrow, so the pacer is
+// work-conserving and contended casts split the line rate in exact
+// weight proportion. WithPacer hands a PacerShare to any standalone
+// sender or caster for custom topologies.
+//
+// Casts are one-line CastSpecs (ParseCastSpec — the unified grammar
+// plus name= and weight=) and fully live: AddCast/RemoveCast while
+// running, Reload applying mutable keys (weight, rate of change keys,
+// codec parameters) at a round boundary so receivers only ever see
+// whole decodable rounds — immutable keys (addr, object, source) are
+// rejected with a diff error. Drain stops every cast after its
+// in-flight round, bounded by DrainTimeout. ControlHandler serves the
+// JSON control plane (GET/POST /casts, POST /casts/{name}/reload,
+// DELETE /casts/{name}, POST /drain) and mounts on the metrics server
+// via MetricsServeConfig.Extra; per-cast counters land in the shared
+// registry labelled {cast="name"}. cmd/feccastd wraps all of it in a
+// supervisor-friendly binary: -casts spec file, SIGHUP convergence,
+// SIGTERM graceful drain. scripts/bench_daemon.sh gates the
+// multiplexing cost (>=0.9x independent senders) and fairness (<=10%
+// per-cast deviation) in BENCH_daemon.json.
+//
 // # Experiment engine
 //
 // Simulate and SweepGrid cover single points and (p, q) grids; RunPlan is
@@ -276,7 +308,16 @@
 // caster_bytes_read_total, caster_pacer_wait_ns_total,
 // caster_window_chunks. Collector: collector_chunks_written_total,
 // collector_bytes_written_total, collector_crc_failures_total,
-// collector_pending_chunks. Session (process-wide, attached by
+// collector_pending_chunks. Broadcast daemon (Config.Metrics):
+// daemon_casts, daemon_groups, daemon_rate_pps, daemon_reloads_total,
+// daemon_drains_total, daemon_cast_errors_total,
+// daemon_casts_added_total, daemon_casts_removed_total, and per cast
+// under the {cast="name"} label daemon_cast_packets_total,
+// daemon_cast_bytes_total, daemon_cast_rounds_total,
+// daemon_cast_pacer_wait_ns_total, daemon_cast_reloads_total,
+// daemon_cast_weight and daemon_cast_share_utilization_permille
+// (1000 means consuming exactly the assured share; above means
+// borrowing idle capacity). Session (process-wide, attached by
 // NewMetricsRegistry): session_encode_seconds and
 // session_decode_seconds histograms. Symbol pool (process-wide):
 // symbol_pool_gets_total, symbol_pool_puts_total,

@@ -186,6 +186,11 @@ type Config struct {
 	Metrics     *obs.Registry
 	Tracer      *obs.Tracer
 	MetricsAddr string
+	// Pacer substitutes an external admission source — typically a
+	// SharedPacer share (WithPacer) — for the private token bucket a
+	// caster or broadcaster would build from Rate/Burst, which are
+	// ignored when it is set. Go-only: it does not serialize into Spec.
+	Pacer Pacer
 }
 
 // Option mutates a Config; every top-level constructor accepts a list.
@@ -290,6 +295,18 @@ func WithRate(packetsPerSecond float64) Option {
 func WithBurst(n int) Option {
 	return func(c *Config) error {
 		c.Burst = n
+		return nil
+	}
+}
+
+// WithPacer substitutes an external admission source — typically a
+// share of a NewSharedPacer — for the private token bucket Rate/Burst
+// would configure; both are ignored when a pacer is set. Several
+// casters or broadcasters handed shares of one SharedPacer split a
+// single global rate instead of pacing independently.
+func WithPacer(p Pacer) Option {
+	return func(c *Config) error {
+		c.Pacer = p
 		return nil
 	}
 }
@@ -600,6 +617,9 @@ func (c Config) overlay(dst *Config) {
 	}
 	if c.MetricsAddr != "" {
 		dst.MetricsAddr = c.MetricsAddr
+	}
+	if c.Pacer != nil {
+		dst.Pacer = c.Pacer
 	}
 }
 

@@ -1,0 +1,592 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"fecperf/internal/core"
+	"fecperf/internal/obs"
+	"fecperf/internal/sched"
+	"fecperf/internal/session"
+	"fecperf/internal/transport"
+)
+
+// Cast states reported on the control plane.
+const (
+	StateRunning  = "running"
+	StateDraining = "draining"
+	StateDone     = "done"
+	StateFailed   = "failed"
+)
+
+// castObject pairs a carousel object's encoded form with its retained
+// source bytes: a ratio (or nsent) reload re-encodes from the source at
+// the next round boundary, so the cast owns both for its lifetime.
+type castObject struct {
+	id   uint32
+	data []byte
+	obj  *session.Object
+}
+
+// Cast is one running broadcast inside the daemon: a carousel of
+// encoded objects or a streaming chunk train, drawing transmission
+// tokens from its PacerShare. All mutation (reload, object add/remove,
+// drain) is queued and applied by the cast's own goroutine at the next
+// round boundary — the carousel is never chopped mid-round.
+type Cast struct {
+	name string
+	d    *Daemon
+
+	share  *transport.PacerShare
+	gc     *groupConn
+	cancel context.CancelFunc
+	done   chan struct{}
+	kick   chan struct{} // wakes an idle (objectless) carousel loop
+
+	mu       sync.Mutex
+	spec     CastSpec
+	pending  *CastSpec // reload applying at the next round boundary
+	addQ     []castObject
+	removeQ  []uint32
+	objs     []*castObject
+	round    int // next carousel round — the deterministic resume point
+	state    string
+	err      error
+	drainReq bool
+	progress transport.CastProgress // stream mode only
+
+	packets   obs.Counter
+	bytes     obs.Counter
+	rounds    obs.Counter // carousel rounds, or stream chunks cast
+	pacerWait obs.Counter
+	reloads   obs.Counter
+}
+
+// payloadSize returns the cast's symbol size with the default applied.
+func (cs CastSpec) payloadSize() int {
+	if cs.Payload > 0 {
+		return cs.Payload
+	}
+	return 1024
+}
+
+// scheduler resolves the cast's scheduler name (nil for the default,
+// which the sender maps to Tx_model_4). Specs are validated at parse
+// and reload time, so resolution here cannot fail for a live cast.
+func (cs CastSpec) scheduler() core.Scheduler {
+	if cs.Sched == "" {
+		return nil
+	}
+	s, err := sched.ByName(cs.Sched)
+	if err != nil {
+		return nil
+	}
+	return s
+}
+
+// encodeObject FEC-encodes one carousel object under the given spec.
+// The object seed derives from (cast seed, object id) so two objects of
+// one cast never share an LDGM construction.
+func encodeObject(cs CastSpec, id uint32, data []byte) (*session.Object, error) {
+	fam, err := cs.Codec.WireFamily()
+	if err != nil {
+		return nil, fmt.Errorf("daemon: cast %s: %w", cs.Name, err)
+	}
+	obj, err := session.EncodeObject(data, session.SenderConfig{
+		ObjectID:    id,
+		Family:      fam,
+		Ratio:       cs.Codec.EffectiveRatio(),
+		PayloadSize: cs.payloadSize(),
+		Seed:        core.DeriveSeed(cs.Seed, uint64(id)),
+		NSent:       cs.NSent,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("daemon: cast %s: encoding object %d: %w", cs.Name, id, err)
+	}
+	return obj, nil
+}
+
+// run is the cast goroutine: it drives the carousel or stream until
+// completion, drain, removal, or failure, then records the terminal
+// state. The daemon waits on done.
+func (c *Cast) run(ctx context.Context) {
+	defer close(c.done)
+	var err error
+	if c.spec.Mode == ModeStream {
+		err = c.runStream(ctx)
+	} else {
+		err = c.runCarousel(ctx)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		c.state = StateFailed
+		c.err = err
+		c.d.castErrors.Inc()
+		return
+	}
+	c.state = StateDone
+}
+
+// runCarousel serves the cast's objects round after round. Each round
+// boundary is a consistency point: queued reloads, object membership
+// changes and drain requests apply there, and the sender resumes
+// deterministically from the stored (round, 0) position — schedules
+// depend only on (seed, round, object), never on carousel history.
+func (c *Cast) runCarousel(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := c.applyPending(); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		if c.drainReq {
+			c.mu.Unlock()
+			return nil
+		}
+		cs := c.spec
+		startRound := c.round
+		objs := make([]*session.Object, len(c.objs))
+		for i, o := range c.objs {
+			objs[i] = o.obj
+		}
+		c.mu.Unlock()
+
+		if len(objs) == 0 {
+			// Every object was removed: idle until membership or drain
+			// state changes. The carousel position is retained, so a
+			// re-added object resumes the round count, not round zero.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-c.kick:
+			}
+			continue
+		}
+		if cs.Rounds > 0 && startRound >= cs.Rounds {
+			return nil
+		}
+
+		// One sender serves every round until something queues a change:
+		// OnRound then cancels between rounds, so the sender stops at the
+		// boundary with the whole round (batches flushed) on the wire.
+		roundCtx, cancel := context.WithCancel(ctx)
+		var interrupted atomic.Bool
+		batch := cs.Batch
+		if batch == 0 {
+			batch = c.d.cfg.BatchSize
+		}
+		// fold accumulates the sender's counter deltas into the cast's
+		// lifetime counters. Called from OnRound (sender goroutine, between
+		// rounds) and once after Run returns — never concurrently — so the
+		// status endpoint and metrics see progress every round, not only
+		// when a sender run ends.
+		var s *transport.Sender
+		var folded transport.SenderStats
+		fold := func() {
+			st := s.Stats()
+			c.packets.Add(st.PacketsSent - folded.PacketsSent)
+			c.bytes.Add(st.BytesSent - folded.BytesSent)
+			c.pacerWait.Add(st.PacerWaitNS - folded.PacerWaitNS)
+			folded = st
+		}
+		s = transport.NewSender(c.gc.conn, transport.SenderConfig{
+			Pacer:      c.share,
+			BatchSize:  batch,
+			Rounds:     cs.Rounds,
+			StartRound: startRound,
+			Scheduler:  cs.scheduler(),
+			Seed:       cs.Seed,
+			Tracer:     c.d.cfg.Tracer,
+			OnRound: func(r int) {
+				c.rounds.Inc()
+				fold()
+				c.mu.Lock()
+				c.round = r + 1
+				stop := c.pending != nil || len(c.addQ) > 0 || len(c.removeQ) > 0 || c.drainReq
+				c.mu.Unlock()
+				if stop {
+					interrupted.Store(true)
+					cancel()
+				}
+			},
+		})
+		addErr := func() error {
+			for _, o := range objs {
+				if err := s.Add(o); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+		if addErr != nil {
+			cancel()
+			return addErr
+		}
+		err := s.Run(roundCtx)
+		fold()
+		cancel()
+		// The cast owns the objects (they survive reloads and removal
+		// queues); the sender is not Closed here.
+		switch {
+		case err == nil:
+			return nil // bounded carousel ran its configured rounds
+		case interrupted.Load():
+			// Stopped at a round boundary to apply queued changes; the
+			// loop re-enters applyPending.
+		case ctx.Err() != nil:
+			return ctx.Err()
+		default:
+			return err
+		}
+	}
+}
+
+// cancelReader makes a blocking stream source interruptible: each Read
+// runs on its own goroutine, so a hard-cancelled cast exits even while
+// the source hangs (a stuck pipe, a stalled network file). The caster
+// reads sequentially, so at most one inner read is in flight; a read
+// abandoned by cancellation parks until the source finally returns (or
+// process exit) — bounded at one goroutine per killed stream cast.
+type cancelReader struct {
+	ctx context.Context
+	r   io.Reader
+	res chan cancelReadResult
+	cur []byte // the in-flight inner read's private buffer
+}
+
+type cancelReadResult struct {
+	n   int
+	err error
+}
+
+func newCancelReader(ctx context.Context, r io.Reader) *cancelReader {
+	return &cancelReader{ctx: ctx, r: r, res: make(chan cancelReadResult, 1)}
+}
+
+func (c *cancelReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	if c.cur == nil {
+		// The inner read owns its private buffer: the caller may reuse p
+		// the moment we return on cancellation, so the goroutine must
+		// never touch p directly.
+		buf := make([]byte, len(p))
+		c.cur = buf
+		r := c.r
+		res := c.res
+		go func() {
+			n, err := r.Read(buf)
+			res <- cancelReadResult{n, err}
+		}()
+	}
+	select {
+	case r := <-c.res:
+		n := copy(p, c.cur[:r.n])
+		c.cur = nil
+		return n, r.err
+	case <-c.ctx.Done():
+		return 0, c.ctx.Err()
+	}
+}
+
+// runStream drives a transport.Caster over the cast's source. Stream
+// casts are finite: they end with the trailing manifest. Drain lets
+// them finish (a chopped train is undecodable); the drain deadline
+// hard-cancels stragglers.
+func (c *Cast) runStream(ctx context.Context) error {
+	c.mu.Lock()
+	cs := c.spec
+	c.mu.Unlock()
+	var src io.Reader = cs.Source
+	if src == nil {
+		f, err := os.Open(cs.File)
+		if err != nil {
+			return fmt.Errorf("daemon: cast %s: %w", cs.Name, err)
+		}
+		defer f.Close()
+		src = f
+	}
+	src = newCancelReader(ctx, src)
+	fam, err := cs.Codec.WireFamily()
+	if err != nil {
+		return fmt.Errorf("daemon: cast %s: %w", cs.Name, err)
+	}
+	batch := cs.Batch
+	if batch == 0 {
+		batch = c.d.cfg.BatchSize
+	}
+	// fold accumulates the caster's counter deltas into the cast's
+	// lifetime counters on every progress step — OnProgress fires on the
+	// caster goroutine, sequentially, and once more after Run returns —
+	// so a long-running stream's counters advance live.
+	var caster *transport.Caster
+	var folded transport.CasterStats
+	fold := func() {
+		st := caster.Stats()
+		c.packets.Add(st.PacketsSent - folded.PacketsSent)
+		c.bytes.Add(st.BytesSent - folded.BytesSent)
+		c.pacerWait.Add(st.PacerWaitNS - folded.PacerWaitNS)
+		c.rounds.Add(st.ChunksCast - folded.ChunksCast)
+		folded = st
+	}
+	caster, err = transport.NewCaster(c.gc.conn, src, transport.CasterConfig{
+		BaseObjectID: cs.Object,
+		Family:       fam,
+		K:            cs.Codec.K,
+		Ratio:        cs.Codec.EffectiveRatio(),
+		PayloadSize:  cs.payloadSize(),
+		Seed:         cs.Seed,
+		Scheduler:    cs.scheduler(),
+		Pacer:        c.share,
+		BatchSize:    batch,
+		Window:       cs.Window,
+		Rounds:       cs.Rounds,
+		Tracer:       c.d.cfg.Tracer,
+		OnProgress: func(p transport.CastProgress) {
+			c.mu.Lock()
+			c.progress = p
+			c.mu.Unlock()
+			fold()
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("daemon: cast %s: %w", cs.Name, err)
+	}
+	runErr := caster.Run(ctx)
+	fold()
+	return runErr
+}
+
+// applyPending applies queued reloads and object membership changes.
+// Called only from the cast goroutine between rounds — the consistency
+// point where no sender is in flight.
+func (c *Cast) applyPending() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.pending; p != nil {
+		c.pending = nil
+		old := c.spec
+		c.spec = *p
+		c.reloads.Inc()
+		if p.Weight != old.Weight {
+			c.share.SetWeight(p.Weight)
+		}
+		if p.Codec.Ratio != old.Codec.Ratio || p.NSent != old.NSent {
+			// The expansion changed: re-encode every object from its
+			// retained source. Old objects are closed only after every
+			// replacement encoded, so a failed re-encode leaves the
+			// carousel on the old code.
+			fresh := make([]*session.Object, len(c.objs))
+			for i, o := range c.objs {
+				obj, err := encodeObject(c.spec, o.id, o.data)
+				if err != nil {
+					for _, f := range fresh[:i] {
+						f.Close()
+					}
+					c.err = err
+					return err
+				}
+				fresh[i] = obj
+			}
+			for i, o := range c.objs {
+				o.obj.Close()
+				o.obj = fresh[i]
+			}
+		}
+	}
+	for _, id := range c.removeQ {
+		for i, o := range c.objs {
+			if o.id == id {
+				o.obj.Close()
+				c.objs = append(c.objs[:i], c.objs[i+1:]...)
+				break
+			}
+		}
+	}
+	c.removeQ = nil
+	for _, q := range c.addQ {
+		obj, err := encodeObject(c.spec, q.id, q.data)
+		if err != nil {
+			c.addQ = nil
+			c.err = err
+			return err
+		}
+		c.objs = append(c.objs, &castObject{id: q.id, data: q.data, obj: obj})
+	}
+	c.addQ = nil
+	return nil
+}
+
+// wake nudges the cast goroutine if it is idling without objects.
+func (c *Cast) wake() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// reload queues a spec change. Immutable keys are rejected with a diff
+// error; mutable ones apply at the next round boundary. Stream casts
+// accept only weight, which applies immediately (streams have no
+// carousel boundary to wait for).
+func (c *Cast) reload(next CastSpec) error {
+	if err := next.normalize(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.spec
+	if c.pending != nil {
+		cur = *c.pending
+	}
+	if err := diffReload(cur, next); err != nil {
+		return err
+	}
+	// The in-process source handles don't travel through spec lines;
+	// keep the running ones.
+	next.Data = c.spec.Data
+	next.Source = c.spec.Source
+	c.reloadsQueuedLocked(next)
+	return nil
+}
+
+func (c *Cast) reloadsQueuedLocked(next CastSpec) {
+	if c.spec.Mode == ModeStream {
+		if next.Weight != c.spec.Weight {
+			c.share.SetWeight(next.Weight)
+		}
+		c.spec = next
+		c.reloads.Inc()
+		return
+	}
+	c.pending = &next
+	c.wake()
+}
+
+// addObject queues a new carousel object, joining at the next round
+// boundary.
+func (c *Cast) addObject(id uint32, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.spec.Mode != ModeCarousel {
+		return fmt.Errorf("daemon: cast %s: objects can only be added to carousel casts", c.name)
+	}
+	for _, o := range c.objs {
+		if o.id == id {
+			return fmt.Errorf("daemon: cast %s: object %d already in the carousel", c.name, id)
+		}
+	}
+	for _, q := range c.addQ {
+		if q.id == id {
+			return fmt.Errorf("daemon: cast %s: object %d already queued", c.name, id)
+		}
+	}
+	c.addQ = append(c.addQ, castObject{id: id, data: data})
+	c.wake()
+	return nil
+}
+
+// removeObject queues a carousel object's removal at the next round
+// boundary.
+func (c *Cast) removeObject(id uint32) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.spec.Mode != ModeCarousel {
+		return fmt.Errorf("daemon: cast %s: objects can only be removed from carousel casts", c.name)
+	}
+	found := false
+	for _, o := range c.objs {
+		if o.id == id {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("daemon: cast %s: no object %d in the carousel", c.name, id)
+	}
+	c.removeQ = append(c.removeQ, id)
+	c.wake()
+	return nil
+}
+
+// drain asks the cast to stop at its next consistency point: the
+// current round's end for carousels, stream completion for streams.
+func (c *Cast) drain() {
+	c.mu.Lock()
+	c.drainReq = true
+	if c.state == StateRunning {
+		c.state = StateDraining
+	}
+	c.mu.Unlock()
+	c.wake()
+}
+
+// release closes the cast's objects and returns its pacer share —
+// called by the daemon once the goroutine has exited.
+func (c *Cast) release() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, o := range c.objs {
+		o.obj.Close()
+	}
+	c.objs = nil
+	c.share.Close()
+}
+
+// status snapshots the cast for the control plane.
+func (c *Cast) status() CastStatus {
+	c.mu.Lock()
+	st := CastStatus{
+		Name:    c.name,
+		Addr:    c.spec.Addr,
+		Mode:    c.spec.Mode,
+		Spec:    c.spec.Spec(),
+		State:   c.state,
+		Weight:  c.spec.Weight,
+		Objects: len(c.objs),
+		Round:   c.round,
+		Chunks:  c.progress.ChunksCast,
+	}
+	errStr := ""
+	if c.err != nil {
+		errStr = c.err.Error()
+	}
+	c.mu.Unlock()
+	st.Error = errStr
+	st.Rounds = c.rounds.Load()
+	st.Packets = c.packets.Load()
+	st.Bytes = c.bytes.Load()
+	st.PacerWaitNS = c.pacerWait.Load()
+	st.Reloads = c.reloads.Load()
+	st.Utilization = c.share.Utilization()
+	return st
+}
+
+// CastStatus is the control plane's (and Casts') view of one cast.
+type CastStatus struct {
+	Name        string  `json:"name"`
+	Addr        string  `json:"addr"`
+	Mode        string  `json:"mode"`
+	Spec        string  `json:"spec"`
+	State       string  `json:"state"`
+	Weight      float64 `json:"weight"`
+	Objects     int     `json:"objects"`
+	Round       int     `json:"round"`
+	Chunks      int     `json:"chunks,omitempty"`
+	Rounds      uint64  `json:"rounds"`
+	Packets     uint64  `json:"packets"`
+	Bytes       uint64  `json:"bytes"`
+	PacerWaitNS uint64  `json:"pacer_wait_ns"`
+	Reloads     uint64  `json:"reloads"`
+	Utilization float64 `json:"utilization"`
+	Error       string  `json:"error,omitempty"`
+}

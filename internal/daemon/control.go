@@ -1,0 +1,130 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// controlRequest is the JSON body of spec-carrying control calls.
+// Plain-text bodies holding the bare spec line are accepted too, so
+// `curl -d 'name=docs,addr=...' /casts` works without quoting JSON.
+type controlRequest struct {
+	Spec string `json:"spec"`
+}
+
+// controlError is the JSON error envelope.
+type controlError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is client's problem
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, controlError{Error: err.Error()})
+}
+
+// readSpec extracts the spec line from a control request body.
+func readSpec(r *http.Request) (string, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return "", fmt.Errorf("daemon: reading request: %w", err)
+	}
+	text := strings.TrimSpace(string(body))
+	if text == "" {
+		return "", fmt.Errorf("daemon: empty request body (want a cast spec)")
+	}
+	if strings.HasPrefix(text, "{") {
+		var req controlRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return "", fmt.Errorf("daemon: request body: %w", err)
+		}
+		if strings.TrimSpace(req.Spec) == "" {
+			return "", fmt.Errorf("daemon: request body has no \"spec\"")
+		}
+		return req.Spec, nil
+	}
+	return text, nil
+}
+
+// ControlHandler returns the daemon's HTTP/JSON control plane:
+//
+//	GET    /casts                list every cast
+//	POST   /casts                add a cast (body: spec line, text or {"spec": "..."})
+//	GET    /casts/{name}         one cast's status
+//	DELETE /casts/{name}         remove a cast (immediate, not a drain)
+//	POST   /casts/{name}/reload  hot-reload mutable keys (body: spec line)
+//	POST   /drain                begin a graceful drain (202; poll GET /casts)
+//
+// Mount it on the obs exposition server via ServeConfig.Extra so the
+// control plane and /metrics share one listener.
+func (d *Daemon) ControlHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /casts", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"casts":    d.Casts(),
+			"draining": d.Draining(),
+			"rate":     d.Rate(),
+		})
+	})
+	mux.HandleFunc("POST /casts", func(w http.ResponseWriter, r *http.Request) {
+		line, err := readSpec(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		cs, err := ParseCastSpec(line)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := d.AddCast(cs); err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		st, _ := d.CastStatus(cs.Name)
+		writeJSON(w, http.StatusCreated, st)
+	})
+	mux.HandleFunc("GET /casts/{name}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := d.CastStatus(r.PathValue("name"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("daemon: no cast %s", r.PathValue("name")))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("DELETE /casts/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := d.RemoveCast(r.PathValue("name")); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /casts/{name}/reload", func(w http.ResponseWriter, r *http.Request) {
+		line, err := readSpec(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		name := r.PathValue("name")
+		if err := d.ReloadSpec(name, line); err != nil {
+			code := http.StatusConflict // immutable-key diffs and unknown casts
+			writeError(w, code, err)
+			return
+		}
+		st, _ := d.CastStatus(name)
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("POST /drain", func(w http.ResponseWriter, r *http.Request) {
+		go d.Drain(context.Background()) //nolint:errcheck // status is observable via GET /casts
+		writeJSON(w, http.StatusAccepted, map[string]any{"draining": true})
+	})
+	return mux
+}

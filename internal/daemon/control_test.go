@@ -1,0 +1,165 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fecperf/internal/channel"
+	"fecperf/internal/obs"
+)
+
+// TestControlPlane drives the whole HTTP face against a live daemon:
+// add (text and JSON bodies), list, get, reload (mutable accepted,
+// immutable rejected with the diff error), delete, and drain — and the
+// handler mounted on the obs exposition server next to /metrics.
+func TestControlPlane(t *testing.T) {
+	const addr = "239.0.0.7:9000"
+	hubs := newTestHubs()
+	defer hubs.close()
+	// A receiver keeps the loopback draining.
+	rx := hubs.hub(addr).Receiver(channel.NoLoss{}, 1<<14)
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			if _, err := rx.Recv(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	reg := obs.NewRegistry("fecperf")
+	d := New(Config{Rate: 200_000, BatchSize: 8, DrainTimeout: 10 * time.Second, Metrics: reg, Dial: hubs.dial})
+	defer d.Close()
+
+	// The control plane rides the obs exposition listener.
+	srv, err := obs.Serve("127.0.0.1:0", reg, obs.ServeConfig{
+		Extra: map[string]http.Handler{"/casts": d.ControlHandler(), "/casts/": d.ControlHandler(), "/drain": d.ControlHandler()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// In-process data stands in for a file; the spec line has no Data
+	// field, so seed the cast through the Go API and exercise the HTTP
+	// POST with its error paths.
+	if err := d.AddCast(CastSpec{Name: "docs", Addr: addr, Object: 5, Seed: 9, Data: testData(8<<10, 11)}); err != nil {
+		t.Fatal(err)
+	}
+
+	do := func(method, path, body string) (int, string) {
+		t.Helper()
+		var req *http.Request
+		if body == "" {
+			req = httptest.NewRequest(method, base+path, nil)
+		} else {
+			req = httptest.NewRequest(method, base+path, strings.NewReader(body))
+		}
+		req.RequestURI = ""
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	// GET /casts lists the running cast.
+	code, body := do("GET", "/casts", "")
+	if code != http.StatusOK || !strings.Contains(body, `"name":"docs"`) {
+		t.Fatalf("GET /casts = %d %s", code, body)
+	}
+	var listing struct {
+		Casts    []CastStatus `json:"casts"`
+		Draining bool         `json:"draining"`
+		Rate     float64      `json:"rate"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatalf("GET /casts body: %v", err)
+	}
+	if len(listing.Casts) != 1 || listing.Rate != 200_000 || listing.Draining {
+		t.Errorf("listing = %+v", listing)
+	}
+
+	// POST /casts with a broken spec and with a missing source.
+	if code, body = do("POST", "/casts", "name=only"); code != http.StatusBadRequest {
+		t.Errorf("POST bad spec = %d %s", code, body)
+	}
+	if code, body = do("POST", "/casts", `{"spec": "name=nofile,addr=`+addr+`"}`); code != http.StatusConflict ||
+		!strings.Contains(body, "needs file=") {
+		t.Errorf("POST sourceless cast = %d %s", code, body)
+	}
+
+	// GET /casts/{name} and 404.
+	if code, body = do("GET", "/casts/docs", ""); code != http.StatusOK || !strings.Contains(body, `"state":"running"`) {
+		t.Errorf("GET /casts/docs = %d %s", code, body)
+	}
+	if code, _ = do("GET", "/casts/ghost", ""); code != http.StatusNotFound {
+		t.Errorf("GET /casts/ghost = %d", code)
+	}
+
+	// Reload: immutable key rejected with the diff, mutable accepted.
+	docsStatus, _ := d.CastStatus("docs")
+	immutable := strings.Replace(docsStatus.Spec, "addr="+addr, "addr=other:1", 1)
+	if code, body = do("POST", "/casts/docs/reload", immutable); code != http.StatusConflict ||
+		!strings.Contains(body, "immutable keys changed: addr") {
+		t.Errorf("immutable reload = %d %s", code, body)
+	}
+	mutable := strings.Replace(docsStatus.Spec, "ratio=1.5", "ratio=2", 1) // codec=rse(ratio=1.5) → 2
+	if code, body = do("POST", "/casts/docs/reload", mutable); code != http.StatusOK {
+		t.Errorf("mutable reload = %d %s", code, body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, _ := d.CastStatus("docs")
+		if st.Reloads >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reload never applied: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// /metrics serves next door, including the per-cast labeled series.
+	if code, body = do("GET", "/metrics", ""); code != http.StatusOK ||
+		!strings.Contains(body, `daemon_cast_packets_total{cast="docs"}`) {
+		t.Errorf("GET /metrics = %d (per-cast series present: %t)", code, strings.Contains(body, "daemon_cast_packets_total"))
+	}
+
+	// DELETE removes the cast.
+	if code, _ = do("DELETE", "/casts/docs", ""); code != http.StatusNoContent {
+		t.Errorf("DELETE /casts/docs = %d", code)
+	}
+	if code, _ = do("DELETE", "/casts/docs", ""); code != http.StatusNotFound {
+		t.Errorf("second DELETE = %d", code)
+	}
+
+	// POST /drain flips the daemon into draining and completes (no casts
+	// left).
+	if code, body = do("POST", "/drain", ""); code != http.StatusAccepted {
+		t.Fatalf("POST /drain = %d %s", code, body)
+	}
+	select {
+	case <-d.Drained():
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain never completed")
+	}
+	if code, body = do("GET", "/casts", ""); code != http.StatusOK || !strings.Contains(body, `"draining":true`) {
+		t.Errorf("GET /casts after drain = %d %s", code, body)
+	}
+}

@@ -1,0 +1,291 @@
+// Package daemon implements feccastd's engine: a long-running server
+// multiplexing many concurrent casts — file-object carousels and
+// streaming Caster trains — over one shared hierarchical pacer
+// (transport.SharedPacer) and one batched socket per destination group.
+// Casts have a full lifecycle: they are added and removed while the
+// daemon runs, their mutable parameters hot-reload at round boundaries,
+// and a graceful drain finishes every in-flight round before the daemon
+// exits. See cmd/feccastd for the process wrapper (signals, control
+// endpoint, spec files) and the fecperf facade for the embeddable API.
+package daemon
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fecperf/internal/codes"
+	"fecperf/internal/sched"
+	"fecperf/internal/spec"
+)
+
+// Cast modes.
+const (
+	// ModeCarousel serves encoded file objects as an infinite (or
+	// bounded) carousel — the paper's broadcast-disk shape.
+	ModeCarousel = "carousel"
+	// ModeStream cuts a byte stream into FEC-encoded chunk trains via
+	// transport.Caster and finishes when the source does.
+	ModeStream = "stream"
+)
+
+// CastSpec describes one cast, parseable from a single spec-grammar
+// line (the PR-5 grammar every registry shares):
+//
+//	cast(name=docs,addr=239.1.2.3:9900,file=/srv/docs.tar,codec=rse(ratio=1.5),weight=2)
+//
+// The enclosing "cast(...)" wrapper is optional on input — a bare
+// "name=docs,addr=..." line means the same — and always present in the
+// canonical render (Spec). Data and Source exist for embedding: they
+// are Go-only source overrides with no spec-line form.
+type CastSpec struct {
+	// Name identifies the cast within the daemon (control-plane key and
+	// metrics label). Required, unique.
+	Name string
+	// Addr is the destination group ("host:port"). Required. Casts with
+	// the same Addr share one batched socket.
+	Addr string
+	// Mode is ModeCarousel (default) or ModeStream.
+	Mode string
+	// File is the source path: the carousel object's bytes, or the
+	// stream to cast. Required unless Data/Source is set in-process.
+	File string
+	// Weight is the cast's share of the daemon's line rate (default 1).
+	// Mutable at runtime.
+	Weight float64
+	// Codec is the FEC configuration (family, ratio, and for streams
+	// the per-chunk k). Default rse(ratio=1.5). The ratio is mutable;
+	// family, k and seed are the code's geometry and are not.
+	Codec codes.Spec
+	// Sched names the transmission scheduler (default tx4). Mutable.
+	Sched string
+	// Payload is the symbol size in bytes (default 1024).
+	Payload int
+	// Batch is the sender batch size (default the daemon's). Mutable.
+	Batch int
+	// Window is the stream mode chunk window (default the caster's).
+	Window int
+	// Rounds bounds the carousel (0 = infinite) or sets the stream's
+	// per-group rounds (0 = caster default). Mutable.
+	Rounds int
+	// NSent truncates each carousel round per object (0 = everything —
+	// the paper's n_sent knob). Mutable.
+	NSent int
+	// Seed fixes code construction and scheduling randomness.
+	Seed int64
+	// Object is the object ID of a carousel's first object, or the
+	// stream's base (manifest) object ID.
+	Object uint32
+
+	// Data, when set, is the in-process carousel source (File unused).
+	Data []byte
+	// Source, when set, is the in-process stream source (File unused).
+	Source io.Reader
+}
+
+// castSpecKeys are the accepted spec-line parameters.
+var castSpecKeys = []string{
+	"name", "addr", "mode", "file", "weight", "codec", "sched",
+	"payload", "batch", "window", "rounds", "nsent", "seed", "object",
+}
+
+// ParseCastSpec parses one cast spec line. Both the canonical
+// "cast(key=value,...)" form and a bare "key=value,..." list are
+// accepted; name and addr are required.
+func ParseCastSpec(line string) (CastSpec, error) {
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, "cast(") {
+		line = "cast(" + line + ")"
+	}
+	base, params, err := spec.Split(line)
+	if err != nil {
+		return CastSpec{}, fmt.Errorf("daemon: cast spec: %w", err)
+	}
+	if base != "cast" {
+		return CastSpec{}, fmt.Errorf("daemon: cast spec %q: want base \"cast\"", line)
+	}
+	if bad := params.Unknown(castSpecKeys...); bad != nil {
+		return CastSpec{}, fmt.Errorf("daemon: cast spec has no parameters %v (want %v)", bad, castSpecKeys)
+	}
+	cs := CastSpec{
+		Name: params["name"],
+		Addr: params["addr"],
+		Mode: params["mode"],
+		File: params["file"],
+	}
+	if cs.Name == "" {
+		return CastSpec{}, fmt.Errorf("daemon: cast spec %q needs name=", line)
+	}
+	if cs.Addr == "" {
+		return CastSpec{}, fmt.Errorf("daemon: cast spec %q needs addr=", line)
+	}
+	if w, ok, err := params.Float("weight"); err != nil {
+		return CastSpec{}, fmt.Errorf("daemon: cast %s: %w", cs.Name, err)
+	} else if ok {
+		if w <= 0 {
+			return CastSpec{}, fmt.Errorf("daemon: cast %s: weight must be positive, got %g", cs.Name, w)
+		}
+		cs.Weight = w
+	}
+	if c, ok := params["codec"]; ok {
+		cspec, err := codes.ParseSpec(c)
+		if err != nil {
+			return CastSpec{}, fmt.Errorf("daemon: cast %s: %w", cs.Name, err)
+		}
+		cs.Codec = cspec
+	}
+	if s, ok := params["sched"]; ok {
+		if _, err := sched.ByName(s); err != nil {
+			return CastSpec{}, fmt.Errorf("daemon: cast %s: %w", cs.Name, err)
+		}
+		cs.Sched = s
+	}
+	for _, f := range []struct {
+		key string
+		dst *int
+	}{
+		{"payload", &cs.Payload}, {"batch", &cs.Batch}, {"window", &cs.Window},
+		{"rounds", &cs.Rounds}, {"nsent", &cs.NSent},
+	} {
+		v, ok, err := params.Int(f.key)
+		if err != nil {
+			return CastSpec{}, fmt.Errorf("daemon: cast %s: %w", cs.Name, err)
+		}
+		if ok {
+			if v < 0 {
+				return CastSpec{}, fmt.Errorf("daemon: cast %s: %s must not be negative, got %d", cs.Name, f.key, v)
+			}
+			*f.dst = v
+		}
+	}
+	if v, _, err := params.Int64("seed"); err != nil {
+		return CastSpec{}, fmt.Errorf("daemon: cast %s: %w", cs.Name, err)
+	} else {
+		cs.Seed = v
+	}
+	if v, _, err := params.Uint32("object"); err != nil {
+		return CastSpec{}, fmt.Errorf("daemon: cast %s: %w", cs.Name, err)
+	} else {
+		cs.Object = v
+	}
+	if err := cs.normalize(); err != nil {
+		return CastSpec{}, err
+	}
+	return cs, nil
+}
+
+// normalize applies defaults and validates cross-field constraints.
+func (cs *CastSpec) normalize() error {
+	switch cs.Mode {
+	case "":
+		cs.Mode = ModeCarousel
+	case ModeCarousel, ModeStream:
+	default:
+		return fmt.Errorf("daemon: cast %s: unknown mode %q (want %s or %s)", cs.Name, cs.Mode, ModeCarousel, ModeStream)
+	}
+	if cs.Weight == 0 {
+		cs.Weight = 1
+	}
+	if cs.Codec.Family == "" {
+		cs.Codec.Family = "rse"
+		if cs.Codec.Ratio == 0 {
+			cs.Codec.Ratio = 1.5
+		}
+	}
+	if cs.Codec.Ratio == 0 && cs.Codec.Family != "no-fec" {
+		return fmt.Errorf("daemon: cast %s: codec %s needs ratio", cs.Name, cs.Codec.Family)
+	}
+	return nil
+}
+
+// Spec renders the canonical spec line: cast(name=...,addr=...,...),
+// zero-valued optional fields omitted. ParseCastSpec(s.Spec())
+// round-trips every spec-line field (Data and Source do not render — a
+// respawned daemon cannot re-source in-process bytes from a string).
+func (cs CastSpec) Spec() string {
+	fields := []spec.Field{
+		{Key: "name", Value: cs.Name},
+		{Key: "addr", Value: cs.Addr},
+	}
+	add := func(key, value string) {
+		fields = append(fields, spec.Field{Key: key, Value: value})
+	}
+	if cs.Mode != "" && cs.Mode != ModeCarousel {
+		add("mode", cs.Mode)
+	}
+	if cs.File != "" {
+		add("file", cs.File)
+	}
+	if cs.Weight != 0 && cs.Weight != 1 {
+		add("weight", strconv.FormatFloat(cs.Weight, 'g', -1, 64))
+	}
+	if cs.Codec.Family != "" {
+		add("codec", cs.Codec.Name())
+	}
+	if cs.Sched != "" {
+		add("sched", cs.Sched)
+	}
+	for _, f := range []struct {
+		key string
+		v   int
+	}{
+		{"payload", cs.Payload}, {"batch", cs.Batch}, {"window", cs.Window},
+		{"rounds", cs.Rounds}, {"nsent", cs.NSent},
+	} {
+		if f.v != 0 {
+			add(f.key, strconv.Itoa(f.v))
+		}
+	}
+	if cs.Seed != 0 {
+		add("seed", strconv.FormatInt(cs.Seed, 10))
+	}
+	if cs.Object != 0 {
+		add("object", strconv.FormatUint(uint64(cs.Object), 10))
+	}
+	return spec.Format("cast", fields...)
+}
+
+// diffReload classifies a proposed spec change against the running one.
+// Immutable keys describe the cast's identity and code geometry — what
+// receivers already joined on — and rejecting them with an explicit
+// diff keeps a fat-fingered reload from silently restarting a cast:
+// change those by removing and re-adding the cast. Everything else
+// (weight, ratio, scheduler, batch, rounds, nsent) applies at the next
+// round boundary. Stream casts accept only weight: their codec and
+// schedule are burned into chunks already on the air.
+func diffReload(old, next CastSpec) error {
+	var immutable []string
+	imm := func(key string, changed bool) {
+		if changed {
+			immutable = append(immutable, key)
+		}
+	}
+	imm("name", old.Name != next.Name)
+	imm("addr", old.Addr != next.Addr)
+	imm("mode", old.Mode != next.Mode)
+	imm("file", old.File != next.File)
+	imm("payload", old.Payload != next.Payload)
+	imm("object", old.Object != next.Object)
+	imm("seed", old.Seed != next.Seed)
+	imm("codec family", old.Codec.Family != next.Codec.Family)
+	imm("codec k", old.Codec.K != next.Codec.K)
+	imm("codec seed", old.Codec.Seed != next.Codec.Seed)
+	if old.Mode == ModeStream {
+		imm("codec ratio", old.Codec.Ratio != next.Codec.Ratio)
+		imm("sched", old.Sched != next.Sched)
+		imm("batch", old.Batch != next.Batch)
+		imm("window", old.Window != next.Window)
+		imm("rounds", old.Rounds != next.Rounds)
+		imm("nsent", old.NSent != next.NSent)
+	} else {
+		imm("window", old.Window != next.Window)
+	}
+	if immutable != nil {
+		sort.Strings(immutable)
+		return fmt.Errorf("daemon: cast %s: immutable keys changed: %s (remove and re-add the cast instead)",
+			old.Name, strings.Join(immutable, ", "))
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package daemon
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCastSpecRoundTrip(t *testing.T) {
+	line := "cast(name=docs,addr=239.1.2.3:9900,file=/srv/docs.tar,weight=2,codec=rse(k=64,ratio=1.5),sched=tx4,payload=512,batch=32,window=8,rounds=4,nsent=90,seed=7,object=42)"
+	cs, err := ParseCastSpec(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Name != "docs" || cs.Addr != "239.1.2.3:9900" || cs.File != "/srv/docs.tar" {
+		t.Errorf("identity fields: %+v", cs)
+	}
+	if cs.Weight != 2 || cs.Codec.Family != "rse" || cs.Codec.K != 64 || cs.Codec.Ratio != 1.5 {
+		t.Errorf("weight/codec: %+v", cs)
+	}
+	if cs.Sched != "tx4" || cs.Payload != 512 || cs.Batch != 32 || cs.Window != 8 ||
+		cs.Rounds != 4 || cs.NSent != 90 || cs.Seed != 7 || cs.Object != 42 {
+		t.Errorf("tuning fields: %+v", cs)
+	}
+	if cs.Mode != ModeCarousel {
+		t.Errorf("Mode = %q, want default %q", cs.Mode, ModeCarousel)
+	}
+	// Canonical render re-parses to the same spec.
+	again, err := ParseCastSpec(cs.Spec())
+	if err != nil {
+		t.Fatalf("reparsing %q: %v", cs.Spec(), err)
+	}
+	if again.Spec() != cs.Spec() {
+		t.Errorf("round trip drifted:\n  first  %s\n  second %s", cs.Spec(), again.Spec())
+	}
+}
+
+func TestParseCastSpecBareLine(t *testing.T) {
+	cs, err := ParseCastSpec("name=a,addr=localhost:9,mode=stream,file=/dev/stdin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Name != "a" || cs.Mode != ModeStream {
+		t.Errorf("bare key=value line parsed to %+v", cs)
+	}
+	// Defaults applied.
+	if cs.Weight != 1 || cs.Codec.Family != "rse" || cs.Codec.Ratio != 1.5 {
+		t.Errorf("defaults: %+v", cs)
+	}
+}
+
+func TestParseCastSpecErrors(t *testing.T) {
+	cases := map[string]string{
+		"addr=1:2":                                "needs name",
+		"name=x":                                  "needs addr",
+		"name=x,addr=1:2,mode=parcel":             "unknown mode",
+		"name=x,addr=1:2,weight=-1":               "weight must be positive",
+		"name=x,addr=1:2,codec=rot13":             "unknown codec",
+		"name=x,addr=1:2,sched=tx99":              "tx99",
+		"name=x,addr=1:2,frobnicate=1":            "no parameters",
+		"name=x,addr=1:2,batch=-4":                "must not be negative",
+		"name=x,addr=1:2,codec=no-fec,seed=horse": "not an integer",
+	}
+	for line, want := range cases {
+		if _, err := ParseCastSpec(line); err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("ParseCastSpec(%q) = %v, want error containing %q", line, err, want)
+		}
+	}
+}
+
+func TestDiffReloadImmutableKeys(t *testing.T) {
+	base, err := ParseCastSpec("name=x,addr=1:2,codec=rse(ratio=1.5),payload=1024,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every mutable key at once: accepted.
+	next := base
+	next.Weight = 4
+	next.Codec.Ratio = 2.0
+	next.Sched = "tx1"
+	next.Batch = 8
+	next.Rounds = 9
+	next.NSent = 50
+	if err := diffReload(base, next); err != nil {
+		t.Errorf("mutable-only diff rejected: %v", err)
+	}
+
+	// Immutable keys: rejected, all named in the error.
+	bad := base
+	bad.Addr = "other:9"
+	bad.Payload = 512
+	bad.Codec.Family = "ldgm-staircase"
+	err = diffReload(base, bad)
+	if err == nil {
+		t.Fatal("immutable diff accepted")
+	}
+	for _, key := range []string{"addr", "payload", "codec family", "immutable"} {
+		if !strings.Contains(err.Error(), key) {
+			t.Errorf("diff error %q does not name %q", err, key)
+		}
+	}
+
+	// Stream casts: ratio/sched/batch become immutable too.
+	sbase := base
+	sbase.Mode = ModeStream
+	snext := sbase
+	snext.Codec.Ratio = 2.0
+	if err := diffReload(sbase, snext); err == nil || !strings.Contains(err.Error(), "codec ratio") {
+		t.Errorf("stream ratio change = %v, want immutable error", err)
+	}
+	wOnly := sbase
+	wOnly.Weight = 3
+	if err := diffReload(sbase, wOnly); err != nil {
+		t.Errorf("stream weight change rejected: %v", err)
+	}
+}

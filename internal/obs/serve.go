@@ -15,6 +15,12 @@ import (
 type ServeConfig struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
 	Pprof bool
+	// Extra mounts additional handlers on the exposition mux, keyed by
+	// pattern (net/http ServeMux syntax, method and wildcard patterns
+	// included). The daemon control plane rides the same listener as
+	// /metrics this way. Extra patterns must not collide with the
+	// built-in ones.
+	Extra map[string]http.Handler
 }
 
 // Server is a running exposition endpoint; Close shuts it down.
@@ -110,6 +116,9 @@ func Serve(addr string, r *Registry, cfg ServeConfig) (*Server, error) {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	for pattern, handler := range cfg.Extra {
+		mux.Handle(pattern, handler)
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln) //nolint:errcheck // Close shuts it down; the error is ErrServerClosed

@@ -356,7 +356,7 @@ func TestPacerBatchConvergence(t *testing.T) {
 		p := newPacer(rate, burst, nil)
 		start := time.Now()
 		for taken := 0; taken < tokens; taken += step {
-			if err := p.take(ctx, step); err != nil {
+			if err := p.Take(ctx, step); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -380,7 +380,7 @@ func TestPacerBatchConvergence(t *testing.T) {
 	start := time.Now()
 	const bigBatches = 20
 	for i := 0; i < bigBatches; i++ {
-		if err := p.take(ctx, 100); err != nil { // 100 > burst 32
+		if err := p.Take(ctx, 100); err != nil { // 100 > burst 32
 			t.Fatal(err)
 		}
 	}

@@ -54,6 +54,11 @@ type CasterConfig struct {
 	// Burst is the token-bucket depth.
 	Rate  float64
 	Burst int
+	// Pacer, when set, replaces the per-group senders' built-in token
+	// buckets with an external admission source (Rate and Burst are then
+	// ignored) — see SenderConfig.Pacer. The daemon paces streaming
+	// casts through a SharedPacer share this way.
+	Pacer Pacer
 	// BatchSize vectorizes the group senders' round loops — see
 	// SenderConfig.BatchSize. 0 or 1 keeps the scalar path.
 	BatchSize int
@@ -227,6 +232,7 @@ func (c *Caster) Run(ctx context.Context) error {
 		s := NewSender(c.conn, SenderConfig{
 			Rate:      c.cfg.Rate,
 			Burst:     c.cfg.Burst,
+			Pacer:     c.cfg.Pacer,
 			BatchSize: c.cfg.BatchSize,
 			Rounds:    c.cfg.Rounds,
 			Scheduler: c.cfg.Scheduler,

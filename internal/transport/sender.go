@@ -19,6 +19,13 @@ type SenderConfig struct {
 	Rate float64
 	// Burst is the token-bucket depth in packets (default 32).
 	Burst int
+	// Pacer, when set, replaces the sender's built-in token bucket with
+	// an external admission source (Rate and Burst are then ignored).
+	// The daemon hands every cast's sender a PacerShare here so many
+	// carousels divide one SharedPacer line-rate budget. Time blocked in
+	// the external pacer accrues on the same pacer-wait counter as the
+	// built-in bucket's sleeps.
+	Pacer Pacer
 	// BatchSize vectorizes the round loop: up to BatchSize datagrams are
 	// encoded back to back into one packed scratch region and flushed
 	// with a single batch write — one kernel crossing on batch-capable
@@ -211,7 +218,12 @@ func (s *Sender) Run(ctx context.Context) error {
 	// never on how much of the carousel ran before — the resume
 	// contract.
 	rng := rand.New(&core.SplitMixSource{})
-	p := newPacer(s.cfg.Rate, s.cfg.Burst, &s.pacerWait)
+	var p Pacer
+	if s.cfg.Pacer != nil {
+		p = timedPacer{p: s.cfg.Pacer, waitNS: &s.pacerWait}
+	} else {
+		p = newPacer(s.cfg.Rate, s.cfg.Burst, &s.pacerWait)
+	}
 	scratch := make([]byte, 0, 2048)
 	if startRound > 0 || s.cfg.StartPos > 0 {
 		s.resumes.Inc()
@@ -274,7 +286,7 @@ func (s *Sender) Run(ctx context.Context) error {
 					continue
 				}
 				remaining++
-				if err := p.wait(ctx); err != nil {
+				if err := p.Take(ctx, 1); err != nil {
 					return err
 				}
 				var err error
@@ -333,7 +345,7 @@ type sendBatch struct {
 // batch and hit the conn size datagrams per kernel crossing. The
 // carousel byte sequence is identical to the scalar loop's; only the
 // grouping (and the pacer's debit granularity) changes.
-func (s *Sender) roundBatched(ctx context.Context, p *pacer, b *sendBatch, round int) error {
+func (s *Sender) roundBatched(ctx context.Context, p Pacer, b *sendBatch, round int) error {
 	for remaining := len(s.objs); remaining > 0; {
 		remaining = 0
 		for _, o := range s.objs {
@@ -378,12 +390,12 @@ func (s *Sender) roundBatched(ctx context.Context, p *pacer, b *sendBatch, round
 // flushBatch debits the pacer once for the whole pending batch, hands
 // it to the conn in one batch write, and settles the deferred metrics
 // and first_tx traces.
-func (s *Sender) flushBatch(ctx context.Context, p *pacer, b *sendBatch) error {
+func (s *Sender) flushBatch(ctx context.Context, p Pacer, b *sendBatch) error {
 	n := len(b.ends)
 	if n == 0 {
 		return nil
 	}
-	if err := p.take(ctx, n); err != nil {
+	if err := p.Take(ctx, n); err != nil {
 		return err
 	}
 	b.views = b.views[:0]

@@ -32,7 +32,8 @@ type (
 	MetricsLabels = obs.Labels
 	// MetricsServer is a running exposition endpoint (ServeMetrics).
 	MetricsServer = obs.Server
-	// MetricsServeConfig tunes the exposition server (pprof).
+	// MetricsServeConfig tunes the exposition server (pprof, extra
+	// handlers such as a daemon's ControlHandler).
 	MetricsServeConfig = obs.ServeConfig
 	// HistogramSnapshot is a point-in-time histogram state; snapshots
 	// from shards merge exactly (order-independent integer sums).

@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# Runs the broadcast-daemon benchmarks and emits BENCH_daemon.json —
+# the multiplexing-cost record for feccastd: 8 concurrent casts through
+# one daemon's shared hierarchical pacer versus the same fleet as 8
+# independently-paced senders, at the same aggregate budget. Usage:
+#
+#   scripts/bench_daemon.sh [benchtime] [output.json]
+#
+# benchtime defaults to 4x (four 250ms measurement windows per
+# benchmark); output defaults to BENCH_daemon.json in the repository
+# root. Two gates fail the script (and CI): the shared-pacer aggregate
+# must reach at least 0.9x the independent baseline, and the shared
+# run's per-cast fairness deviation (max-min over mean) must stay
+# within 10%.
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-4x}"
+OUT="${2:-BENCH_daemon.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'DaemonSharedThroughput|IndependentSendersThroughput' \
+    -benchtime "$BENCHTIME" -count 1 ./internal/daemon | tee "$RAW"
+
+awk -v out="$OUT" '
+/^BenchmarkDaemonSharedThroughput/ {
+    for (i = 1; i <= NF; i++) {
+        if ($(i+1) == "pkts/s")   shared_pps = $i
+        if ($(i+1) == "fairdev%") fairdev = $i
+    }
+}
+/^BenchmarkIndependentSendersThroughput/ {
+    for (i = 1; i <= NF; i++) {
+        if ($(i+1) == "pkts/s") indep_pps = $i
+    }
+}
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+END {
+    if (shared_pps == "" || indep_pps == "" || fairdev == "") {
+        print "bench_daemon: missing benchmark output" > "/dev/stderr"
+        exit 1
+    }
+    ratio = shared_pps / indep_pps
+    printf "{\n" > out
+    printf "  \"benchmark\": \"daemon\",\n" >> out
+    printf "  \"cpu\": \"%s\",\n", cpu >> out
+    printf "  \"fleet\": {\"casts\": 8, \"aggregate_rate_pps\": 200000, \"weights\": \"equal\"},\n" >> out
+    printf "  \"shared_pacer_pkts_per_sec\": %s,\n", shared_pps >> out
+    printf "  \"independent_senders_pkts_per_sec\": %s,\n", indep_pps >> out
+    printf "  \"shared_over_independent_ratio\": %.4f,\n", ratio >> out
+    printf "  \"shared_over_independent_ratio_floor\": 0.9,\n" >> out
+    printf "  \"fairness_deviation_pct\": %s,\n", fairdev >> out
+    printf "  \"fairness_deviation_pct_ceiling\": 10\n" >> out
+    printf "}\n" >> out
+    if (ratio < 0.9) {
+        printf "bench_daemon: shared pacer at %.3fx independent (< 0.9x floor)\n", ratio > "/dev/stderr"
+        exit 1
+    }
+    if (fairdev + 0 > 10) {
+        printf "bench_daemon: fairness deviation %s%% exceeds the 10%% ceiling\n", fairdev > "/dev/stderr"
+        exit 1
+    }
+}' "$RAW"
+
+echo "wrote $OUT"
