@@ -49,10 +49,15 @@ import (
 
 func main() {
 	// First SIGINT/SIGTERM starts a graceful drain; a second one cuts
-	// the process off immediately (stop() reinstates default handling,
-	// so the repeat signal kills the process).
+	// the process off immediately: stop() runs the moment ctx fires —
+	// not after run() returns — reinstating default signal handling so
+	// the repeat signal kills even a stuck drain.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	defer signal.Stop(hup)

@@ -48,6 +48,11 @@ type Cast struct {
 	done   chan struct{}
 	kick   chan struct{} // wakes an idle (objectless) carousel loop
 
+	// released is guarded by Daemon.mu, not c.mu: it arbitrates which
+	// of Drain/RemoveCast/Close performs the one teardown (see
+	// Daemon.releaseCastLocked).
+	released bool
+
 	mu       sync.Mutex
 	spec     CastSpec
 	pending  *CastSpec // reload applying at the next round boundary

@@ -141,6 +141,19 @@ func (d *Daemon) releaseConnLocked(gc *groupConn) {
 	}
 }
 
+// releaseCastLocked tears down a cast — objects, pacer share, group
+// socket reference — exactly once. Drain, RemoveCast and Close can
+// each race to the same cast's teardown; the released flag (guarded by
+// d.mu) makes the losers no-ops instead of double socket unrefs.
+func (d *Daemon) releaseCastLocked(c *Cast) {
+	if c.released {
+		return
+	}
+	c.released = true
+	c.release()
+	d.releaseConnLocked(c.gc)
+}
+
 // AddCast registers and starts a new cast. The spec's source is read
 // here (file casts load their bytes, carousels encode their first
 // object), so a broken spec fails fast instead of inside the cast
@@ -205,12 +218,9 @@ func (d *Daemon) AddCast(cs CastSpec) error {
 
 	d.mu.Lock()
 	if d.closed || d.draining {
+		d.releaseCastLocked(c)
 		d.mu.Unlock()
 		cancel()
-		c.release()
-		d.mu.Lock()
-		d.releaseConnLocked(gc)
-		d.mu.Unlock()
 		return fmt.Errorf("daemon: not accepting casts (draining or closed)")
 	}
 	d.casts[cs.Name] = c
@@ -249,9 +259,14 @@ func (d *Daemon) registerCastMetrics(c *Cast) {
 
 // RemoveCast stops a cast immediately (mid-round — remove is not a
 // drain), releases its objects, pacer share and socket reference, and
-// forgets it.
+// forgets it. During a drain, removal is refused: the drain already
+// owns every cast's teardown.
 func (d *Daemon) RemoveCast(name string) error {
 	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		return fmt.Errorf("daemon: draining — casts are torn down by the drain")
+	}
 	c, ok := d.casts[name]
 	if !ok {
 		d.mu.Unlock()
@@ -262,9 +277,8 @@ func (d *Daemon) RemoveCast(name string) error {
 
 	c.cancel()
 	<-c.done
-	c.release()
 	d.mu.Lock()
-	d.releaseConnLocked(c.gc)
+	d.releaseCastLocked(c)
 	d.mu.Unlock()
 	d.castsRemoved.Inc()
 	return nil
@@ -395,24 +409,29 @@ func (d *Daemon) Drain(ctx context.Context) error {
 	}
 	deadline := time.NewTimer(d.cfg.DrainTimeout)
 	defer deadline.Stop()
+	// The timer channel fires exactly once: remember that it did, so
+	// every cast after the first laggard is hard-cancelled too instead
+	// of blocking forever on a drained channel.
+	expired := false
 	var killed []string
 	for _, c := range casts {
-		select {
-		case <-c.done:
-		case <-deadline.C:
-			c.cancel()
-			<-c.done
-			killed = append(killed, c.name)
-		case <-ctx.Done():
-			c.cancel()
-			<-c.done
-			killed = append(killed, c.name)
+		if !expired {
+			select {
+			case <-c.done:
+				continue
+			case <-deadline.C:
+				expired = true
+			case <-ctx.Done():
+				expired = true
+			}
 		}
+		c.cancel()
+		<-c.done
+		killed = append(killed, c.name)
 	}
 	d.mu.Lock()
 	for _, c := range casts {
-		c.release()
-		d.releaseConnLocked(c.gc)
+		d.releaseCastLocked(c)
 		delete(d.casts, c.name)
 	}
 	d.mu.Unlock()
@@ -443,11 +462,10 @@ func (d *Daemon) Close() {
 	d.cancel()
 	for _, c := range casts {
 		<-c.done
-		c.release()
 	}
 	d.mu.Lock()
 	for _, c := range casts {
-		d.releaseConnLocked(c.gc)
+		d.releaseCastLocked(c)
 	}
 	d.mu.Unlock()
 }

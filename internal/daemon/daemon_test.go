@@ -409,6 +409,45 @@ func TestDaemonDrainDeadline(t *testing.T) {
 	}
 }
 
+// TestDaemonDrainDeadlineMultipleStragglers drains three casts that
+// all blow the deadline. The deadline timer fires only once for the
+// whole drain, so every cast still running past it must be
+// hard-cancelled — a regression test for Drain hanging forever on the
+// second straggler after the single-fire timer channel was consumed.
+// It also checks that RemoveCast is refused mid-drain: the drain owns
+// every cast's teardown, so a concurrent remove must not double-release
+// the shared group socket.
+func TestDaemonDrainDeadlineMultipleStragglers(t *testing.T) {
+	hubs := newTestHubs()
+	defer hubs.close()
+	blocked := make(chan struct{})
+	t.Cleanup(func() { close(blocked) })
+	d := New(Config{BatchSize: 8, DrainTimeout: 300 * time.Millisecond, Dial: hubs.dial})
+	defer d.Close()
+	for i, name := range []string{"stuck-a", "stuck-b", "stuck-c"} {
+		src := &blockingReader{data: testData(64<<10, int64(20+i)), blocked: blocked}
+		if err := d.AddCast(CastSpec{Name: name, Addr: "g:1", Mode: ModeStream, Object: uint32(60 + i), Source: src}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- d.Drain(context.Background()) }()
+	for !d.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	if err := d.RemoveCast("stuck-b"); err == nil {
+		t.Error("RemoveCast mid-drain succeeded, want refusal")
+	}
+	select {
+	case err := <-drainErr:
+		if err == nil || !strings.Contains(err.Error(), "[stuck-a stuck-b stuck-c]") {
+			t.Fatalf("Drain = %v, want hard-cancel report naming all three stuck casts", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain hung past the deadline with multiple stragglers")
+	}
+}
+
 type blockingReader struct {
 	data    []byte
 	blocked chan struct{}
